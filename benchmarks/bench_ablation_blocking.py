@@ -1,0 +1,65 @@
+"""Ablation A-blocking: the M_C/K_C/N_C choice (Section 2.3).
+
+Two legs:
+
+- real wall-clock of the blocked driver across block-size settings (the
+  Python-level sweet spot differs from the hardware one, but the *existence*
+  of a valley is the point);
+- the cache-simulator replay: the same address stream through the tiny
+  machine's L2, showing the miss-rate cliff when the Ã block overflows —
+  the mechanism behind the paper's tuned 192/384/9216.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gemm.blocking import BlockingConfig
+from repro.gemm.driver import BlockedGemm
+from repro.simcpu.cache import CacheHierarchy
+from repro.simcpu.machine import MachineSpec
+
+N = 96
+
+
+@pytest.fixture(scope="module")
+def operands():
+    rng = np.random.default_rng(11)
+    return rng.standard_normal((N, N)), rng.standard_normal((N, N))
+
+
+@pytest.mark.parametrize("mc,kc", [(8, 8), (16, 16), (32, 32), (48, 48)])
+def bench_real_blocked_gemm(benchmark, operands, mc, kc):
+    a, b = operands
+    cfg = BlockingConfig(mc=mc, kc=kc, nc=96, mr=8, nr=6)
+    driver = BlockedGemm(cfg)
+    out = benchmark(lambda: driver.gemm(a, b))
+    np.testing.assert_allclose(out, a @ b, rtol=1e-10)
+
+
+@pytest.mark.parametrize("mc,kc", [(4, 4), (16, 16), (48, 48)])
+def bench_cache_simulated_sweep(benchmark, operands, mc, kc):
+    """Replay the real address stream through the cache simulator; the
+    benchmark extra_info records the measured miss rates per block size."""
+    a, b = operands
+    machine = MachineSpec.small_test_machine()
+    cfg = BlockingConfig(mc=mc, kc=kc, nc=48, mr=4, nr=4)
+
+    def run():
+        hierarchy = CacheHierarchy.from_machine(machine)
+        BlockedGemm(cfg, sink=hierarchy).gemm(a, b)
+        return hierarchy
+
+    hierarchy = benchmark.pedantic(run, rounds=1, iterations=1)
+    stats = hierarchy.counters_by_level()
+    benchmark.extra_info["l2_miss_rate"] = round(stats[2].miss_rate, 4)
+    benchmark.extra_info["dram_lines"] = hierarchy.mem_lines
+    benchmark.extra_info["a_block_bytes"] = mc * kc * 8
+
+
+def bench_paper_blocking_derivation(benchmark):
+    """The analytic tuner itself (derives 192/384/9216 from the cache sheet)."""
+    from repro.gemm.tuning import tune_blocking
+
+    machine = MachineSpec.cascade_lake_w2255()
+    cfg = benchmark(tune_blocking, machine)
+    assert (cfg.mc, cfg.kc, cfg.nc) == (192, 384, 9216)

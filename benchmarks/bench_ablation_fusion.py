@@ -1,0 +1,97 @@
+"""Ablation A-fusion: what each fusion site buys (Section 2.2).
+
+The paper fuses four things into existing passes: the C encodings into the
+scaling, B^c/C^r into B packing, C^c into A packing, and the reference
+checksums into the macro kernel. This ablation prices each site separately
+with the analytic model (extra_info carries the per-site overhead) and
+times the real fused vs eager (per-K-block reverification) drivers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import FTGemmConfig
+from repro.core.ftgemm import FTGemm
+from repro.gemm.blocking import iter_blocks
+from repro.perfmodel.constants import ModelConstants
+from repro.perfmodel.gemm_model import GemmPerfModel
+from repro.simcpu.machine import MachineSpec
+
+PAPER_N = 4096
+
+
+def _site_flops(n: int) -> dict[str, float]:
+    """Checksum flops attributable to each fusion site (square n, paper
+    blocking) — mirrors GemmPerfModel._checksum_flops term by term."""
+    model = GemmPerfModel(mode="ft")
+    n_j = len(list(iter_blocks(n, model.blocking.nc)))
+    return {
+        "a_row_prologue": 2.0 * n * n,
+        "pack_b_fused": 3.0 * n * n,
+        "pack_a_fused": 2.0 * n * n * n_j,
+        "kernel_refs": 2.0 * n * n,
+    }
+
+
+def bench_model_site_attribution(benchmark):
+    """Each fused site's share of the paper-scale FT overhead."""
+    machine = MachineSpec.cascade_lake_w2255()
+    constants = ModelConstants()
+
+    def run():
+        ori = GemmPerfModel(machine, mode="ori").breakdown(PAPER_N)
+        sites = _site_flops(PAPER_N)
+        per_core = machine.flops_per_cycle_per_core * constants.checksum_simd_eff
+        out = {}
+        for site, flops in sites.items():
+            seconds = flops / per_core / (machine.simd_freq_ghz * 1e9)
+            out[site] = seconds / ori.seconds
+        return out
+
+    shares = benchmark.pedantic(run, rounds=1, iterations=1)
+    for site, share in shares.items():
+        benchmark.extra_info[site] = f"{share * 100:.3f}%"
+    # the A-packing fusion dominates the arithmetic; all sites are <1% each
+    assert all(share < 0.01 for share in shares.values())
+
+
+def bench_real_fused_final_verify(benchmark, bench_config, bench_operands):
+    """The paper's scheme: everything fused, one final verification."""
+    a, b = bench_operands
+    driver = FTGemm(bench_config)
+    result = benchmark(lambda: driver.gemm(a, b))
+    assert result.counters.verifications == 1
+
+
+def bench_real_eager_reverification(benchmark, bench_config, bench_operands):
+    """The non-fused alternative FT-GEMM avoids: re-derive checksums from C
+    after every K-block — extra O(MN) sweeps per block."""
+    a, b = bench_operands
+    driver = FTGemm(bench_config.with_(verify_mode="eager"))
+    result = benchmark(lambda: driver.gemm(a, b))
+    assert result.counters.verifications > 1
+    assert result.counters.ft_extra_bytes > 0
+
+
+def bench_fused_scaling_encode(benchmark):
+    """Scale-fused encoding: C *= beta while reading row/col sums, one pass."""
+    rng = np.random.default_rng(3)
+    c = rng.standard_normal((384, 384))
+
+    def fused():
+        scaled = 0.5 * c
+        return scaled, scaled.sum(axis=0), scaled.sum(axis=1)
+
+    benchmark(fused)
+
+
+def bench_separate_scaling_then_encode(benchmark):
+    rng = np.random.default_rng(3)
+    c = rng.standard_normal((384, 384))
+
+    def separate():
+        scaled = 0.5 * c
+        fresh = np.ascontiguousarray(scaled)  # second pass over memory
+        return fresh, fresh.sum(axis=0), fresh.sum(axis=1)
+
+    benchmark(separate)

@@ -1,0 +1,58 @@
+"""Abstract claim: reliability under hundreds of errors per minute.
+
+Real campaigns at increasing physical rates (converted through the modeled
+paper-scale call duration); every benchmarked campaign must end with all
+results verified correct. The summary table lands in
+``results/reliability.txt``.
+"""
+
+import pytest
+
+from repro.core.config import FTGemmConfig
+from repro.core.ftgemm import FTGemm
+from repro.faults.campaign import CampaignConfig, run_campaign
+from repro.gemm.blocking import BlockingConfig
+
+CALL_SECONDS = 4.5  # modeled serial FT call at 6144^3 (see GemmPerfModel)
+
+
+@pytest.mark.parametrize("rate", [0, 120, 600])
+def bench_campaign_at_rate(benchmark, rate):
+    config = FTGemmConfig(blocking=BlockingConfig.small(mr=8, nr=6))
+    driver = FTGemm(config)
+    seeds = iter(range(10_000))
+
+    def run():
+        result = run_campaign(
+            CampaignConfig(
+                m=96, n=96, k=96, runs=1,
+                errors_per_call=None,
+                rate_per_minute=float(rate),
+                call_seconds=CALL_SECONDS,
+                seed=next(seeds),
+            ),
+            driver,
+        )
+        assert result.all_correct
+        return result
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def bench_fixed_20_errors(benchmark):
+    """The paper's Fig 2(c) condition: exactly 20 errors per call."""
+    config = FTGemmConfig(blocking=BlockingConfig.small(mr=8, nr=6))
+    driver = FTGemm(config)
+    seeds = iter(range(10_000))
+
+    def run():
+        result = run_campaign(
+            CampaignConfig(m=96, n=96, k=96, runs=1, errors_per_call=20,
+                           seed=next(seeds)),
+            driver,
+        )
+        assert result.all_correct
+        assert result.injected == 20
+        return result
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

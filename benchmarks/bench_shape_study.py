@@ -1,0 +1,53 @@
+"""Shape study: FT overhead across the roofline regimes + blocking grid.
+
+Model-driven sweeps (extra_info carries the findings) plus real rank-k
+executions showing the same qualitative behaviour at laptop scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.sweeps import blocking_sweep, overhead_vs_k
+from repro.core.config import FTGemmConfig
+from repro.core.ftgemm import FTGemm
+from repro.gemm.blocking import BlockingConfig
+from repro.gemm.driver import BlockedGemm
+
+
+def bench_model_overhead_vs_k(benchmark):
+    fig = benchmark.pedantic(
+        lambda: overhead_vs_k(mn=4096), rounds=1, iterations=1
+    )
+    benchmark.extra_info["finding"] = fig.observations["regime"]
+    ov = fig.series["overhead %"]
+    assert max(ov) == max(ov[1:-1])  # ridge is interior
+
+
+def bench_model_blocking_grid(benchmark):
+    fig = benchmark.pedantic(
+        lambda: blocking_sweep(n=4096), rounds=1, iterations=1
+    )
+    benchmark.extra_info["finding"] = fig.observations["best"]
+
+
+@pytest.mark.parametrize("k", [8, 48, 192])
+def bench_real_rank_k_update(benchmark, bench_config, k):
+    """Real wall clock of protected rank-k updates: the FT/plain ratio
+    shrinks as k grows (checksum work amortizes)."""
+    rng = np.random.default_rng(4)
+    n = 192
+    a = rng.standard_normal((n, k))
+    b = rng.standard_normal((k, n))
+    driver = FTGemm(bench_config)
+    result = benchmark(lambda: driver.gemm(a, b))
+    assert result.verified
+
+
+@pytest.mark.parametrize("k", [8, 192])
+def bench_real_rank_k_unprotected(benchmark, bench_config, k):
+    rng = np.random.default_rng(4)
+    n = 192
+    a = rng.standard_normal((n, k))
+    b = rng.standard_normal((k, n))
+    driver = BlockedGemm(bench_config.blocking)
+    benchmark(lambda: driver.gemm(a, b))

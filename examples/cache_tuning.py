@@ -1,0 +1,78 @@
+"""Cache tuning: why the paper picks M_C=192, K_C=384, N_C=9216.
+
+Part 1 derives the paper's published blocking triple analytically from the
+Xeon W-2255 cache sheet (Section 2.3: parameters "tuned to fit with the
+physical cache size"). Part 2 replays the *actual address stream* of the
+blocked GEMM through the set-associative cache simulator on a deliberately
+tiny machine, showing the L2 miss-rate valley around the analytically
+chosen block sizes — the same experiment as the blocking ablation bench.
+
+Run:  python examples/cache_tuning.py
+"""
+
+from repro.gemm.blocking import BlockingConfig
+from repro.gemm.driver import BlockedGemm
+from repro.gemm.tuning import blocking_footprints, fits_report, tune_blocking, tune_micro_tile
+from repro.simcpu.cache import CacheHierarchy
+from repro.simcpu.machine import MachineSpec
+from repro.util.formatting import format_bytes, format_table
+
+import numpy as np
+
+
+def main() -> None:
+    # --- part 1: derive the paper's parameters --------------------------
+    machine = MachineSpec.cascade_lake_w2255()
+    tile = tune_micro_tile(machine)
+    config = tune_blocking(machine)
+    print(f"machine      : {machine.name}")
+    print(f"micro tile   : {tile.mr} x {tile.nr}  "
+          f"({tile.accumulators} accumulators, efficiency {tile.efficiency:.2f})")
+    print(f"blocking     : MC={config.mc} KC={config.kc} NC={config.nc}  "
+          f"(paper: 192/384/9216)")
+    footprints = blocking_footprints(config)
+    rows = [[name, format_bytes(size)] for name, size in footprints.items()]
+    print(format_table(["structure", "bytes"], rows, title="\ncache footprints"))
+    for check, ok in fits_report(config, machine).items():
+        print(f"  {check}: {'yes' if ok else 'NO'}")
+
+    # --- part 2: cache-simulate the real access stream ------------------
+    small = MachineSpec.small_test_machine()
+    rng = np.random.default_rng(0)
+    n = 96
+    a = rng.standard_normal((n, n))
+    b = rng.standard_normal((n, n))
+    print(f"\nreplaying the blocked GEMM's address stream (n={n}) through the")
+    print(f"cache simulator of a tiny machine (L1={small.cache(1).size_bytes}B, "
+          f"L2={small.cache(2).size_bytes}B, L3={small.cache(3).size_bytes}B):\n")
+    rows = []
+    for mc, kc in ((4, 4), (8, 8), (16, 16), (32, 32), (48, 48)):
+        hierarchy = CacheHierarchy.from_machine(small)
+        driver = BlockedGemm(
+            BlockingConfig(mc=mc, kc=kc, nc=48, mr=4, nr=4), sink=hierarchy
+        )
+        driver.gemm(a, b)
+        stats = hierarchy.counters_by_level()
+        footprint = mc * kc * 8
+        rows.append(
+            [
+                f"{mc}x{kc}",
+                format_bytes(footprint),
+                f"{stats[2].miss_rate * 100:.1f}%",
+                f"{stats[3].miss_rate * 100:.1f}%",
+                hierarchy.mem_lines,
+            ]
+        )
+    print(
+        format_table(
+            ["MCxKC", "A-block", "L2 miss", "L3 miss", "DRAM lines"],
+            rows,
+            title="block size vs simulated cache behaviour",
+        )
+    )
+    print("\nblocks that overflow the (tiny) L2 show the miss-rate cliff the"
+          "\npaper's parameter choice avoids on the real machine.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Graph analytics on FT-GEMM: counting walks in a corrupted datacenter.
+
+Walk counting is GEMM in disguise: ``(A^L)[i, j]`` is the number of length-L
+walks from i to j in a graph with adjacency matrix A. The counts are exact
+integers, so this workload makes silent data corruption *visible*: one
+flipped bit in one FMA and the "count" stops being an integer — or worse,
+stays an integer and is silently wrong.
+
+The example builds an Erdős–Rényi digraph with networkx, repeatedly squares
+its adjacency matrix under fault injection, and cross-checks the protected
+result against networkx's own path counting on sampled vertex pairs.
+
+Run:  python examples/graph_walks.py
+"""
+
+import numpy as np
+
+from repro import FTGemm, FTGemmConfig
+from repro.bench.workloads import adjacency
+from repro.faults.campaign import plan_for_gemm
+from repro.faults.injector import FaultInjector
+from repro.faults.models import Additive
+from repro.gemm.blocking import BlockingConfig
+from repro.util.rng import derive_seed
+
+
+def main() -> None:
+    n, p, seed = 120, 0.08, 5
+    adj = adjacency(n, p=p, seed=seed)
+    config = FTGemmConfig(blocking=BlockingConfig.small(mr=8, nr=6))
+    gemm = FTGemm(config)
+
+    # walks of length 4 via two protected squarings, faults striking both
+    injected = 0
+    walks = adj
+    for step in range(2):
+        plan = plan_for_gemm(
+            n, n, n, config.blocking, 3,
+            model=Additive(magnitude=1.0),  # off-by-one: the nastiest kind
+            seed=derive_seed(31, "walks", step),
+        )
+        injector = FaultInjector(plan)
+        result = gemm.gemm(walks, walks, injector=injector)
+        injected += injector.n_injected
+        assert result.verified
+        walks = result.c
+
+    # exact integer counts survive the storm?
+    rounded = np.rint(walks)
+    assert np.allclose(walks, rounded, atol=1e-6), "non-integer walk counts!"
+    print(f"graph: {n} vertices, ER(p={p}); {injected} off-by-one faults "
+          f"injected across two squarings")
+    print(f"walk-count matrix A^4: max count {int(rounded.max())}, "
+          f"all entries integral: True")
+
+    # independent cross-check with networkx on sampled pairs
+    import networkx as nx
+
+    graph = nx.from_numpy_array(adj, create_using=nx.DiGraph)
+    rng = np.random.default_rng(3)
+    checked = 0
+    for _ in range(10):
+        u = int(rng.integers(n))
+        v = int(rng.integers(n))
+        count = sum(
+            1 for path in nx.all_simple_paths(graph, u, v, cutoff=4)
+            if len(path) == 5
+        )
+        # A^4 counts *walks* (vertices may repeat); simple paths are a lower
+        # bound — the invariant that must hold under any silent corruption
+        assert rounded[u, v] >= count, (u, v, rounded[u, v], count)
+        checked += 1
+    print(f"cross-checked {checked} vertex pairs against networkx: "
+          f"walk counts >= simple-path counts everywhere")
+    print("\nan off-by-one fault in an unprotected multiply would have "
+          "corrupted these counts silently; FT-GEMM caught and repaired "
+          "every strike.")
+
+
+if __name__ == "__main__":
+    main()

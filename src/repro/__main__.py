@@ -1,0 +1,179 @@
+"""Top-level CLI: ``python -m repro <subcommand>``.
+
+Subcommands:
+
+- ``bench``    — regenerate the paper's figures (delegates to repro.bench);
+- ``inject``   — one protected GEMM under a chosen number of faults, with a
+  human-readable account of what was detected/corrected;
+- ``tune``     — derive blocking parameters for the (or a scaled) machine;
+- ``validate`` — diff a real run's counters against the analytic accounting;
+- ``storm``    — a quick reliability campaign at a physical error rate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_bench(args) -> int:
+    from repro.bench.__main__ import main as bench_main
+
+    forward: list[str] = []
+    for figure in args.figure or []:
+        forward += ["--figure", figure]
+    if args.validate:
+        forward.append("--validate")
+    forward += ["--out", args.out]
+    return bench_main(forward)
+
+
+def _cmd_inject(args) -> int:
+    from repro.core.config import FTGemmConfig
+    from repro.core.ftgemm import FTGemm
+    from repro.core.parallel import ParallelFTGemm
+    from repro.faults.campaign import (
+        plan_for_gemm,
+        site_invocation_counts_parallel,
+    )
+    from repro.faults.injector import FaultInjector
+    from repro.gemm.blocking import BlockingConfig
+
+    config = FTGemmConfig(
+        blocking=BlockingConfig.small(mr=8, nr=6),
+        checksum_scheme=args.scheme,
+    )
+    rng = np.random.default_rng(args.seed)
+    n = args.size
+    a = rng.standard_normal((n, n))
+    b = rng.standard_normal((n, n))
+    counts = None
+    if args.threads > 1:
+        driver = ParallelFTGemm(config, n_threads=args.threads)
+        counts = site_invocation_counts_parallel(
+            n, n, n, config.blocking, args.threads
+        )
+    else:
+        driver = FTGemm(config)
+    plan = plan_for_gemm(
+        n, n, n, config.blocking, args.errors, seed=args.seed, counts=counts
+    )
+    injector = FaultInjector(plan)
+    result = driver.gemm(a, b, injector=injector)
+    expected = a @ b
+    err = float(np.abs(result.c - expected).max())
+    print(f"matrix {n}x{n}x{n}, scheme={args.scheme}, threads={args.threads}")
+    print(f"injected : {injector.n_injected} faults ({injector.summary()})")
+    print(f"verified : {result.verified}")
+    print(
+        f"repairs  : {result.corrected} corrected in place, "
+        f"{result.recomputed_blocks} lines recomputed, "
+        f"{len(result.reports)} verification rounds"
+    )
+    print(f"max |error| vs oracle: {err:.3e}")
+    return 0 if result.verified and err < 1e-8 else 1
+
+
+def _cmd_tune(args) -> int:
+    from repro.gemm.tuning import blocking_footprints, tune_blocking, tune_micro_tile
+    from repro.simcpu.machine import MachineSpec
+    from repro.util.formatting import format_bytes
+
+    machine = MachineSpec.cascade_lake_w2255()
+    if args.l2_kib or args.l3_mib:
+        caches = list(machine.caches)
+        if args.l2_kib:
+            old = machine.cache(2)
+            caches[1] = type(old)(2, args.l2_kib * 1024, old.line_bytes,
+                                  old.associativity, old.latency_cycles,
+                                  old.bandwidth_bytes_per_cycle, old.shared)
+        if args.l3_mib:
+            old = machine.last_level
+            caches[2] = type(old)(3, args.l3_mib * 1024 * 1024, old.line_bytes,
+                                  old.associativity, old.latency_cycles,
+                                  old.bandwidth_bytes_per_cycle, old.shared)
+        machine = machine.with_(caches=tuple(caches))
+    tile = tune_micro_tile(machine)
+    cfg = tune_blocking(machine)
+    print(f"machine    : {machine.name}")
+    print(f"micro tile : {tile.mr} x {tile.nr} ({tile.accumulators} accumulators)")
+    print(f"blocking   : MC={cfg.mc} KC={cfg.kc} NC={cfg.nc}")
+    for name, size in blocking_footprints(cfg).items():
+        print(f"  {name:10s} {format_bytes(size)}")
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from repro.core.config import FTGemmConfig
+    from repro.gemm.blocking import BlockingConfig
+    from repro.perfmodel.validate import validate_run
+
+    config = FTGemmConfig(
+        blocking=BlockingConfig.small(), checksum_scheme=args.scheme
+    )
+    report = validate_run(args.size, args.size, args.size, config, beta=args.beta)
+    print(report)
+    print("counters", "MATCH" if report.ok else "MISMATCH")
+    return 0 if report.ok else 1
+
+
+def _cmd_storm(args) -> int:
+    from repro.bench.figures import reliability_table
+
+    fig = reliability_table(
+        rates_per_minute=tuple(args.rate), n=args.size, runs=args.runs
+    )
+    print(fig.to_table())
+    ok = all(v == 100.0 for v in fig.series["correct %"])
+    return 0 if ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="FT-GEMM reproduction command line",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("bench", help="regenerate the paper's figures")
+    p.add_argument("--figure", action="append")
+    p.add_argument("--validate", action="store_true")
+    p.add_argument("--out", default="results")
+    p.set_defaults(fn=_cmd_bench)
+
+    p = sub.add_parser("inject", help="one protected GEMM under faults")
+    p.add_argument("--size", type=int, default=160)
+    p.add_argument("--errors", type=int, default=5)
+    p.add_argument("--threads", type=int, default=1)
+    p.add_argument("--scheme", choices=("dual", "weighted"), default="dual")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_inject)
+
+    p = sub.add_parser("tune", help="derive blocking parameters")
+    p.add_argument("--l2-kib", type=int, default=None)
+    p.add_argument("--l3-mib", type=int, default=None)
+    p.set_defaults(fn=_cmd_tune)
+
+    p = sub.add_parser("validate", help="counters vs analytic accounting")
+    p.add_argument("--size", type=int, default=32)
+    p.add_argument("--beta", type=float, default=0.0)
+    p.add_argument("--scheme", choices=("dual", "weighted"), default="dual")
+    p.set_defaults(fn=_cmd_validate)
+
+    p = sub.add_parser("storm", help="reliability campaign at physical rates")
+    p.add_argument("--rate", type=float, action="append",
+                   default=None, help="errors/minute (repeatable)")
+    p.add_argument("--size", type=int, default=128)
+    p.add_argument("--runs", type=int, default=3)
+    p.set_defaults(fn=_cmd_storm)
+
+    args = parser.parse_args(argv)
+    if args.command == "storm" and args.rate is None:
+        args.rate = [0, 120, 360, 600]
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

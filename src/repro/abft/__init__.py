@@ -1,0 +1,51 @@
+"""Algorithm-based fault tolerance (ABFT) mathematics.
+
+The checksum algebra of Huang & Abraham (1984) that FT-GEMM builds on:
+
+- :mod:`repro.abft.checksum` — row/column/weighted checksum encodings;
+- :mod:`repro.abft.tolerance` — the floating-point round-off envelopes that
+  separate soft errors from legitimate rounding in checksum residuals;
+- :mod:`repro.abft.huang_abraham` — the classic offline full-checksum GEMM
+  (encode, multiply, verify), kept as the textbook baseline;
+- :mod:`repro.abft.locate` — residual analysis: which rows/columns disagree;
+- :mod:`repro.abft.correct` — single- and multi-error correction on C plus
+  the consistency checks that decide when to fall back to recomputation.
+"""
+
+from repro.abft.checksum import (
+    row_checksum,
+    col_checksum,
+    weighted_row_checksum,
+    weighted_col_checksum,
+    encode_full,
+)
+from repro.abft.tolerance import (
+    ToleranceConfig,
+    roundoff_bound_rows,
+    roundoff_bound_cols,
+    residual_tolerances,
+)
+from repro.abft.huang_abraham import ChecksumGemm, ChecksumVerdict
+from repro.abft.locate import ResidualPattern, locate
+from repro.abft.correct import CorrectionOutcome, correct_from_residuals
+from repro.abft.weighted import WeightedResolution, resolve_weighted
+
+__all__ = [
+    "row_checksum",
+    "col_checksum",
+    "weighted_row_checksum",
+    "weighted_col_checksum",
+    "encode_full",
+    "ToleranceConfig",
+    "roundoff_bound_rows",
+    "roundoff_bound_cols",
+    "residual_tolerances",
+    "ChecksumGemm",
+    "ChecksumVerdict",
+    "ResidualPattern",
+    "locate",
+    "CorrectionOutcome",
+    "correct_from_residuals",
+    "WeightedResolution",
+    "resolve_weighted",
+]

@@ -1,0 +1,84 @@
+"""Checksum encodings.
+
+Conventions follow the paper's notation:
+
+- the **row checksum** of a matrix ``X`` is ``X^r = eᵀX`` — a row vector of
+  column sums (length = number of columns);
+- the **column checksum** is ``X^c = X·e`` — a column vector of row sums
+  (length = number of rows).
+
+The algebra FT-GEMM exploits: for ``C = A·B``,
+``C^r = eᵀ(AB) = (eᵀA)B = A^r·B`` and ``C^c = (AB)e = A·(Be) = A·B^c``,
+so checksums of the *output* can be predicted from cheap vector products on
+the *inputs* and later compared against checksums of the computed output.
+
+Weighted checksums (weights ``1, 2, 3, …``) additionally encode *position*:
+the ratio of a weighted to a plain residual reveals the erroneous index,
+which is how a corrupted element inside a checksum-protected vector can be
+localized without a second dimension.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import ShapeError
+
+
+def _require_2d(x: np.ndarray, name: str) -> None:
+    if x.ndim != 2:
+        raise ShapeError(f"{name} must be 2-D, got shape {x.shape}")
+
+
+def row_checksum(x: np.ndarray) -> np.ndarray:
+    """``eᵀX``: sums over rows, one entry per column."""
+    _require_2d(x, "X")
+    return x.sum(axis=0)
+
+
+def col_checksum(x: np.ndarray) -> np.ndarray:
+    """``X·e``: sums over columns, one entry per row."""
+    _require_2d(x, "X")
+    return x.sum(axis=1)
+
+
+def weights(n: int) -> np.ndarray:
+    """The weight vector ``(1, 2, …, n)`` used by weighted checksums."""
+    if n <= 0:
+        raise ShapeError(f"weight vector length must be positive, got {n}")
+    return np.arange(1.0, n + 1.0)
+
+
+def weighted_row_checksum(x: np.ndarray) -> np.ndarray:
+    """``wᵀX`` with ``w = (1, …, m)``: weighted sums over rows."""
+    _require_2d(x, "X")
+    return weights(x.shape[0]) @ x
+
+
+def weighted_col_checksum(x: np.ndarray) -> np.ndarray:
+    """``X·w`` with ``w = (1, …, n)``: weighted sums over columns."""
+    _require_2d(x, "X")
+    return x @ weights(x.shape[1])
+
+
+def encode_full(x: np.ndarray) -> np.ndarray:
+    """Huang–Abraham full-checksum form: append ``X^r`` as an extra row and
+    ``X^c`` as an extra column (corner = grand total)."""
+    _require_2d(x, "X")
+    m, n = x.shape
+    out = np.empty((m + 1, n + 1), dtype=np.float64)
+    out[:m, :n] = x
+    out[m, :n] = row_checksum(x)
+    out[:m, n] = col_checksum(x)
+    out[m, n] = x.sum()
+    return out
+
+
+def strip_full(encoded: np.ndarray) -> np.ndarray:
+    """Drop the checksum row/column of :func:`encode_full` (view)."""
+    _require_2d(encoded, "encoded")
+    if encoded.shape[0] < 2 or encoded.shape[1] < 2:
+        raise ShapeError(
+            f"encoded matrix too small to strip: shape {encoded.shape}"
+        )
+    return encoded[:-1, :-1]

@@ -1,0 +1,145 @@
+"""Error correction from checksum residuals.
+
+Correction policy (matches FT-BLAS practice, made explicit):
+
+- **single** flagged (row, col): the two residual deltas must agree within
+  tolerance — then ``C[i, j]`` is repaired by subtracting the delta;
+- **multi**: pairs are matched by delta consistency, but only pairs whose
+  match is *unambiguous* are corrected. Ambiguity is real: two errors with
+  identical deltas at (i1,j1) and (i2,j2) produce residual patterns that a
+  transposed assignment also explains, and "correcting" the wrong cells
+  would silently validate a wrong C. Unique pairs are peeled iteratively;
+  whatever remains is reported for recomputation;
+- **rows_only / cols_only**: a one-sided residual cannot come from a
+  corrupted C element (those always hit both checksums) — it means a
+  checksum itself was corrupted. C is left untouched and the caller
+  re-derives the checksum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.abft.locate import (
+    CLEAN,
+    COLS_ONLY,
+    MULTI,
+    ROWS_ONLY,
+    SINGLE,
+    ResidualPattern,
+)
+from repro.util.errors import ShapeError
+
+
+@dataclass
+class CorrectionOutcome:
+    """What the corrector did and what is left for the caller.
+
+    ``corrected`` holds ``(i, j, delta)`` triples already applied to C;
+    ``recompute_rows``/``recompute_cols`` are indices whose intersection
+    cells could not be attributed unambiguously; ``checksum_suspect`` marks
+    one-sided patterns where the checksum, not C, is corrupt.
+    """
+
+    corrected: list[tuple[int, int, float]] = field(default_factory=list)
+    recompute_rows: list[int] = field(default_factory=list)
+    recompute_cols: list[int] = field(default_factory=list)
+    checksum_suspect: bool = False
+    pattern_kind: str = CLEAN
+
+    @property
+    def fully_resolved(self) -> bool:
+        return not self.recompute_rows and not self.recompute_cols
+
+    @property
+    def n_corrected(self) -> int:
+        return len(self.corrected)
+
+
+def _as_tol_array(tol, size: int) -> np.ndarray:
+    arr = np.asarray(tol, dtype=np.float64)
+    if arr.ndim == 0:
+        return np.full(size, float(arr))
+    if arr.shape != (size,):
+        raise ShapeError(f"tolerance must be scalar or length {size}, got {arr.shape}")
+    return arr
+
+
+def correct_from_residuals(
+    c: np.ndarray,
+    pattern: ResidualPattern,
+    tol_rows,
+    tol_cols,
+) -> CorrectionOutcome:
+    """Apply corrections to ``c`` in place; returns the outcome report.
+
+    ``tol_rows`` indexes by column (it tolerances the row-checksum residual,
+    length N) and ``tol_cols`` by row (length M) — same convention as
+    :func:`repro.abft.locate.locate`.
+    """
+    outcome = CorrectionOutcome(pattern_kind=pattern.kind)
+    if pattern.kind == CLEAN:
+        return outcome
+    if pattern.kind in (ROWS_ONLY, COLS_ONLY):
+        outcome.checksum_suspect = True
+        return outcome
+
+    m, n = c.shape
+    tol_r = _as_tol_array(tol_rows, n)
+    tol_c = _as_tol_array(tol_cols, m)
+
+    if pattern.kind == SINGLE:
+        i = int(pattern.rows[0])
+        j = int(pattern.cols[0])
+        d_row = float(pattern.col_flag_deltas[0])
+        d_col = float(pattern.row_flag_deltas[0])
+        if abs(d_row - d_col) <= tol_c[i] + tol_r[j]:
+            delta = 0.5 * (d_row + d_col)
+            c[i, j] -= delta
+            outcome.corrected.append((i, j, delta))
+        else:
+            # inconsistent deltas: at least two errors sharing a line
+            outcome.recompute_rows.append(i)
+            outcome.recompute_cols.append(j)
+        return outcome
+
+    assert pattern.kind == MULTI
+    rows = [int(r) for r in pattern.rows]
+    cols = [int(cpos) for cpos in pattern.cols]
+    d_rows = {i: float(d) for i, d in zip(rows, pattern.col_flag_deltas)}
+    d_cols = {j: float(d) for j, d in zip(cols, pattern.row_flag_deltas)}
+
+    # compatibility: the deltas of a true (i, j) error agree within round-off
+    compat: dict[int, set[int]] = {
+        i: {
+            j
+            for j in cols
+            if abs(d_rows[i] - d_cols[j]) <= tol_c[i] + tol_r[j]
+        }
+        for i in rows
+    }
+    rcompat: dict[int, set[int]] = {
+        j: {i for i in rows if j in compat[i]} for j in cols
+    }
+
+    live_rows = set(rows)
+    live_cols = set(cols)
+    progress = True
+    while progress:
+        progress = False
+        for i in sorted(live_rows):
+            options = compat[i] & live_cols
+            if len(options) == 1:
+                j = next(iter(options))
+                if len(rcompat[j] & live_rows) == 1:
+                    delta = 0.5 * (d_rows[i] + d_cols[j])
+                    c[i, j] -= delta
+                    outcome.corrected.append((i, j, delta))
+                    live_rows.discard(i)
+                    live_cols.discard(j)
+                    progress = True
+    outcome.recompute_rows = sorted(live_rows)
+    outcome.recompute_cols = sorted(live_cols)
+    return outcome

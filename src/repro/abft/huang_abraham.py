@@ -1,0 +1,126 @@
+"""The classic Huang–Abraham full-checksum GEMM (1984).
+
+The textbook offline ABFT scheme the paper's reference [4] descends from:
+encode ``A`` with an appended column-checksum row and ``B`` with an appended
+row-checksum column; then the product of the encoded matrices is the *full
+checksum* form of ``C`` — its last row/column must equal the checksums of
+its body. Verification and single-error correction fall out of the algebra.
+
+This is retained (a) as the reference semantics the fused FT-GEMM must agree
+with and (b) as the correctness engine of the *non-fused* baseline
+(:mod:`repro.baselines.traditional_abft`), whose extra memory passes are
+exactly what the paper's fusion eliminates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.abft.checksum import col_checksum, row_checksum
+from repro.abft.correct import CorrectionOutcome, correct_from_residuals
+from repro.abft.locate import ResidualPattern, locate
+from repro.abft.tolerance import ToleranceConfig, residual_tolerances
+from repro.util.validation import as_2d_float64, check_gemm_operands
+
+GemmFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+@dataclass
+class ChecksumVerdict:
+    """Result of one encode-multiply-verify cycle."""
+
+    c: np.ndarray
+    pattern: ResidualPattern
+    outcome: CorrectionOutcome
+    row_residual: np.ndarray
+    col_residual: np.ndarray
+
+    @property
+    def clean(self) -> bool:
+        return self.pattern.kind == "clean"
+
+    @property
+    def corrected(self) -> bool:
+        return self.outcome.n_corrected > 0 and self.outcome.fully_resolved
+
+
+class ChecksumGemm:
+    """Offline full-checksum GEMM: encode → multiply → verify → correct.
+
+    ``gemm_fn`` computes the raw product of the *encoded* operands; the
+    default is the NumPy oracle, and tests substitute fault-injecting
+    wrappers to exercise detection. Unlike FT-GEMM this scheme makes three
+    separate passes (encode A, encode B, verify C) — the memory cost the
+    paper's fusion removes.
+    """
+
+    def __init__(
+        self,
+        gemm_fn: GemmFn | None = None,
+        tolerance: ToleranceConfig | None = None,
+    ):
+        self.gemm_fn = gemm_fn or (lambda a, b: a @ b)
+        self.tolerance = tolerance or ToleranceConfig()
+
+    def encode_a(self, a: np.ndarray) -> np.ndarray:
+        """Append the column-checksum row: ``(m+1) x k``."""
+        a = as_2d_float64(a, "A")
+        return np.vstack([a, row_checksum(a)])
+
+    def encode_b(self, b: np.ndarray) -> np.ndarray:
+        """Append the row-checksum column: ``k x (n+1)``."""
+        b = as_2d_float64(b, "B")
+        return np.hstack([b, col_checksum(b)[:, None]])
+
+    def run(self, a: np.ndarray, b: np.ndarray, *, correct: bool = True) -> ChecksumVerdict:
+        """One protected product ``C = A @ B``.
+
+        Returns the (possibly corrected) ``m x n`` body of the full-checksum
+        product along with the verification evidence.
+        """
+        a = as_2d_float64(a, "A")
+        b = as_2d_float64(b, "B")
+        m, n, _ = check_gemm_operands(a, b)
+        full = self.gemm_fn(self.encode_a(a), self.encode_b(b))
+        if full.shape != (m + 1, n + 1):
+            raise ValueError(
+                f"gemm_fn returned shape {full.shape}, expected {(m + 1, n + 1)}"
+            )
+        c = np.ascontiguousarray(full[:m, :n])
+        verdict = self.verify(a, b, c, full[m, :n], full[:m, n], correct=correct)
+        return verdict
+
+    def verify(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        c: np.ndarray,
+        row_sum_predicted: np.ndarray,
+        col_sum_predicted: np.ndarray,
+        *,
+        correct: bool = True,
+    ) -> ChecksumVerdict:
+        """Compare C's actual checksums against the predicted ones.
+
+        The predicted sums are the checksum row/column that the encoded
+        product carried (``A^r·B`` and ``A·B^c`` computed *by the same
+        kernel* as C itself, which is what makes kernel faults visible).
+        """
+        row_res = row_checksum(c) - row_sum_predicted
+        col_res = col_checksum(c) - col_sum_predicted
+        tol_rows, tol_cols = residual_tolerances(a, b, config=self.tolerance)
+        pattern = locate(row_res, col_res, tol_rows, tol_cols)
+        if correct:
+            outcome = correct_from_residuals(c, pattern, tol_rows, tol_cols)
+        else:
+            outcome = CorrectionOutcome(pattern_kind=pattern.kind)
+        return ChecksumVerdict(
+            c=c,
+            pattern=pattern,
+            outcome=outcome,
+            row_residual=row_res,
+            col_residual=col_res,
+        )

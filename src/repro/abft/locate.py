@@ -1,0 +1,119 @@
+"""Residual analysis: turning checksum mismatches into error locations.
+
+After a GEMM, the verifier holds two residual vectors:
+
+- ``row_residual = C^r_ref − C^r_pred`` (length N): column ``j`` is flagged
+  when ``|row_residual[j]|`` exceeds its tolerance;
+- ``col_residual = C^c_ref − C^c_pred`` (length M): row ``i`` likewise.
+
+A single corrupted element ``C[i, j] += δ`` flags exactly row ``i`` and
+column ``j`` with matching deltas — the intersection localizes it. More
+complex patterns (multiple errors, errors in the checksums themselves) are
+classified here and resolved by :mod:`repro.abft.correct`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.errors import ShapeError
+
+#: classification labels
+CLEAN = "clean"
+SINGLE = "single"
+MULTI = "multi"
+ROWS_ONLY = "rows_only"
+COLS_ONLY = "cols_only"
+
+
+@dataclass(frozen=True)
+class ResidualPattern:
+    """The flagged rows/columns of one verification and their deltas.
+
+    ``rows``/``cols`` are sorted index arrays; ``row_deltas[t]`` is the
+    residual at ``cols[t]`` — note the naming follows the *residual vector*
+    each entry came from: ``col_flag_deltas`` aligns with ``rows`` (they came
+    from the column-checksum residual) and ``row_flag_deltas`` with ``cols``.
+    """
+
+    rows: np.ndarray
+    cols: np.ndarray
+    col_flag_deltas: np.ndarray  # residual values at the flagged rows
+    row_flag_deltas: np.ndarray  # residual values at the flagged columns
+
+    def __post_init__(self) -> None:
+        if self.rows.shape != self.col_flag_deltas.shape:
+            raise ShapeError("rows and their deltas must align")
+        if self.cols.shape != self.row_flag_deltas.shape:
+            raise ShapeError("cols and their deltas must align")
+
+    @property
+    def n_rows(self) -> int:
+        return int(self.rows.size)
+
+    @property
+    def n_cols(self) -> int:
+        return int(self.cols.size)
+
+    @property
+    def kind(self) -> str:
+        """One of ``clean``/``single``/``multi``/``rows_only``/``cols_only``.
+
+        ``rows_only``/``cols_only`` — a residual on one side without any
+        counterpart on the other — cannot be a corrupted C element (that
+        always hits both sides); it indicates a corrupted *checksum* and is
+        handled by recomputing the checksum, not by touching C.
+        """
+        if self.n_rows == 0 and self.n_cols == 0:
+            return CLEAN
+        if self.n_rows == 0:
+            return COLS_ONLY
+        if self.n_cols == 0:
+            return ROWS_ONLY
+        if self.n_rows == 1 and self.n_cols == 1:
+            return SINGLE
+        return MULTI
+
+    def delta_for_row(self, i: int) -> float:
+        idx = np.searchsorted(self.rows, i)
+        if idx >= self.rows.size or self.rows[idx] != i:
+            raise KeyError(f"row {i} is not flagged")
+        return float(self.col_flag_deltas[idx])
+
+    def delta_for_col(self, j: int) -> float:
+        idx = np.searchsorted(self.cols, j)
+        if idx >= self.cols.size or self.cols[idx] != j:
+            raise KeyError(f"column {j} is not flagged")
+        return float(self.row_flag_deltas[idx])
+
+
+def locate(
+    row_residual: np.ndarray,
+    col_residual: np.ndarray,
+    tol_rows: np.ndarray | float,
+    tol_cols: np.ndarray | float,
+) -> ResidualPattern:
+    """Threshold the residuals and collect the flagged pattern.
+
+    ``row_residual`` has length N (flags columns), ``col_residual`` length M
+    (flags rows); tolerances may be per-entry vectors or scalars.
+    """
+    row_residual = np.asarray(row_residual, dtype=np.float64)
+    col_residual = np.asarray(col_residual, dtype=np.float64)
+    if row_residual.ndim != 1 or col_residual.ndim != 1:
+        raise ShapeError("residuals must be 1-D vectors")
+    # non-finite residuals are always faults: a NaN never compares greater
+    # than the tolerance, yet a NaN in C (e.g. an exponent bit flip that
+    # produced inf - inf) is exactly what must be caught here
+    col_mask = (np.abs(row_residual) > tol_rows) | ~np.isfinite(row_residual)
+    row_mask = (np.abs(col_residual) > tol_cols) | ~np.isfinite(col_residual)
+    rows = np.flatnonzero(row_mask)
+    cols = np.flatnonzero(col_mask)
+    return ResidualPattern(
+        rows=rows,
+        cols=cols,
+        col_flag_deltas=col_residual[rows],
+        row_flag_deltas=row_residual[cols],
+    )

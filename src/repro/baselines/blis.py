@@ -1,0 +1,20 @@
+"""BLIS 0.8.0 (modeled).
+
+The weakest baseline in both of the paper's sweeps: FT-GEMM with fault
+tolerance is 16.97 % faster in the parallel comparison (16.83 % under
+injection) and >21 % faster serially. The calibrated curve lives in
+:mod:`repro.baselines.profiles`.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.library import BlasLibrary
+from repro.baselines.profiles import PROFILES
+from repro.simcpu.machine import MachineSpec
+
+
+class BLIS(BlasLibrary):
+    """Modeled BLIS 0.8.0 DGEMM."""
+
+    def __init__(self, machine: MachineSpec | None = None):
+        super().__init__(PROFILES["BLIS"], machine)

@@ -1,0 +1,109 @@
+"""FT-GEMM exposed through the baseline-library interface.
+
+Adapters so the figure harness can iterate one list of "libraries": the
+numerics come from the real :class:`~repro.core.ftgemm.FTGemm` /
+:class:`~repro.core.parallel.ParallelFTGemm` drivers, the modeled testbed
+performance from :class:`~repro.perfmodel.gemm_model.GemmPerfModel` — so,
+unlike the baselines, FT-GEMM's curve is *derived* (kernel model + counted
+checksum work), not a calibrated profile.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import FTGemmConfig
+from repro.core.ftgemm import FTGemm
+from repro.core.parallel import ParallelFTGemm
+from repro.perfmodel.constants import ModelConstants
+from repro.perfmodel.gemm_model import GemmPerfModel
+from repro.simcpu.machine import MachineSpec
+from repro.util.errors import ConfigError
+
+
+class FTGemmLibrary:
+    """Our implementation, presented like a library for the harness.
+
+    ``variant``: ``"ori"`` (no fault tolerance) or ``"ft"`` (fused ABFT).
+    ``threads > 1`` switches both the real driver (simulated team) and the
+    performance model to the parallel scheme.
+    """
+
+    def __init__(
+        self,
+        variant: str = "ft",
+        *,
+        threads: int = 1,
+        machine: MachineSpec | None = None,
+        config: FTGemmConfig | None = None,
+        constants: ModelConstants | None = None,
+    ):
+        if variant not in ("ori", "ft"):
+            raise ConfigError(f"variant must be 'ori' or 'ft', got {variant!r}")
+        self.variant = variant
+        self.threads = threads
+        self.machine = machine or MachineSpec.cascade_lake_w2255()
+        if config is None:
+            config = FTGemmConfig() if variant == "ft" else FTGemmConfig.unprotected()
+        elif config.enable_ft != (variant == "ft"):
+            raise ConfigError(
+                f"config.enable_ft={config.enable_ft} conflicts with "
+                f"variant={variant!r}"
+            )
+        self.config = config
+        self.model = GemmPerfModel(
+            self.machine,
+            config.blocking,
+            mode=variant if variant == "ori" else "ft",
+            threads=threads,
+            constants=constants,
+        )
+        if threads == 1:
+            self._driver = FTGemm(config)
+        else:
+            self._driver = ParallelFTGemm(config, n_threads=threads)
+
+    @property
+    def name(self) -> str:
+        label = "FT-GEMM: Ori" if self.variant == "ori" else "FT-GEMM w/ FT"
+        return label if self.threads == 1 else f"{label} ({self.threads}t)"
+
+    # ---------------------------------------------------------- computation
+    def gemm(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        c: np.ndarray | None = None,
+        *,
+        alpha: float = 1.0,
+        beta: float = 0.0,
+        injector=None,
+    ) -> np.ndarray:
+        result = self._driver.gemm(
+            a, b, c, alpha=alpha, beta=beta, injector=injector
+        )
+        return result.c
+
+    def gemm_result(self, a, b, c=None, *, alpha=1.0, beta=0.0, injector=None):
+        """Full :class:`FTGemmResult` (detection/correction evidence)."""
+        return self._driver.gemm(a, b, c, alpha=alpha, beta=beta, injector=injector)
+
+    # ----------------------------------------------------------- performance
+    def modeled_gflops(
+        self, n: int, *, threads: int | None = None, injected_errors: int = 0
+    ) -> float:
+        if threads is not None and threads != self.threads:
+            raise ConfigError(
+                "thread count is fixed at construction for FTGemmLibrary"
+            )
+        return self.model.gflops(n, injected_errors=injected_errors)
+
+    def modeled_seconds(
+        self,
+        m: int,
+        n: int | None = None,
+        k: int | None = None,
+        *,
+        injected_errors: int = 0,
+    ) -> float:
+        return self.model.seconds(m, n, k, injected_errors=injected_errors)

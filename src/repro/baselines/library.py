@@ -1,0 +1,103 @@
+"""The common baseline-library interface.
+
+A :class:`BlasLibrary` answers two questions:
+
+- *what would it compute?* — :meth:`gemm` (a trusted NumPy product; the
+  baselines carry no fault tolerance, so under injection their results are
+  simply wrong, which the error-injection benchmarks demonstrate);
+- *how fast would it run on the paper's testbed?* — :meth:`modeled_gflops`
+  / :meth:`modeled_seconds` from its calibrated efficiency profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.profiles import EfficiencyProfile
+from repro.simcpu.machine import MachineSpec
+from repro.util.errors import ConfigError
+from repro.util.validation import as_2d_float64, check_gemm_operands
+
+
+@dataclass(frozen=True)
+class LibraryPerf:
+    """One modeled performance sample."""
+
+    library: str
+    n: int
+    threads: int
+    gflops: float
+    seconds: float
+
+
+class BlasLibrary:
+    """A modeled baseline BLAS library."""
+
+    def __init__(
+        self,
+        profile: EfficiencyProfile,
+        machine: MachineSpec | None = None,
+    ):
+        self.profile = profile
+        self.machine = machine or MachineSpec.cascade_lake_w2255()
+
+    @property
+    def name(self) -> str:
+        return self.profile.name
+
+    # ---------------------------------------------------------- computation
+    def gemm(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        c: np.ndarray | None = None,
+        *,
+        alpha: float = 1.0,
+        beta: float = 0.0,
+        injector=None,
+    ) -> np.ndarray:
+        """Compute the product; faults (if any) silently corrupt the result.
+
+        The injector's ``microkernel`` site is honoured on the output —
+        baselines have no packing structure to instrument and, crucially,
+        no detection: this is the unprotected comparison point of the
+        paper's Fig. 2(c)/(d).
+        """
+        a = as_2d_float64(a, "A")
+        b = as_2d_float64(b, "B")
+        if c is not None:
+            c = as_2d_float64(c, "C")
+        check_gemm_operands(a, b, c)
+        out = alpha * (a @ b)
+        if c is not None and beta != 0.0:
+            out += beta * c
+        if injector is not None:
+            injector.visit("microkernel", out)
+        return out
+
+    # ----------------------------------------------------------- performance
+    def modeled_gflops(self, n: int, *, threads: int = 1) -> float:
+        if threads > self.machine.cores:
+            raise ConfigError(
+                f"{threads} threads exceed {self.machine.cores} cores"
+            )
+        return self.profile.gflops(n, self.machine, threads=threads)
+
+    def modeled_seconds(
+        self, m: int, n: int | None = None, k: int | None = None, *, threads: int = 1
+    ) -> float:
+        n = m if n is None else n
+        k = m if k is None else k
+        return self.profile.seconds(m, n, k, self.machine, threads=threads)
+
+    def perf_sample(self, n: int, *, threads: int = 1) -> LibraryPerf:
+        gf = self.modeled_gflops(n, threads=threads)
+        return LibraryPerf(
+            library=self.name,
+            n=n,
+            threads=threads,
+            gflops=gf,
+            seconds=2.0 * n**3 / (gf * 1e9),
+        )

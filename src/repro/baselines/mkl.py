@@ -1,0 +1,21 @@
+"""Intel oneMKL 2020.2 (modeled).
+
+The closed-source reference point of the paper's evaluation: the strongest
+baseline — within a few percent of FT-GEMM serially (the paper's Ori is
+3.33 %+ faster), and slightly *ahead* of FT-GEMM with fault tolerance in
+the parallel sweep ("slightly underperforming the close-sourced Intel
+MKL"). The calibrated curve lives in :mod:`repro.baselines.profiles`.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.library import BlasLibrary
+from repro.baselines.profiles import PROFILES
+from repro.simcpu.machine import MachineSpec
+
+
+class MKL(BlasLibrary):
+    """Modeled Intel oneMKL 2020.2 DGEMM."""
+
+    def __init__(self, machine: MachineSpec | None = None):
+        super().__init__(PROFILES["MKL"], machine)

@@ -1,0 +1,20 @@
+"""OpenBLAS 0.3.13 (modeled).
+
+In the paper's serial measurements OpenBLAS trails FT-GEMM by the largest
+margin of the three baselines (Fig. 2(c): FT-GEMM +22.89 % even under
+injection); in the parallel sweep it is "comparable" to FT-GEMM with fault
+tolerance. The calibrated curve lives in :mod:`repro.baselines.profiles`.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.library import BlasLibrary
+from repro.baselines.profiles import PROFILES
+from repro.simcpu.machine import MachineSpec
+
+
+class OpenBLAS(BlasLibrary):
+    """Modeled OpenBLAS 0.3.13 DGEMM."""
+
+    def __init__(self, machine: MachineSpec | None = None):
+        super().__init__(PROFILES["OpenBLAS"], machine)

@@ -1,0 +1,129 @@
+"""Calibrated efficiency profiles of the baseline BLAS libraries.
+
+A profile maps problem size → fraction of machine peak, separately for
+serial and 10-thread execution:
+
+``eff(n) = eff_inf + (eff_ref − eff_inf) · (n_ref / n) ** shape``
+
+(``n_ref`` = 2048 serial / 512 parallel — the smallest sizes of the paper's
+sweeps). This two-point form captures both libraries that ramp up with size
+and libraries that peak early and decay (TLB pressure at huge n).
+
+Calibration constraints (from the poster's reported numbers):
+
+========= ===========================================================
+library   constraint reproduced
+========= ===========================================================
+MKL       serial: FT-GEMM Ori faster by ~3.3 % at 2048 growing to
+          ~7 % (poster: 3.33 %–22.19 % across libraries, MKL at the
+          low end; Fig 2(c): FT still +4.98 % vs MKL);
+          parallel: FT-GEMM w/ FT "slightly underperforming MKL"
+          (avg ratio ≈ 0.99)
+OpenBLAS  serial: ≈21–23 % behind FT-GEMM Ori (the high end of the
+          3.33–22.19 % range; Fig 2(c): FT +22.89 %);
+          parallel: "comparable to OpenBLAS" (avg ratio ≈ 1.00)
+BLIS      serial: ≈21–22 % behind (Fig 2(c): FT +21.56 %);
+          parallel: FT +16.97 % (Fig 2(b)), +16.83 % under
+          injection (Fig 2(d))
+========= ===========================================================
+
+The numbers below were fit against the analytic model of
+:mod:`repro.perfmodel` for FT-GEMM itself; the calibration test suite
+(``tests/test_calibration.py``) asserts every constraint with explicit
+tolerance bands, so any drift in either side is caught.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simcpu.machine import MachineSpec
+from repro.util.errors import ConfigError
+
+SERIAL_REF_N = 2048
+PARALLEL_REF_N = 512
+
+
+@dataclass(frozen=True)
+class EfficiencyProfile:
+    """Size-dependent efficiency curve of one library."""
+
+    name: str
+    serial_eff_ref: float
+    serial_eff_inf: float
+    parallel_eff_ref: float
+    parallel_eff_inf: float
+    serial_shape: float = 1.0
+    parallel_shape: float = 1.0
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "serial_eff_ref",
+            "serial_eff_inf",
+            "parallel_eff_ref",
+            "parallel_eff_inf",
+        ):
+            value = getattr(self, field_name)
+            if not 0.0 < value <= 1.0:
+                raise ConfigError(f"{self.name}: {field_name}={value} not in (0, 1]")
+        if self.serial_shape <= 0 or self.parallel_shape <= 0:
+            raise ConfigError(f"{self.name}: shapes must be positive")
+
+    def efficiency(self, n: int, *, threads: int = 1) -> float:
+        """Fraction of peak at square size ``n``."""
+        if n <= 0:
+            raise ConfigError(f"n must be positive, got {n}")
+        if threads == 1:
+            ref, inf_, shape, n_ref = (
+                self.serial_eff_ref,
+                self.serial_eff_inf,
+                self.serial_shape,
+                SERIAL_REF_N,
+            )
+        else:
+            ref, inf_, shape, n_ref = (
+                self.parallel_eff_ref,
+                self.parallel_eff_inf,
+                self.parallel_shape,
+                PARALLEL_REF_N,
+            )
+        # below the reference size the curve keeps following the same law,
+        # clamped to physically meaningful efficiencies (no library exceeds
+        # ~98% of peak or collapses entirely)
+        eff = inf_ + (ref - inf_) * (n_ref / n) ** shape
+        return min(max(eff, 0.05), 0.98)
+
+    def gflops(self, n: int, machine: MachineSpec, *, threads: int = 1) -> float:
+        return self.efficiency(n, threads=threads) * machine.peak_gflops(threads)
+
+    def seconds(self, m: int, n: int, k: int, machine: MachineSpec, *, threads: int = 1) -> float:
+        """Duration of an m×n×k call, rated at the geometric-mean size."""
+        size = round((m * n * k) ** (1.0 / 3.0))
+        rate = self.gflops(max(size, 1), machine, threads=threads)
+        return 2.0 * m * n * k / (rate * 1e9)
+
+
+#: the calibrated comparison set
+PROFILES: dict[str, EfficiencyProfile] = {
+    "MKL": EfficiencyProfile(
+        name="MKL",
+        serial_eff_ref=0.885,
+        serial_eff_inf=0.838,
+        parallel_eff_ref=0.660,
+        parallel_eff_inf=0.920,
+    ),
+    "OpenBLAS": EfficiencyProfile(
+        name="OpenBLAS",
+        serial_eff_ref=0.745,
+        serial_eff_inf=0.745,
+        parallel_eff_ref=0.660,
+        parallel_eff_inf=0.905,
+    ),
+    "BLIS": EfficiencyProfile(
+        name="BLIS",
+        serial_eff_ref=0.750,
+        serial_eff_inf=0.750,
+        parallel_eff_ref=0.560,
+        parallel_eff_inf=0.775,
+    ),
+}

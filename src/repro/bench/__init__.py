@@ -1,0 +1,49 @@
+"""Benchmark harness: regenerates every figure of the paper's evaluation.
+
+- :mod:`repro.bench.workloads` — matrix/workload generators (the paper uses
+  dense square DGEMM sweeps; extra distributions exercise the tolerance
+  theory);
+- :mod:`repro.bench.figures` — one builder per panel of the paper's
+  Figure 2 plus the in-text claims (overhead table, reliability table);
+- :mod:`repro.bench.reporting` — text-table rendering and result files;
+- :mod:`repro.bench.harness` — the experiment runner and the
+  ``python -m repro.bench`` CLI.
+"""
+
+from repro.bench.workloads import (
+    Workload,
+    gaussian,
+    uniform,
+    ill_scaled,
+    adjacency,
+    WORKLOADS,
+)
+from repro.bench.figures import (
+    FigureSeries,
+    fig2a_serial,
+    fig2b_parallel,
+    fig2c_serial_injection,
+    fig2d_parallel_injection,
+    overhead_table,
+    reliability_table,
+    ALL_FIGURES,
+)
+from repro.bench.harness import ExperimentRunner
+
+__all__ = [
+    "Workload",
+    "gaussian",
+    "uniform",
+    "ill_scaled",
+    "adjacency",
+    "WORKLOADS",
+    "FigureSeries",
+    "fig2a_serial",
+    "fig2b_parallel",
+    "fig2c_serial_injection",
+    "fig2d_parallel_injection",
+    "overhead_table",
+    "reliability_table",
+    "ALL_FIGURES",
+    "ExperimentRunner",
+]

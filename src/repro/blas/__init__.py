@@ -1,0 +1,54 @@
+"""FT-BLAS substrate: protected Level-1/2/3 BLAS routines.
+
+The poster's system descends from FT-BLAS (reference [4]; Section 3 calls
+the implementation "our FT-BLAS"), which protects the whole BLAS:
+
+- **memory-bound** routines (all of Level 1, TRSV) with **DMR** — each
+  result is computed twice while the operands are register-resident and
+  compared before writeback; the duplicated arithmetic hides under the
+  memory traffic;
+- **compute-bound** routines (GEMM, and GEMV's O(mn) product) with **ABFT**
+  checksums.
+
+This package rebuilds that substrate:
+
+==============  =========  ==========================================
+routine         scheme     protects
+==============  =========  ==========================================
+``ft_dot``      DMR        the reduction result
+``ft_axpy``     DMR        every updated element of y
+``ft_scal``     DMR        every scaled element
+``ft_nrm2``     DMR        the norm (via protected dot)
+``ft_asum``     DMR        the absolute-value reduction
+``ft_copy``     checksum   the copied data (sum compare)
+``ft_gemv``     ABFT       y via predicted vs actual checksums, with
+                           weighted-checksum localization + correction
+``ft_trsv``     DMR        each solve step's substitution result
+``ft_syrk``     ABFT       routed through the fused FT-GEMM core
+==============  =========  ==========================================
+
+Every routine takes the same ``injector`` hook as the GEMM drivers (site
+``"blas_compute"``) and returns a :class:`BlasResult` carrying the repair
+evidence.
+"""
+
+from repro.blas.result import BlasResult
+from repro.blas.level1 import ft_axpy, ft_scal, ft_dot, ft_nrm2, ft_asum, ft_copy
+from repro.blas.level2 import ft_gemv, ft_trsv
+from repro.blas.level3 import ft_syrk
+from repro.blas.level3_solve import ft_ger, ft_trsm
+
+__all__ = [
+    "BlasResult",
+    "ft_dot",
+    "ft_axpy",
+    "ft_scal",
+    "ft_nrm2",
+    "ft_asum",
+    "ft_copy",
+    "ft_gemv",
+    "ft_trsv",
+    "ft_ger",
+    "ft_syrk",
+    "ft_trsm",
+]

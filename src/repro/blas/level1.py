@@ -1,0 +1,172 @@
+"""Protected Level-1 BLAS: DMR on memory-bound kernels.
+
+Level-1 routines move O(n) bytes for O(n) flops — deep in the bandwidth
+regime — so FT-BLAS protects them by *duplicating the arithmetic* while the
+operands sit in registers and comparing before writeback ("DMR"). The
+duplicate flops are free under the memory bottleneck; what is bought is
+that no silently-wrong value ever reaches memory.
+
+The fault window modeled here is between the first computation and the
+writeback: the injector corrupts the first copy (site ``"blas_compute"``),
+the recomputation from the still-live operands disagrees, and the
+recomputed value wins. A fault during the *load* would corrupt both copies
+identically — that window is DRAM/ECC territory, outside the paper's
+fail-continue compute-error model, and is documented rather than defended.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.blas.result import BlasResult
+from repro.util.errors import ShapeError
+
+
+def _as_vector(x, name: str) -> np.ndarray:
+    arr = np.asarray(x, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ShapeError(f"{name} must be a vector, got shape {arr.shape}")
+    return arr
+
+
+def _visit(injector, array: np.ndarray) -> None:
+    if injector is not None:
+        injector.visit("blas_compute", array)
+
+
+def _dmr_elementwise(first: np.ndarray, duplicate: np.ndarray, result: BlasResult) -> np.ndarray:
+    """Compare the two register copies; the duplicate repairs mismatches."""
+    mismatch = first != duplicate
+    # NaN != NaN is True, so a NaN injected into `first` is caught; a NaN
+    # present in *both* copies came from the inputs and is legitimate
+    both_nan = np.isnan(first) & np.isnan(duplicate)
+    mismatch &= ~both_nan
+    n_bad = int(np.count_nonzero(mismatch))
+    if n_bad:
+        first = first.copy() if not first.flags.writeable else first
+        first[mismatch] = duplicate[mismatch]
+        result.detected += n_bad
+        result.corrected += n_bad
+    return first
+
+
+def ft_axpy(alpha: float, x, y, *, injector=None) -> BlasResult:
+    """DMR-protected ``y += alpha * x`` (in place on y)."""
+    x = _as_vector(x, "x")
+    y = _as_vector(y, "y")
+    if x.shape != y.shape:
+        raise ShapeError(f"axpy shapes differ: {x.shape} vs {y.shape}")
+    result = BlasResult(value=y, scheme="dmr")
+    first = alpha * x + y
+    _visit(injector, first)
+    duplicate = alpha * x + y  # recompute from the live operands
+    result.protection_flops += 2 * x.size
+    first = _dmr_elementwise(first, duplicate, result)
+    y[:] = first
+    return result
+
+
+def ft_scal(alpha: float, x, *, injector=None) -> BlasResult:
+    """DMR-protected ``x *= alpha`` (in place)."""
+    x = _as_vector(x, "x")
+    result = BlasResult(value=x, scheme="dmr")
+    first = alpha * x
+    _visit(injector, first)
+    duplicate = alpha * x
+    result.protection_flops += x.size
+    first = _dmr_elementwise(first, duplicate, result)
+    x[:] = first
+    return result
+
+
+def ft_dot(x, y, *, injector=None) -> BlasResult:
+    """DMR-protected dot product.
+
+    The reduction runs twice with different blockings (straight and
+    pairwise-by-halves); agreement within round-off accepts, disagreement
+    triggers a third, scalar-blocked evaluation as tie-breaker.
+    """
+    x = _as_vector(x, "x")
+    y = _as_vector(y, "y")
+    if x.shape != y.shape:
+        raise ShapeError(f"dot shapes differ: {x.shape} vs {y.shape}")
+    result = BlasResult(value=0.0, scheme="dmr")
+    products = x * y
+    _visit(injector, products)
+    first = float(products.sum())
+    # duplicate from the live operands, independent accumulation order
+    half = x.size // 2
+    duplicate = float(x[:half] @ y[:half]) + float(x[half:] @ y[half:])
+    result.protection_flops += 4 * x.size
+    tol = 64.0 * np.finfo(np.float64).eps * (
+        float(np.abs(x) @ np.abs(y)) + np.finfo(np.float64).tiny
+    )
+    agree = abs(first - duplicate) <= tol or (
+        np.isnan(first) and np.isnan(duplicate)
+    )
+    if agree:
+        result.value = first
+    else:
+        result.detected += 1
+        result.corrected += 1
+        result.value = duplicate
+    return result
+
+
+def ft_nrm2(x, *, injector=None) -> BlasResult:
+    """DMR-protected Euclidean norm, built on the protected dot."""
+    x = _as_vector(x, "x")
+    inner = ft_dot(x, x, injector=injector)
+    result = BlasResult(value=float(np.sqrt(inner.value)), scheme="dmr")
+    result.merge(inner)
+    result.protection_flops += 1
+    return result
+
+
+def ft_asum(x, *, injector=None) -> BlasResult:
+    """DMR-protected sum of absolute values."""
+    x = _as_vector(x, "x")
+    result = BlasResult(value=0.0, scheme="dmr")
+    absx = np.abs(x)
+    _visit(injector, absx)
+    first = float(absx.sum())
+    half = x.size // 2
+    duplicate = float(np.abs(x[:half]).sum()) + float(np.abs(x[half:]).sum())
+    result.protection_flops += 2 * x.size
+    tol = 64.0 * np.finfo(np.float64).eps * (duplicate + np.finfo(np.float64).tiny)
+    if abs(first - duplicate) <= tol:
+        result.value = first
+    else:
+        result.detected += 1
+        result.corrected += 1
+        result.value = duplicate
+    return result
+
+
+def ft_copy(x, y, *, injector=None) -> BlasResult:
+    """Checksum-verified copy ``y[:] = x``.
+
+    A pure data move has no arithmetic to duplicate; instead the source
+    checksum is carried across and compared against the destination's —
+    a mismatch pinpoints and repairs the corrupted element(s) from x.
+    """
+    x = _as_vector(x, "x")
+    y = _as_vector(y, "y")
+    if x.shape != y.shape:
+        raise ShapeError(f"copy shapes differ: {x.shape} vs {y.shape}")
+    result = BlasResult(value=y, scheme="checksum")
+    src_sum = float(x.sum())
+    y[:] = x
+    _visit(injector, y)
+    result.protection_flops += 2 * x.size
+    dst_sum = float(y.sum())
+    tol = 64.0 * np.finfo(np.float64).eps * (float(np.abs(x).sum()) + 1e-300)
+    # "not (<= tol)" instead of "> tol": a NaN difference must count as a
+    # mismatch, and NaN fails every comparison
+    if not abs(dst_sum - src_sum) <= tol:
+        bad = np.flatnonzero(y != x)
+        if bad.size:
+            y[bad] = x[bad]
+            result.detected += int(bad.size)
+            result.corrected += int(bad.size)
+    return result

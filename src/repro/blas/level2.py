@@ -1,0 +1,168 @@
+"""Protected Level-2 BLAS: ABFT GEMV and DMR TRSV.
+
+**GEMV** (``y = alpha*A@x + beta*y``) carries enough arithmetic for ABFT:
+the result's checksum is predicted as ``eᵀy = (eᵀαA)x + β·eᵀy₀`` and
+compared against the computed one; a *weighted* prediction
+(``w = (1, 2, …, m)``) localizes a single corrupted element by the residual
+ratio — the 1-D version of FT-GEMM's row/column intersection — and repairs
+it in place. Multi-error patterns fall back to a DMR-style recompute.
+
+**TRSV** (triangular solve) is a sequential recurrence: an early error
+poisons everything after it, so checksum-after-the-fact cannot localize.
+FT-BLAS protects it with DMR; here the whole substitution is run twice and
+compared, with a third run as tie-breaker.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.blas.result import BlasResult
+from repro.util.errors import ShapeError
+from repro.util.validation import as_2d_float64
+
+EPS = float(np.finfo(np.float64).eps)
+
+
+def _visit(injector, array: np.ndarray) -> None:
+    if injector is not None:
+        injector.visit("blas_compute", array)
+
+
+def ft_gemv(
+    a,
+    x,
+    y=None,
+    *,
+    alpha: float = 1.0,
+    beta: float = 0.0,
+    injector=None,
+) -> BlasResult:
+    """ABFT-protected ``y = alpha*A@x + beta*y``; returns the result vector.
+
+    Fused structure mirrors FT-GEMM: the plain and weighted column sums of
+    ``αA`` are taken in the same sweep that the product consumes A, the
+    predicted checksums ride along, and one O(m) verification closes the
+    call.
+    """
+    a = as_2d_float64(a, "A")
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 1 or x.size != a.shape[1]:
+        raise ShapeError(f"x must have length {a.shape[1]}, got shape {x.shape}")
+    m = a.shape[0]
+    if y is None:
+        y = np.zeros(m)
+        beta = 0.0
+    else:
+        y = np.asarray(y, dtype=np.float64)
+        if y.shape != (m,):
+            raise ShapeError(f"y must have length {m}, got shape {y.shape}")
+    result = BlasResult(value=y, scheme="abft")
+
+    weights = np.arange(1.0, m + 1.0)
+    # encodings fused with the product's sweep over A
+    a_col = alpha * a.sum(axis=0)          # e^T (alpha A)
+    a_col_w = alpha * (weights @ a)        # w^T (alpha A)
+    env = abs(alpha) * (np.abs(a).sum(axis=0) @ np.abs(x))
+    pred = float(a_col @ x)
+    pred_w = float(a_col_w @ x)
+    if beta != 0.0:
+        pred += beta * float(y.sum())
+        pred_w += beta * float(weights @ y)
+        env += abs(beta) * float(np.abs(y).sum())
+    result.protection_flops += 6 * a.shape[1] + 4 * m
+
+    fresh = alpha * (a @ x)
+    if beta != 0.0:
+        fresh += beta * y
+    _visit(injector, fresh)
+
+    tol = 32.0 * EPS * (a.shape[1] + m + 2) * (env + np.finfo(np.float64).tiny)
+    residual = float(fresh.sum()) - pred
+    residual_w = float(weights @ fresh) - pred_w
+    clean = abs(residual) <= tol and abs(residual_w) <= tol * m
+    if not clean:
+        result.detected += 1
+        ratio = residual_w / residual if residual != 0.0 else np.nan
+        index = int(round(ratio)) - 1 if np.isfinite(ratio) else -1
+        localized = (
+            0 <= index < m
+            and abs(ratio - round(ratio)) < 1e-6 * max(1.0, abs(ratio))
+        )
+        if localized:
+            fresh[index] -= residual
+            # re-verify the repair
+            if abs(float(fresh.sum()) - pred) <= tol:
+                result.corrected += 1
+            else:
+                localized = False
+                fresh[index] += residual
+        if not localized:
+            # multi-error or checksum-side fault: recompute outright
+            fresh = alpha * (a @ x)
+            if beta != 0.0:
+                fresh += beta * y
+            result.recomputed += 1
+        result.protection_flops += 2 * m
+    y[:] = fresh
+    result.value = y
+    return result
+
+
+def ft_trsv(
+    a,
+    b,
+    *,
+    lower: bool = True,
+    injector=None,
+) -> BlasResult:
+    """DMR-protected triangular solve ``A x = b`` (unit-stride, non-unit
+    diagonal). Returns a new solution vector.
+
+    The substitution runs twice; element-wise disagreement (beyond a
+    component-wise round-off envelope) marks the *earliest* corrupted step,
+    from which a third, trusted recomputation restarts — the recurrence
+    after the repair point is rebuilt, since every later value depended on
+    the corrupted one.
+    """
+    a = as_2d_float64(a, "A")
+    n = a.shape[0]
+    if a.shape[1] != n:
+        raise ShapeError(f"triangular solve needs a square A, got {a.shape}")
+    b = np.asarray(b, dtype=np.float64)
+    if b.shape != (n,):
+        raise ShapeError(f"b must have length {n}, got shape {b.shape}")
+    if np.any(np.diag(a) == 0.0):
+        raise ShapeError("singular triangular matrix (zero diagonal)")
+    result = BlasResult(value=None, scheme="dmr")
+
+    first = _substitute(a, b, lower)
+    _visit(injector, first)
+    duplicate = _substitute(a, b, lower)
+    result.protection_flops += 2 * n * n
+
+    scale = np.abs(duplicate) + np.abs(b) + 1.0
+    agree = np.abs(first - duplicate) <= 1e3 * EPS * n * scale
+    both_nan = np.isnan(first) & np.isnan(duplicate)
+    agree |= both_nan
+    if not np.all(agree):
+        n_bad = int(np.count_nonzero(~agree))
+        result.detected += n_bad
+        result.corrected += n_bad
+        first = duplicate  # the uncorrupted recurrence wins wholesale
+        result.recomputed += 1
+    result.value = first
+    return result
+
+
+def _substitute(a: np.ndarray, b: np.ndarray, lower: bool) -> np.ndarray:
+    """Forward/backward substitution (SciPy-free reference recurrence)."""
+    n = a.shape[0]
+    x = np.empty(n)
+    if lower:
+        for i in range(n):
+            x[i] = (b[i] - a[i, :i] @ x[:i]) / a[i, i]
+    else:
+        for i in range(n - 1, -1, -1):
+            x[i] = (b[i] - a[i, i + 1 :] @ x[i + 1 :]) / a[i, i]
+    return x

@@ -1,0 +1,37 @@
+"""Result type shared by the protected BLAS routines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class BlasResult:
+    """Outcome of one protected BLAS call.
+
+    ``value`` is the routine's mathematical result (scalar for reductions,
+    the updated array for vector routines — updated in place and returned).
+    ``detected``/``corrected`` count repaired faults; ``scheme`` records the
+    protection mechanism that did the work (``"dmr"``, ``"abft"``,
+    ``"checksum"``).
+    """
+
+    value: object
+    scheme: str
+    detected: int = 0
+    corrected: int = 0
+    recomputed: int = 0
+    #: flops spent on protection (duplicates, checksums, compares)
+    protection_flops: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return self.detected == 0
+
+    def merge(self, other: "BlasResult") -> None:
+        """Fold a sub-call's evidence into this result (used by routines
+        built on other protected routines, e.g. nrm2 on dot)."""
+        self.detected += other.detected
+        self.corrected += other.corrected
+        self.recomputed += other.recomputed
+        self.protection_flops += other.protection_flops

@@ -1,0 +1,81 @@
+"""Configuration of the fault-tolerant GEMM drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.abft.tolerance import ToleranceConfig
+from repro.gemm.blocking import BlockingConfig
+from repro.util.errors import ConfigError
+from repro.util.validation import check_in
+
+
+@dataclass(frozen=True)
+class FTGemmConfig:
+    """Everything tunable about FT-GEMM.
+
+    ``enable_ft`` switches between the protected GEMM and the plain blocked
+    baseline ("FT-GEMM: Ori") while keeping the identical loop nest — the
+    pair is what the overhead experiments compare.
+
+    ``verify_mode``:
+      - ``"final"`` — the paper's scheme: reference checksums are collected
+        fused into the last K-block's macro kernels and verified once after
+        the loops;
+      - ``"eager"`` — debug mode: additionally re-derives and checks the
+        full checksums from C after every K-block (extra O(MN) passes; not
+        in the paper — it exists to pin down *when* a corruption appeared).
+
+    ``keep_original_c`` retains a copy of the input C when ``beta != 0`` so
+    recomputation fallback can rebuild corrupted rows; the paper's kernels
+    keep the equivalent information implicitly (they re-run the block update
+    from Ã/B̃ before C was overwritten). Disabling it saves the copy but
+    makes multi-error patterns with ``beta != 0`` uncorrectable.
+
+    ``strict`` raises :class:`~repro.util.errors.UncorrectableError` when
+    verification still fails after ``max_recompute_attempts``; when False
+    the result is returned with ``verified=False`` flagged instead.
+    """
+
+    blocking: BlockingConfig = field(default_factory=BlockingConfig)
+    tolerance: ToleranceConfig = field(default_factory=ToleranceConfig)
+    enable_ft: bool = True
+    verify_mode: str = "final"
+    #: ``"dual"`` — the paper's plain row+column checksums;
+    #: ``"weighted"`` — additionally maintain index-weighted checksums, so
+    #: multi-error patterns with one error per row are corrected in place
+    #: instead of recomputed (extension beyond the poster; see
+    #: repro.abft.weighted)
+    checksum_scheme: str = "dual"
+    recompute_fallback: bool = True
+    max_recompute_attempts: int = 3
+    keep_original_c: bool = True
+    dmr_protect_scale: bool = True
+    strict: bool = True
+
+    def __post_init__(self) -> None:
+        check_in(self.verify_mode, "verify_mode", ("final", "eager"))
+        check_in(self.checksum_scheme, "checksum_scheme", ("dual", "weighted"))
+        if self.max_recompute_attempts < 1:
+            raise ConfigError(
+                f"max_recompute_attempts must be >= 1, got "
+                f"{self.max_recompute_attempts}"
+            )
+
+    @property
+    def weighted(self) -> bool:
+        return self.checksum_scheme == "weighted"
+
+    def with_(self, **kwargs) -> "FTGemmConfig":
+        """A modified copy; nested configs replace wholesale."""
+        return replace(self, **kwargs)
+
+    @staticmethod
+    def small(**kwargs) -> "FTGemmConfig":
+        """Test-scale config: tiny blocks exercising every edge path."""
+        return FTGemmConfig(blocking=BlockingConfig.small(), **kwargs)
+
+    @staticmethod
+    def unprotected(**kwargs) -> "FTGemmConfig":
+        """The 'Ori' baseline: same loop nest, no fault tolerance."""
+        return FTGemmConfig(enable_ft=False, **kwargs)

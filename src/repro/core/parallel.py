@@ -1,0 +1,399 @@
+"""Parallel FT-GEMM: the threaded scheme of the paper's Figure 1.
+
+Thread/work mapping (Section 2.3), reproduced exactly:
+
+- C and A are partitioned along **M**: thread ``t`` owns a contiguous row
+  slice ``[ms, ms+mlen)`` — it scales that slice of C, packs its own
+  thread-private Ã blocks, runs the macro kernels for its rows, and owns the
+  matching slice of the column checksums;
+- the packed ``B̃`` buffer is **shared**; each (p, j) block is packed
+  cooperatively, partitioned along **N** at micro-panel granularity;
+- the global row checksum of A (``A^r``) is computed in parallel (each
+  thread sums its row slice; every thread then reduces the partials —
+  duplicated O(T·K) work instead of a second barrier);
+- each thread's ``B^c_share`` covers only the columns it packed, so an
+  extra reduction stage produces the block's ``B^c`` before the macro phase
+  — the paper's "extra stage of reduction operation among threads";
+- per-thread checksum ledgers (the figure's ``C^r[thread_num][N]`` etc.)
+  are reduced after the loops and verified once, serially.
+
+Barriers (``yield`` in the worker) match the figure: one after the
+prologue (A^r partials + fused scaling), one after each cooperative B̃
+packing, one after each macro phase, so the shared buffer is never reused
+while a reader is still in flight.
+
+The worker is a generator executed by a :class:`repro.parallel.team.Team` —
+deterministically interleaved by default, or on real OS threads with
+``backend="threads"``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.core.config import FTGemmConfig
+from repro.core.dmr import dmr_scale
+from repro.core.results import FTGemmResult
+from repro.core.verification import ChecksumLedger, Verifier
+from repro.gemm.blocking import iter_blocks
+from repro.gemm.macrokernel import TileHook, macro_kernel
+from repro.gemm.packing import PackedPanels, pack_a, pack_b
+from repro.parallel.partition import partition_panels, partition_rows
+from repro.parallel.team import make_team
+from repro.simcpu.counters import Counters
+from repro.util.errors import ConfigError
+from repro.util.validation import as_2d_float64, check_gemm_operands
+
+
+class _NullInjector:
+    def visit(self, site: str, array: np.ndarray) -> bool:
+        return False
+
+    def mark_detected(self, n: int) -> None:
+        pass
+
+
+_NULL_INJECTOR = _NullInjector()
+
+
+class _LockedInjector:
+    """Serializes injector access from real threads."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self._lock = threading.Lock()
+
+    def visit(self, site: str, array: np.ndarray) -> bool:
+        with self._lock:
+            return self._inner.visit(site, array)
+
+    def mark_detected(self, n: int) -> None:
+        with self._lock:
+            self._inner.mark_detected(n)
+
+
+class ParallelFTGemm:
+    """Multi-threaded fused ABFT GEMM (and its unprotected twin).
+
+    ``backend="simulated"`` (default) steps the workers deterministically in
+    one OS thread — used by campaigns and figure generation; ``"threads"``
+    runs them on real threads (NumPy releases the GIL during packing and
+    the macro kernels' ``dot`` calls).
+    """
+
+    def __init__(
+        self,
+        config: FTGemmConfig | None = None,
+        *,
+        n_threads: int = 4,
+        backend: str = "simulated",
+    ):
+        self.config = config or FTGemmConfig()
+        #: alias so campaign code can treat serial and parallel drivers alike
+        self.ft_config = self.config
+        if self.config.verify_mode == "eager":
+            raise ConfigError(
+                "eager verification is a serial debug mode; the parallel "
+                "driver verifies once after the loops (the paper's scheme)"
+            )
+        if n_threads <= 0:
+            raise ConfigError(f"n_threads must be positive, got {n_threads}")
+        self.n_threads = n_threads
+        self.backend = backend
+        self.counters = Counters()
+
+    @property
+    def ft(self) -> bool:
+        return self.config.enable_ft
+
+    # ------------------------------------------------------------ public API
+    def gemm(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        c: np.ndarray | None = None,
+        *,
+        alpha: float = 1.0,
+        beta: float = 0.0,
+        injector=None,
+        on_tile: TileHook | None = None,
+    ) -> FTGemmResult:
+        """Protected parallel ``C = alpha*A@B + beta*C``."""
+        a = as_2d_float64(a, "A")
+        b = as_2d_float64(b, "B")
+        if c is None:
+            m, n, _ = check_gemm_operands(a, b)
+            c = np.zeros((m, n), dtype=np.float64)
+            beta = 0.0
+        else:
+            c = as_2d_float64(c, "C")
+        m, n, k = check_gemm_operands(a, b, c)
+        cfg = self.config.blocking
+
+        if injector is None:
+            injector = _NULL_INJECTOR
+        elif self.backend == "threads":
+            injector = _LockedInjector(injector)
+
+        c0 = None
+        if self.ft and beta != 0.0 and self.config.keep_original_c:
+            c0 = c.copy()
+
+        row_part = partition_rows(m, self.n_threads)
+        p_blocks = list(iter_blocks(k, cfg.kc))
+        j_blocks = list(iter_blocks(n, cfg.nc))
+        max_jlen = max(jlen for _, jlen in j_blocks)
+        max_plen = max(plen for _, plen in p_blocks)
+        max_panels = cfg.micro_panels_n(max_jlen)
+
+        # shared state of the parallel region
+        btilde = np.zeros((max_panels, max_plen, cfg.nr))
+        a_row_parts = np.zeros((self.n_threads, k))
+        abs_a_row_parts = np.zeros((self.n_threads, k))
+        bc_share = np.zeros((self.n_threads, max_plen))
+        abs_bc_share = np.zeros((self.n_threads, max_plen))
+        ft = self.ft
+        config = self.config
+        weighted = ft and config.weighted
+        ledgers = [
+            ChecksumLedger.zeros(m, n, weighted=weighted)
+            for _ in range(self.n_threads)
+        ]
+        thread_counters = [Counters() for _ in range(self.n_threads)]
+        if weighted:
+            w_m = np.arange(1.0, m + 1.0)
+            w_n = np.arange(1.0, n + 1.0)
+            a_row_w_parts = np.zeros((self.n_threads, k))
+            bc_share_w = np.zeros((self.n_threads, max_plen))
+
+        def worker(tid: int):
+            ms, mlen = row_part[tid]
+            counters = thread_counters[tid]
+            ledger = ledgers[tid]
+            c_slice = c[ms : ms + mlen]
+
+            # ---- prologue: A^r partial + DMR scaling fused with C encoding
+            if mlen:
+                if ft:
+                    a_slice = a[ms : ms + mlen]
+                    a_row_parts[tid] = alpha * a_slice.sum(axis=0)
+                    abs_a_row_parts[tid] = abs(alpha) * np.abs(a_slice).sum(axis=0)
+                    counters.checksum_flops += 2 * mlen * k
+                    if weighted:
+                        a_row_w_parts[tid] = alpha * (
+                            w_m[ms : ms + mlen] @ a_slice
+                        )
+                        counters.checksum_flops += 2 * mlen * k
+                    injector.visit("checksum", a_row_parts[tid])
+                    if beta != 0.0:
+                        abs_c = np.abs(c_slice)
+                        ledger.c0_abs_row = abs_c.sum(axis=0)
+                        ledger.c0_abs_col = np.zeros(m)
+                        ledger.c0_abs_col[ms : ms + mlen] = abs_c.sum(axis=1)
+                        counters.checksum_flops += 2 * c_slice.size
+                    if config.dmr_protect_scale:
+                        dmr_scale(
+                            c_slice, beta, counters=counters, visit=injector.visit
+                        )
+                    else:
+                        if beta == 0.0:
+                            c_slice[:] = 0.0
+                        elif beta != 1.0:
+                            c_slice *= beta
+                        injector.visit("scale", c_slice)
+                    if beta != 0.0:
+                        ledger.row_pred += c_slice.sum(axis=0)
+                        ledger.col_pred[ms : ms + mlen] += c_slice.sum(axis=1)
+                        counters.checksum_flops += 2 * c_slice.size
+                        if weighted:
+                            ledger.row_pred_w += w_m[ms : ms + mlen] @ c_slice
+                            ledger.col_pred_w[ms : ms + mlen] += c_slice @ w_n
+                            counters.checksum_flops += 4 * c_slice.size
+                    injector.visit("checksum", ledger.col_pred[ms : ms + mlen])
+                else:
+                    if beta == 0.0:
+                        c_slice[:] = 0.0
+                    elif beta != 1.0:
+                        c_slice *= beta
+                    injector.visit("scale", c_slice)
+            yield  # barrier: A^r partials complete, C scaled
+            counters.barriers += 1
+
+            # duplicated reduction of the global A^r (no second barrier)
+            if ft:
+                a_row = a_row_parts.sum(axis=0)
+                abs_a_row = abs_a_row_parts.sum(axis=0)
+                counters.checksum_flops += 2 * self.n_threads * k
+                if weighted:
+                    a_row_w = a_row_w_parts.sum(axis=0)
+                    counters.checksum_flops += self.n_threads * k
+
+            n_p = len(p_blocks)
+            for p_idx, (p0, plen) in enumerate(p_blocks):
+                last_p = p_idx == n_p - 1
+                for j0, jlen in j_blocks:
+                    n_panels_j = cfg.micro_panels_n(jlen)
+                    f0, cnt = partition_panels(n_panels_j, self.n_threads)[tid]
+                    col0 = j0 + f0 * cfg.nr
+                    width = min(cnt * cfg.nr, jlen - f0 * cfg.nr) if cnt else 0
+
+                    # ---- cooperative packing of the shared B̃ (N-partition)
+                    if width > 0:
+                        b_chunk = b[p0 : p0 + plen, col0 : col0 + width]
+                        pack_b(
+                            b_chunk,
+                            cfg.nr,
+                            out=btilde[f0 : f0 + cnt, :plen, :],
+                        )
+                        counters.loads_bytes += b_chunk.nbytes
+                        counters.pack_b_bytes += cnt * plen * cfg.nr * 8
+                        counters.stores_bytes += cnt * plen * cfg.nr * 8
+                        if ft:
+                            abs_chunk = np.abs(b_chunk)
+                            # three uses per loaded B element: pack, B^c, C^r
+                            bc_share[tid, :plen] = b_chunk.sum(axis=1)
+                            abs_bc_share[tid, :plen] = abs_chunk.sum(axis=1)
+                            ledger.row_pred[col0 : col0 + width] += (
+                                a_row[p0 : p0 + plen] @ b_chunk
+                            )
+                            ledger.env_row[col0 : col0 + width] += (
+                                abs_a_row[p0 : p0 + plen] @ abs_chunk
+                            )
+                            counters.checksum_flops += 5 * plen * width
+                            if weighted:
+                                ledger.row_pred_w[col0 : col0 + width] += (
+                                    a_row_w[p0 : p0 + plen] @ b_chunk
+                                )
+                                bc_share_w[tid, :plen] = (
+                                    b_chunk @ w_n[col0 : col0 + width]
+                                )
+                                counters.checksum_flops += 4 * plen * width
+                            injector.visit(
+                                "checksum", ledger.row_pred[col0 : col0 + width]
+                            )
+                        injector.visit(
+                            "pack_b", btilde[f0 : f0 + cnt, :plen, :]
+                        )
+                    elif ft:
+                        bc_share[tid, :plen] = 0.0
+                        abs_bc_share[tid, :plen] = 0.0
+                        if weighted:
+                            bc_share_w[tid, :plen] = 0.0
+                    yield  # barrier: B̃ and B^c_share complete
+                    counters.barriers += 1
+
+                    # duplicated reduction of B^c for this (p, j) block
+                    if ft:
+                        bc = bc_share[:, :plen].sum(axis=0)
+                        abs_bc = abs_bc_share[:, :plen].sum(axis=0)
+                        counters.checksum_flops += 2 * self.n_threads * plen
+                        if weighted:
+                            bc_w = bc_share_w[:, :plen].sum(axis=0)
+                            counters.checksum_flops += self.n_threads * plen
+
+                    packed_b_full = PackedPanels(
+                        data=btilde[:n_panels_j, :plen, :], valid=jlen
+                    )
+
+                    # ---- macro phase over the thread's own row slice
+                    for ioff, ilen in iter_blocks(mlen, cfg.mc) if mlen else []:
+                        i0 = ms + ioff
+                        a_blk = a[i0 : i0 + ilen, p0 : p0 + plen]
+                        scaled = a_blk if alpha == 1.0 else alpha * a_blk
+                        packed_a = pack_a(scaled, cfg.mr)
+                        counters.loads_bytes += a_blk.nbytes
+                        counters.pack_a_bytes += packed_a.nbytes
+                        counters.stores_bytes += packed_a.nbytes
+                        if ft:
+                            # reuse the loaded A block for the C^c prediction
+                            ledger.col_pred[i0 : i0 + ilen] += alpha * (a_blk @ bc)
+                            ledger.env_col[i0 : i0 + ilen] += abs(alpha) * (
+                                np.abs(a_blk) @ abs_bc
+                            )
+                            counters.checksum_flops += 4 * ilen * plen
+                            if weighted:
+                                ledger.col_pred_w[i0 : i0 + ilen] += alpha * (
+                                    a_blk @ bc_w
+                                )
+                                counters.checksum_flops += 2 * ilen * plen
+                            injector.visit(
+                                "checksum", ledger.col_pred[i0 : i0 + ilen]
+                            )
+                        injector.visit("pack_a", packed_a.data)
+                        c_block = c[i0 : i0 + ilen, j0 : j0 + jlen]
+
+                        def hook(tile: np.ndarray, ti: int, tj: int) -> None:
+                            injector.visit("microkernel", tile)
+                            if on_tile is not None:
+                                on_tile(tile, ti, tj)
+
+                        if ft and last_p:
+                            weighted_kwargs = {}
+                            if weighted:
+                                weighted_kwargs = dict(
+                                    row_ref_w=ledger.row_ref_w[j0 : j0 + jlen],
+                                    col_ref_w=ledger.col_ref_w[i0 : i0 + ilen],
+                                    row_weights=w_m[i0 : i0 + ilen],
+                                    col_weights=w_n[j0 : j0 + jlen],
+                                )
+                            macro_kernel(
+                                packed_a,
+                                packed_b_full,
+                                c_block,
+                                row_ref=ledger.row_ref[j0 : j0 + jlen],
+                                col_ref=ledger.col_ref[i0 : i0 + ilen],
+                                on_tile=hook,
+                                counters=counters,
+                                **weighted_kwargs,
+                            )
+                        else:
+                            macro_kernel(
+                                packed_a,
+                                packed_b_full,
+                                c_block,
+                                on_tile=hook,
+                                counters=counters,
+                            )
+                        counters.loads_bytes += (
+                            packed_b_full.n_panels * packed_a.nbytes
+                            + packed_a.n_panels * packed_b_full.nbytes
+                            + c_block.nbytes
+                        )
+                        counters.stores_bytes += c_block.nbytes
+                    yield  # barrier: macro phase done, B̃ reusable
+                    counters.barriers += 1
+
+        team = make_team(self.n_threads, self.backend)
+        team.run(worker)
+
+        # ---- serial epilogue: reduce ledgers, verify, correct
+        total = Counters()
+        for tc in thread_counters:
+            total = total + tc
+        self.counters = total
+        reports = []
+        verified = True
+        if ft:
+            ledger = ledgers[0]
+            for other in ledgers[1:]:
+                ledger.add(other)
+            verifier = Verifier(
+                a,
+                b,
+                alpha=alpha,
+                beta=beta,
+                c0=c0,
+                config=self.config,
+                counters=total,
+            )
+            reports, verified = verifier.finalize(c, ledger)
+            injector.mark_detected(total.errors_detected)
+        return FTGemmResult(
+            c=c,
+            counters=total,
+            reports=reports,
+            verified=verified,
+            ft_enabled=ft,
+        )

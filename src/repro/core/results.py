@@ -1,0 +1,82 @@
+"""Result and report types returned by the FT-GEMM drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.simcpu.counters import Counters
+
+
+@dataclass
+class VerificationReport:
+    """Evidence from one verification round.
+
+    ``round_index`` 0 is the paper's fused final verification; later rounds
+    only happen after corrections/recomputes (re-verification) or in eager
+    mode. ``pattern_kind`` is the residual classification of
+    :mod:`repro.abft.locate`.
+    """
+
+    round_index: int
+    pattern_kind: str
+    flagged_rows: tuple[int, ...] = ()
+    flagged_cols: tuple[int, ...] = ()
+    corrected: tuple[tuple[int, int, float], ...] = ()
+    recomputed_rows: tuple[int, ...] = ()
+    recomputed_cols: tuple[int, ...] = ()
+    checksum_rederived: bool = False
+
+    @property
+    def clean(self) -> bool:
+        return self.pattern_kind == "clean"
+
+    @property
+    def acted(self) -> bool:
+        return bool(self.corrected or self.recomputed_rows or self.recomputed_cols
+                    or self.checksum_rederived)
+
+
+@dataclass
+class FTGemmResult:
+    """The outcome of one protected GEMM call.
+
+    ``c`` is the output matrix (the same array the caller passed, updated in
+    place, or a freshly allocated one). ``verified`` is True when the final
+    verification round found clean checksums — with ``strict`` configs an
+    unverifiable result raises instead, so ``verified=False`` only appears
+    in non-strict mode.
+    """
+
+    c: np.ndarray
+    counters: Counters
+    reports: list[VerificationReport] = field(default_factory=list)
+    verified: bool = True
+    ft_enabled: bool = True
+
+    @property
+    def detected(self) -> int:
+        return self.counters.errors_detected
+
+    @property
+    def corrected(self) -> int:
+        return self.counters.errors_corrected
+
+    @property
+    def recomputed_blocks(self) -> int:
+        return self.counters.blocks_recomputed
+
+    @property
+    def clean_first_pass(self) -> bool:
+        """True when the paper's single fused verification already passed."""
+        return bool(self.reports) and self.reports[0].clean
+
+    def summary(self) -> str:
+        status = "verified" if self.verified else "UNVERIFIED"
+        return (
+            f"FTGemmResult({self.c.shape[0]}x{self.c.shape[1]}, {status}, "
+            f"detected={self.detected}, corrected={self.corrected}, "
+            f"recomputed_lines={self.recomputed_blocks}, "
+            f"verify_rounds={len(self.reports)})"
+        )

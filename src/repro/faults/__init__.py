@@ -1,0 +1,81 @@
+"""Soft-error injection framework.
+
+The paper validates FT-GEMM by injecting "multiple computing errors into
+each of our computing kernels ... at the source code level to minimize the
+performance impact". This package reproduces that methodology:
+
+- :mod:`repro.faults.models` — what a fault does to a value (bit flip in the
+  float64 representation, additive offset, stuck value, scaling);
+- :mod:`repro.faults.sites` — where faults can strike (micro-kernel output,
+  packing buffers, the scaling pass, checksum encodings);
+- :mod:`repro.faults.injector` — the hook object the FT driver consults at
+  every site; follows a deterministic :class:`InjectionPlan` so campaigns
+  are exactly reproducible;
+- :mod:`repro.faults.campaign` — builds plans (k errors per call, or a rate
+  in errors/minute converted through modeled call duration) and aggregates
+  detection/correction statistics over many runs.
+"""
+
+from repro.faults.models import (
+    FaultModel,
+    BitFlip,
+    Additive,
+    StuckValue,
+    Scaling,
+)
+from repro.faults.sites import (
+    SITE_MICROKERNEL,
+    SITE_PACK_A,
+    SITE_PACK_B,
+    SITE_SCALE,
+    SITE_CHECKSUM,
+    ALL_SITES,
+    KERNEL_SITES,
+)
+from repro.faults.injector import FaultInjector, InjectionPlan, InjectionRecord
+from repro.faults.campaign import (
+    CampaignConfig,
+    CampaignResult,
+    run_campaign,
+    errors_per_call_from_rate,
+    plan_for_gemm,
+    site_invocation_counts,
+    site_invocation_counts_parallel,
+)
+
+__all__ = [
+    "FaultModel",
+    "BitFlip",
+    "Additive",
+    "StuckValue",
+    "Scaling",
+    "SITE_MICROKERNEL",
+    "SITE_PACK_A",
+    "SITE_PACK_B",
+    "SITE_SCALE",
+    "SITE_CHECKSUM",
+    "ALL_SITES",
+    "KERNEL_SITES",
+    "FaultInjector",
+    "InjectionPlan",
+    "InjectionRecord",
+    "CampaignConfig",
+    "CampaignResult",
+    "run_campaign",
+    "errors_per_call_from_rate",
+    "plan_for_gemm",
+    "site_invocation_counts",
+    "site_invocation_counts_parallel",
+    "magnitude_sweep",
+    "site_coverage",
+]
+
+
+def __getattr__(name):
+    # stats builds on bench reporting; import lazily to keep the package
+    # import graph a DAG (bench -> core -> faults)
+    if name in ("magnitude_sweep", "site_coverage"):
+        from repro.faults import stats
+
+        return getattr(stats, name)
+    raise AttributeError(f"module 'repro.faults' has no attribute {name!r}")

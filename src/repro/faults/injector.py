@@ -1,0 +1,164 @@
+"""The fault injector the FT drivers consult at every instrumented site.
+
+:class:`FaultInjector` follows a deterministic :class:`InjectionPlan`: the
+plan names, per site, the *invocation indices* at which to strike (e.g. "the
+37th micro-kernel tile of this GEMM call"). The injector keeps per-site
+invocation counters, corrupts one element of the array it is handed when a
+scheduled index comes up, and records every strike as an
+:class:`InjectionRecord` so campaigns can check detection coverage strike by
+strike.
+
+Determinism matters twice: the paper's experiments are repeated twenty times
+(we want bit-identical reruns), and the parallel scheme executes hooks from
+several simulated threads (victim choices must not depend on interleaving —
+hence one RNG per record drawn from the plan, not from a shared stream).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.faults.models import FaultModel, default_model
+from repro.faults.sites import ALL_SITES, validate_site
+from repro.util.errors import ConfigError
+from repro.util.rng import derive_seed
+
+
+@dataclass
+class InjectionRecord:
+    """One executed strike."""
+
+    site: str
+    invocation: int
+    index: tuple[int, ...]
+    old_value: float
+    new_value: float
+    model: str
+    #: filled in by the verification layer when the strike is detected
+    detected: bool = False
+    corrected: bool = False
+
+    @property
+    def magnitude(self) -> float:
+        return abs(self.new_value - self.old_value)
+
+
+@dataclass(frozen=True)
+class InjectionPlan:
+    """Which invocations of which sites get corrupted.
+
+    ``schedule`` maps site → sorted tuple of 0-based invocation indices.
+    ``seed`` drives victim-element and bit choices.
+    """
+
+    schedule: dict[str, tuple[int, ...]]
+    model: FaultModel = field(default_factory=default_model)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for site, indices in self.schedule.items():
+            validate_site(site)
+            if any(i < 0 for i in indices):
+                raise ConfigError(f"negative invocation index for site {site!r}")
+            if list(indices) != sorted(set(indices)):
+                raise ConfigError(
+                    f"schedule for {site!r} must be sorted and duplicate-free"
+                )
+
+    @property
+    def total_planned(self) -> int:
+        return sum(len(v) for v in self.schedule.values())
+
+    @staticmethod
+    def empty() -> "InjectionPlan":
+        return InjectionPlan(schedule={})
+
+    @staticmethod
+    def single(site: str, invocation: int = 0, *, model: FaultModel | None = None,
+               seed: int = 0) -> "InjectionPlan":
+        """Convenience: one strike at one site."""
+        return InjectionPlan(
+            schedule={validate_site(site): (invocation,)},
+            model=model or default_model(),
+            seed=seed,
+        )
+
+
+class FaultInjector:
+    """Stateful executor of one :class:`InjectionPlan` over one GEMM call."""
+
+    def __init__(self, plan: InjectionPlan):
+        self.plan = plan
+        self.records: list[InjectionRecord] = []
+        self._counters: dict[str, int] = {site: 0 for site in ALL_SITES}
+        self._pending: dict[str, list[int]] = {
+            site: list(indices) for site, indices in plan.schedule.items()
+        }
+
+    # ------------------------------------------------------------------ hook
+    def visit(self, site: str, array: np.ndarray) -> bool:
+        """The driver hook: called once per invocation of ``site``.
+
+        Corrupts one element of ``array`` (a writable view of live state)
+        in place if this invocation is scheduled. Returns True on a strike.
+        """
+        validate_site(site)
+        invocation = self._counters[site]
+        self._counters[site] = invocation + 1
+        pending = self._pending.get(site)
+        if not pending or pending[0] != invocation:
+            return False
+        pending.pop(0)
+        if array.size == 0:
+            return False
+        rng = np.random.default_rng(
+            derive_seed(self.plan.seed, site, invocation)
+        )
+        flat_idx = int(rng.integers(array.size))
+        index = np.unravel_index(flat_idx, array.shape)
+        old = float(array[index])
+        new = self.plan.model.apply(old, rng)
+        array[index] = new
+        self.records.append(
+            InjectionRecord(
+                site=site,
+                invocation=invocation,
+                index=tuple(int(i) for i in index),
+                old_value=old,
+                new_value=new,
+                model=self.plan.model.describe(),
+            )
+        )
+        return True
+
+    # ------------------------------------------------------------- reporting
+    @property
+    def n_injected(self) -> int:
+        return len(self.records)
+
+    @property
+    def n_pending(self) -> int:
+        return sum(len(v) for v in self._pending.values())
+
+    def invocations(self, site: str) -> int:
+        """How many times ``site`` was visited so far."""
+        return self._counters[validate_site(site)]
+
+    def mark_detected(self, n: int) -> None:
+        """Flag the first ``n`` undetected records as detected (called by the
+        verification layer, which knows only aggregate counts per verify)."""
+        remaining = n
+        for rec in self.records:
+            if remaining <= 0:
+                break
+            if not rec.detected:
+                rec.detected = True
+                remaining -= 1
+
+    def summary(self) -> dict[str, int]:
+        per_site: dict[str, int] = {}
+        for rec in self.records:
+            per_site[rec.site] = per_site.get(rec.site, 0) + 1
+        return per_site

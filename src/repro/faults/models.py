@@ -1,0 +1,113 @@
+"""Fault models: what a transient error does to a floating-point value.
+
+The paper's scope is *fail-continue* soft errors from computing logic
+("e.g., 1+1=3"): a computation silently produces a wrong value and execution
+continues. Each model here transforms one float64 in place; the injector
+picks the victim element and invocation.
+
+:class:`BitFlip` is the canonical model. Note that flips in the low mantissa
+bits produce relative errors below the checksum round-off tolerance — they
+are mathematically undetectable by ABFT *and* numerically harmless; the
+default bit range therefore spans the high mantissa and exponent bits, the
+region where real silent data corruption matters. The campaign machinery
+reports detectability so the boundary is measurable rather than assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Base class; subclasses implement :meth:`apply` on a scalar float."""
+
+    name: str = "identity"
+
+    def apply(self, value: float, rng: np.random.Generator) -> float:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class BitFlip(FaultModel):
+    """Flip one bit of the IEEE-754 binary64 representation.
+
+    ``bit`` pins the flipped bit (0 = LSB of the mantissa, 52–62 = exponent,
+    63 = sign); ``None`` draws uniformly from ``bit_range`` per injection.
+    """
+
+    name: str = "bitflip"
+    bit: int | None = None
+    bit_range: tuple[int, int] = (40, 62)
+
+    def __post_init__(self) -> None:
+        lo, hi = self.bit_range
+        if not (0 <= lo <= hi <= 63):
+            raise ConfigError(f"bit_range must be within [0, 63], got {self.bit_range}")
+        if self.bit is not None and not 0 <= self.bit <= 63:
+            raise ConfigError(f"bit must be in [0, 63], got {self.bit}")
+
+    def apply(self, value: float, rng: np.random.Generator) -> float:
+        bit = self.bit
+        if bit is None:
+            lo, hi = self.bit_range
+            bit = int(rng.integers(lo, hi + 1))
+        raw = np.float64(value).view(np.uint64)
+        flipped = raw ^ np.uint64(1 << bit)
+        result = flipped.view(np.float64)
+        # keep fail-continue semantics: an exponent flip can land on inf/nan,
+        # which real ABFT must also survive, so we pass it through unchanged
+        return float(result)
+
+
+@dataclass(frozen=True)
+class Additive(FaultModel):
+    """Add a fixed absolute offset — the simplest calibrated-magnitude fault."""
+
+    name: str = "additive"
+    magnitude: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.magnitude == 0.0:
+            raise ConfigError("additive magnitude of 0 would be a no-op fault")
+
+    def apply(self, value: float, rng: np.random.Generator) -> float:
+        return value + self.magnitude
+
+
+@dataclass(frozen=True)
+class StuckValue(FaultModel):
+    """Replace the value outright (stuck-at output, wrong-result writeback)."""
+
+    name: str = "stuck"
+    value: float = 0.0
+
+    def apply(self, value: float, rng: np.random.Generator) -> float:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Scaling(FaultModel):
+    """Multiply by a factor (dropped/duplicated partial product)."""
+
+    name: str = "scaling"
+    factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.factor == 1.0:
+            raise ConfigError("scaling factor of 1 would be a no-op fault")
+
+    def apply(self, value: float, rng: np.random.Generator) -> float:
+        return value * self.factor
+
+
+def default_model() -> FaultModel:
+    """The campaign default: high-impact bit flips."""
+    return BitFlip()

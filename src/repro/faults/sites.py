@@ -1,0 +1,47 @@
+"""Injection sites: the instrumented points of the FT-GEMM pipeline.
+
+Mirrors where the paper's source-level injector strikes ("into each of our
+computing kernels"). Each site corresponds to one hook the drivers invoke:
+
+- ``microkernel`` — the freshly computed C tile after a rank-K_C update; a
+  fault here models a wrong FMA result still in registers. Detected by the
+  reference-vs-predicted checksum mismatch and usually *corrected* in place.
+- ``pack_a`` / ``pack_b`` — a corrupted element of a packed buffer; the
+  error spreads along a whole row/column strip of C, producing multi-column
+  (or multi-row) residual patterns that force block recomputation.
+- ``scale`` — the ``C = βC`` pass; protected by DMR (the pass is duplicated
+  and compared) because it happens before checksums exist.
+- ``checksum`` — corruption of a checksum vector itself; shows up as a
+  one-sided residual, resolved by re-deriving the checksum, never by
+  touching C.
+"""
+
+from __future__ import annotations
+
+SITE_MICROKERNEL = "microkernel"
+SITE_PACK_A = "pack_a"
+SITE_PACK_B = "pack_b"
+SITE_SCALE = "scale"
+SITE_CHECKSUM = "checksum"
+#: compute results of the protected L1/L2 BLAS routines (repro.blas) —
+#: the FT-BLAS substrate's DMR-protected kernels
+SITE_BLAS = "blas_compute"
+
+#: every instrumented site
+ALL_SITES: tuple[str, ...] = (
+    SITE_MICROKERNEL,
+    SITE_PACK_A,
+    SITE_PACK_B,
+    SITE_SCALE,
+    SITE_CHECKSUM,
+    SITE_BLAS,
+)
+
+#: the compute-kernel sites the paper's Fig. 2(c)/(d) campaigns target
+KERNEL_SITES: tuple[str, ...] = (SITE_MICROKERNEL, SITE_PACK_A, SITE_PACK_B)
+
+
+def validate_site(site: str) -> str:
+    if site not in ALL_SITES:
+        raise ValueError(f"unknown injection site {site!r}; known: {ALL_SITES}")
+    return site

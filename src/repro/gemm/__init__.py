@@ -1,0 +1,45 @@
+"""Blocked, packed GEMM substrate (the paper's Section 2.1).
+
+This package is the paper's baseline DGEMM rebuilt in NumPy with the exact
+GotoBLAS structure the poster describes:
+
+- the three outer loops partition ``K`` (step ``K_C``), ``N`` (step ``N_C``)
+  and ``M`` (step ``M_C``) in the order of the paper's Figure 1;
+- ``A`` blocks are packed into micro-panel buffers ``Ã`` (thread-private in
+  the parallel scheme), ``B`` panels into the shared buffer ``B̃``;
+- the macro kernel updates an ``M_C x N_C`` block of ``C`` by sweeping
+  ``M_R x N_R`` micro kernels over the packed panels.
+
+The compute inside a micro kernel is a NumPy ``dot`` on the packed panels —
+the algorithmic structure (what is packed when, what is resident where, how
+many times each byte moves) is identical to the paper's assembly version,
+which is what the cache simulator and performance model consume.
+"""
+
+from repro.gemm.blocking import BlockingConfig, iter_blocks, block_starts
+from repro.gemm.reference import gemm_reference, gemm_naive
+from repro.gemm.packing import pack_a, pack_b, unpack_a, unpack_b, PackedPanels
+from repro.gemm.microkernel import microkernel, microkernel_ft
+from repro.gemm.macrokernel import macro_kernel
+from repro.gemm.driver import BlockedGemm, AddressLayout
+from repro.gemm.tuning import tune_blocking, blocking_footprints
+
+__all__ = [
+    "BlockingConfig",
+    "iter_blocks",
+    "block_starts",
+    "gemm_reference",
+    "gemm_naive",
+    "pack_a",
+    "pack_b",
+    "unpack_a",
+    "unpack_b",
+    "PackedPanels",
+    "microkernel",
+    "microkernel_ft",
+    "macro_kernel",
+    "BlockedGemm",
+    "AddressLayout",
+    "tune_blocking",
+    "blocking_footprints",
+]

@@ -1,0 +1,322 @@
+"""The blocked GEMM driver (paper Section 2.1, Figure 1 loop structure).
+
+:class:`BlockedGemm` runs the full packed loop nest in the paper's order —
+``p`` over K (step ``K_C``), ``j`` over N (step ``N_C``), ``i`` over M (step
+``M_C``) — packing ``B̃`` per ``(p, j)`` and ``Ã`` per ``(p, j, i)``, then
+sweeping the macro kernel. It is the non-fault-tolerant baseline ("FT-GEMM:
+Ori"); :class:`repro.core.ftgemm.FTGemm` extends it with the fused ABFT
+operations through the protected extension points.
+
+Instrumentation: when constructed with a memory ``sink`` (a
+:class:`~repro.simcpu.cache.CacheHierarchy`, :class:`~repro.simcpu.tlb.TLBSim`
+or :class:`~repro.simcpu.trace.AccessTrace`) and an :class:`AddressLayout`,
+the driver emits the real bulk address stream of every pass, which is what
+the blocking ablation replays to show the paper's ``M_C/K_C/N_C`` choice
+keeping Ã in L2 and B̃ in L3.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from repro.gemm.blocking import BlockingConfig, iter_blocks
+from repro.gemm.macrokernel import TileHook, macro_kernel
+from repro.gemm.packing import PackedPanels, pack_a, pack_b
+from repro.simcpu.counters import Counters
+from repro.simcpu.trace import MemoryAccess
+from repro.util.errors import ShapeError
+from repro.util.validation import as_2d_float64, check_gemm_operands
+
+DOUBLE = 8
+
+
+class MemorySink(Protocol):
+    """Anything that can consume a bulk memory access."""
+
+    def access(self, access: MemoryAccess) -> object: ...
+
+
+class AddressLayout:
+    """Assigns page-aligned simulated virtual addresses to named arrays.
+
+    The instrumented driver describes its traffic in terms of these named
+    regions; real pointer values are irrelevant, only relative placement and
+    alignment matter for cache/TLB behaviour.
+    """
+
+    def __init__(self, page_bytes: int = 4096):
+        if page_bytes <= 0 or page_bytes & (page_bytes - 1):
+            raise ShapeError(f"page_bytes must be a power of two, got {page_bytes}")
+        self.page_bytes = page_bytes
+        self._next = page_bytes  # keep address 0 unused
+        self._regions: dict[str, tuple[int, int]] = {}
+
+    def add(self, name: str, nbytes: int) -> int:
+        """Reserve ``nbytes`` for ``name``; returns the base address."""
+        if name in self._regions:
+            raise ShapeError(f"region {name!r} already laid out")
+        if nbytes <= 0:
+            raise ShapeError(f"region {name!r} has invalid size {nbytes}")
+        base = self._next
+        pages = -(-nbytes // self.page_bytes)
+        self._next += pages * self.page_bytes
+        self._regions[name] = (base, nbytes)
+        return base
+
+    def base(self, name: str) -> int:
+        return self._regions[name][0]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._regions
+
+    def region(self, name: str) -> tuple[int, int]:
+        return self._regions[name]
+
+    @property
+    def total_bytes(self) -> int:
+        return self._next - self.page_bytes
+
+
+class BlockedGemm:
+    """Packed, cache-blocked ``C = alpha*A@B + beta*C`` (in place on C)."""
+
+    def __init__(
+        self,
+        config: BlockingConfig | None = None,
+        *,
+        counters: Counters | None = None,
+        sink: MemorySink | None = None,
+    ):
+        self.config = config or BlockingConfig()
+        self.counters = counters if counters is not None else Counters()
+        self.sink = sink
+        self.layout: AddressLayout | None = None
+        # strides (bytes per row) of the live operands, set per call
+        self._row_bytes: dict[str, int] = {}
+
+    # ------------------------------------------------------------ public API
+    def gemm(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        c: np.ndarray | None = None,
+        *,
+        alpha: float = 1.0,
+        beta: float = 0.0,
+        on_tile: TileHook | None = None,
+    ) -> np.ndarray:
+        """Run the blocked GEMM; returns C (allocated when ``c is None``)."""
+        a = as_2d_float64(a, "A")
+        b = as_2d_float64(b, "B")
+        if c is None:
+            m, n, _ = check_gemm_operands(a, b)
+            c = np.zeros((m, n), dtype=np.float64)
+            beta = 0.0
+        else:
+            c = as_2d_float64(c, "C")
+        m, n, k = check_gemm_operands(a, b, c)
+        cfg = self.config
+        if self.sink is not None:
+            self._lay_out(m, n, k)
+
+        self._begin(m, n, k, a, b, c, alpha, beta)
+        self._scale_c(c, beta)
+
+        n_pblocks = len(list(iter_blocks(k, cfg.kc)))
+        for p_idx, (p0, plen) in enumerate(iter_blocks(k, cfg.kc)):
+            last_p = p_idx == n_pblocks - 1
+            for j_idx, (j0, jlen) in enumerate(iter_blocks(n, cfg.nc)):
+                first_j = j_idx == 0
+                packed_b = self._pack_b_block(b, p0, plen, j0, jlen)
+                for i0, ilen in iter_blocks(m, cfg.mc):
+                    packed_a = self._pack_a_block(
+                        a, i0, ilen, p0, plen, alpha, first_j=first_j
+                    )
+                    c_block = c[i0 : i0 + ilen, j0 : j0 + jlen]
+                    self._run_macro(
+                        packed_a,
+                        packed_b,
+                        c_block,
+                        i0=i0,
+                        j0=j0,
+                        last_p=last_p,
+                        on_tile=on_tile,
+                    )
+            self._after_p(p_idx, last_p, c)
+        self._finish(c)
+        return c
+
+    # ------------------------------------------------- overridable internals
+    def _begin(
+        self,
+        m: int,
+        n: int,
+        k: int,
+        a: np.ndarray,
+        b: np.ndarray,
+        c: np.ndarray,
+        alpha: float,
+        beta: float,
+    ) -> None:
+        """Per-call setup; FTGemm allocates and encodes checksums here."""
+
+    def _scale_c(self, c: np.ndarray, beta: float) -> None:
+        """The ``C = beta*C`` pass. FTGemm fuses checksum encoding in here."""
+        m, n = c.shape
+        if beta == 0.0:
+            c[:] = 0.0
+            self.counters.stores_bytes += c.nbytes
+            self._emit("C", 0, 0, m, n, write=True)
+        elif beta != 1.0:
+            c *= beta
+            self.counters.loads_bytes += c.nbytes
+            self.counters.stores_bytes += c.nbytes
+            self._emit("C", 0, 0, m, n, write=False)
+            self._emit("C", 0, 0, m, n, write=True)
+
+    def _pack_b_block(
+        self, b: np.ndarray, p0: int, plen: int, j0: int, jlen: int
+    ) -> PackedPanels:
+        """Pack ``B(p0:p0+plen, j0:j0+jlen)`` into B̃ panels."""
+        block = b[p0 : p0 + plen, j0 : j0 + jlen]
+        packed = pack_b(block, self.config.nr)
+        self.counters.loads_bytes += block.nbytes
+        self.counters.pack_b_bytes += packed.nbytes
+        self.counters.stores_bytes += packed.nbytes
+        self._emit("B", p0, j0, plen, jlen, write=False)
+        self._emit_packed("Btilde", packed, write=True)
+        return packed
+
+    def _pack_a_block(
+        self,
+        a: np.ndarray,
+        i0: int,
+        ilen: int,
+        p0: int,
+        plen: int,
+        alpha: float,
+        *,
+        first_j: bool,
+    ) -> PackedPanels:
+        """Pack ``alpha * A(i0:i0+ilen, p0:p0+plen)`` into Ã panels.
+
+        Alpha is folded into Ã (one multiply per element during the packing
+        pass, the standard trick), so the micro kernel needs no scaling.
+        ``first_j`` reports whether this is the first N-block of the current
+        K-block (Ã is repacked for every j block, per Figure 1's loop order;
+        subclasses fusing per-(p, i) work can key off this flag).
+        """
+        block = a[i0 : i0 + ilen, p0 : p0 + plen]
+        if alpha != 1.0:
+            block = alpha * block
+        packed = pack_a(block, self.config.mr)
+        self.counters.loads_bytes += block.nbytes
+        self.counters.pack_a_bytes += packed.nbytes
+        self.counters.stores_bytes += packed.nbytes
+        self._emit("A", i0, p0, ilen, plen, write=False)
+        self._emit_packed("Atilde", packed, write=True)
+        return packed
+
+    def _run_macro(
+        self,
+        packed_a: PackedPanels,
+        packed_b: PackedPanels,
+        c_block: np.ndarray,
+        *,
+        i0: int,
+        j0: int,
+        last_p: bool,
+        on_tile: TileHook | None,
+    ) -> None:
+        """One macro-kernel invocation; FTGemm adds checksum-ref collection."""
+        macro_kernel(
+            packed_a,
+            packed_b,
+            c_block,
+            on_tile=on_tile,
+            counters=self.counters,
+        )
+        self._emit_macro_traffic(packed_a, packed_b, c_block, i0, j0)
+
+    def _after_p(self, p_idx: int, last_p: bool, c: np.ndarray) -> None:
+        """Called after each K-block completes; FTGemm's eager mode probes
+        the running checksums here."""
+
+    def _finish(self, c: np.ndarray) -> None:
+        """Post-loop work; FTGemm verifies and corrects here."""
+
+    # --------------------------------------------------------- address layer
+    def _lay_out(self, m: int, n: int, k: int) -> None:
+        cfg = self.config
+        layout = AddressLayout()
+        layout.add("A", m * k * DOUBLE)
+        layout.add("B", k * n * DOUBLE)
+        layout.add("C", m * n * DOUBLE)
+        layout.add("Atilde", cfg.micro_panels_m(cfg.mc) * cfg.mr * cfg.kc * DOUBLE)
+        layout.add("Btilde", cfg.micro_panels_n(cfg.nc) * cfg.nr * cfg.kc * DOUBLE)
+        self.layout = layout
+        self._row_bytes = {"A": k * DOUBLE, "B": n * DOUBLE, "C": n * DOUBLE}
+
+    def _emit(
+        self, name: str, r0: int, c0: int, rlen: int, clen: int, *, write: bool
+    ) -> None:
+        """Emit one access per contiguous row segment of a matrix region."""
+        if self.sink is None or self.layout is None:
+            return
+        base = self.layout.base(name)
+        row_bytes = self._row_bytes[name]
+        seg = clen * DOUBLE
+        for r in range(r0, r0 + rlen):
+            addr = base + r * row_bytes + c0 * DOUBLE
+            self.sink.access(MemoryAccess(addr, seg, write=write, label=name))
+
+    def _emit_packed(self, name: str, packed: PackedPanels, *, write: bool) -> None:
+        """Packed buffers are contiguous: one access for the whole buffer."""
+        if self.sink is None or self.layout is None:
+            return
+        self.sink.access(
+            MemoryAccess(self.layout.base(name), packed.nbytes, write=write, label=name)
+        )
+
+    def _emit_macro_traffic(
+        self,
+        packed_a: PackedPanels,
+        packed_b: PackedPanels,
+        c_block: np.ndarray,
+        i0: int,
+        j0: int,
+    ) -> None:
+        """The macro kernel re-reads Ã per B-panel sweep, streams B̃ once per
+        A-panel, and read-modify-writes the C block row-wise."""
+        self.counters.loads_bytes += (
+            packed_b.n_panels * packed_a.nbytes
+            + packed_a.n_panels * packed_b.nbytes
+            + c_block.nbytes
+        )
+        self.counters.stores_bytes += c_block.nbytes
+        if self.sink is None or self.layout is None:
+            return
+        # each of the n_panels B sweeps streams the whole Ã block once
+        for _ in range(packed_b.n_panels):
+            self.sink.access(
+                MemoryAccess(
+                    self.layout.base("Atilde"),
+                    packed_a.nbytes,
+                    write=False,
+                    label="Atilde",
+                )
+            )
+        for _ in range(packed_a.n_panels):
+            self.sink.access(
+                MemoryAccess(
+                    self.layout.base("Btilde"),
+                    packed_b.nbytes,
+                    write=False,
+                    label="Btilde",
+                )
+            )
+        mlen, nlen = c_block.shape
+        self._emit("C", i0, j0, mlen, nlen, write=False)
+        self._emit("C", i0, j0, mlen, nlen, write=True)

@@ -1,0 +1,62 @@
+"""Register-tile micro kernels.
+
+``microkernel`` computes the rank-``k`` update of one ``M_R x N_R`` tile of C
+from one Ã panel and one B̃ panel — the NumPy stand-in for the paper's
+AVX-512 assembly inner loop (its cycle cost is modeled separately by
+:class:`repro.simcpu.vector.VectorUnit`).
+
+``microkernel_ft`` is the *fused* variant of Section 2.2: after updating the
+tile it immediately produces the tile's row and column sums — "we reuse the
+computed C elements at register level to update the reference checksums" —
+so the reference-checksum pass costs no extra pass over C.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import ShapeError
+
+
+def microkernel(a_panel: np.ndarray, b_panel: np.ndarray) -> np.ndarray:
+    """Return the ``(mr, nr)`` update ``a_panelᵀ @ b_panel``.
+
+    ``a_panel`` is ``(k, mr)`` and ``b_panel`` is ``(k, nr)`` — the packed
+    layouts of :mod:`repro.gemm.packing`; the contraction runs over the
+    shared depth axis exactly like the assembly kernel's k-loop of FMAs.
+    """
+    if a_panel.ndim != 2 or b_panel.ndim != 2:
+        raise ShapeError(
+            f"panels must be 2-D, got {a_panel.shape} and {b_panel.shape}"
+        )
+    if a_panel.shape[0] != b_panel.shape[0]:
+        raise ShapeError(
+            f"panel depths differ: A panel {a_panel.shape}, B panel {b_panel.shape}"
+        )
+    return a_panel.T @ b_panel
+
+
+def microkernel_ft(
+    a_panel: np.ndarray,
+    b_panel: np.ndarray,
+    c_tile: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fused update-and-checksum: ``c_tile += a_panelᵀ @ b_panel``; returns
+    ``(row_sums, col_sums)`` of the *updated* tile.
+
+    ``row_sums`` has length ``nr`` (``eᵀ C_tile``, contributes to the row
+    checksum ``C^r_ref``); ``col_sums`` has length ``mr`` (``C_tile · e``,
+    contributes to ``C^c_ref``). ``c_tile`` must be a writable view into C.
+    """
+    update = microkernel(a_panel, b_panel)
+    if c_tile.shape != update.shape:
+        raise ShapeError(
+            f"C tile shape {c_tile.shape} != update shape {update.shape}"
+        )
+    c_tile += update
+    return c_tile.sum(axis=0), c_tile.sum(axis=1)
+
+
+def tile_flops(mr: int, nr: int, k: int) -> int:
+    """FMA flops of one micro-kernel call (2 per multiply-add)."""
+    return 2 * mr * nr * k

@@ -1,0 +1,61 @@
+"""Reference GEMM implementations.
+
+:func:`gemm_reference` is the trusted oracle (NumPy ``dot``, which plays the
+role MKL plays in the paper's "verify our final computation results against
+MKL"). :func:`gemm_naive` is a three-loop scalar implementation retained for
+property tests at tiny sizes — it shares no code path with either the oracle
+or the blocked implementation, so agreement among all three is meaningful.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_gemm_operands
+
+
+def gemm_reference(
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray | None = None,
+    *,
+    alpha: float = 1.0,
+    beta: float = 0.0,
+) -> np.ndarray:
+    """Trusted ``C = alpha*A@B + beta*C`` via NumPy.
+
+    Returns a new array; ``c`` is never modified (unlike the blocked
+    drivers, which update in place — the oracle must stay side-effect free
+    so it can be called mid-verification on corrupted state).
+    """
+    m, n, _ = check_gemm_operands(a, b, c)
+    out = alpha * (a @ b)
+    if c is not None and beta != 0.0:
+        out += beta * c
+    if out.shape != (m, n):  # defensive: alpha scalar broadcast kept shape
+        raise AssertionError("oracle produced wrong shape")
+    return out
+
+
+def gemm_naive(
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray | None = None,
+    *,
+    alpha: float = 1.0,
+    beta: float = 0.0,
+) -> np.ndarray:
+    """Scalar triple-loop GEMM. O(mnk) Python — only for tiny matrices."""
+    m, n, k = check_gemm_operands(a, b, c)
+    out = np.zeros((m, n), dtype=np.float64)
+    if c is not None and beta != 0.0:
+        for i in range(m):
+            for j in range(n):
+                out[i, j] = beta * c[i, j]
+    for i in range(m):
+        for j in range(n):
+            acc = 0.0
+            for p in range(k):
+                acc += a[i, p] * b[p, j]
+            out[i, j] += alpha * acc
+    return out

@@ -1,0 +1,142 @@
+"""Analytical blocking-parameter selection (paper Section 2.3).
+
+The paper states the cache blocking parameters "are tuned to fit with the
+physical cache size", landing on ``M_C=192, K_C=384, N_C=9216`` for AVX-512.
+This module reproduces that tuning as an explicit model:
+
+- the **micro tile** ``M_R x N_R`` maximizes FMA-pipeline utilization under
+  the register budget (enough independent accumulators to hide FMA latency,
+  no spills), tie-broken by the tile's flops-per-byte ``mr*nr/(mr+nr)`` —
+  on the Cascade Lake spec this yields the classic ``16 x 14`` DGEMM tile;
+- ``K_C``/``M_C`` size the packed Ã block to a target fraction of the
+  private L2 (``Ã = M_C x K_C`` with the paper's 1:2 aspect ratio, ~56 % of
+  L2, leaving room for the B̃ stream and C tiles);
+- ``N_C`` sizes the packed B̃ panel against the shared L3 with the paper's
+  ~1.4x oversubscription (B̃ streams; full residency is not required),
+  rounded up to a multiple of ``K_C``.
+
+On :func:`MachineSpec.cascade_lake_w2255` this model returns exactly the
+paper's published triple, and the cache-simulator ablation
+(``benchmarks/bench_ablation_blocking.py``) shows it sits at the miss-rate
+sweet spot.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.gemm.blocking import BlockingConfig
+from repro.simcpu.machine import DOUBLE, MachineSpec
+from repro.simcpu.vector import VectorUnit
+from repro.util.errors import ConfigError
+
+#: fraction of L2 the packed Ã block may occupy
+L2_FILL = 0.5625
+#: M_C : K_C aspect ratio (the paper's 192:384)
+MC_KC_RATIO = 0.5
+#: B̃ oversubscription factor against the shared L3
+L3_FILL = 1.4
+
+
+@dataclass(frozen=True)
+class TileChoice:
+    mr: int
+    nr: int
+    accumulators: int
+    efficiency: float
+    flops_per_element: float
+
+
+def tune_micro_tile(machine: MachineSpec) -> TileChoice:
+    """Pick the register tile: max pipeline efficiency, then max reuse."""
+    vu = VectorUnit(machine)
+    lanes = machine.vector_lanes_f64
+    best: TileChoice | None = None
+    for a_vecs in range(1, machine.vector_registers):
+        mr = a_vecs * lanes
+        # largest nr that still fits the register file for this mr
+        nr = (machine.vector_registers - a_vecs - 2) // a_vecs
+        if nr < 1:
+            continue
+        eff = vu.tile_efficiency(mr, nr)
+        reuse = (mr * nr) / (mr + nr)
+        cand = TileChoice(mr, nr, vu.accumulators(mr, nr), eff, reuse)
+        if best is None or (cand.efficiency, cand.flops_per_element) > (
+            best.efficiency,
+            best.flops_per_element,
+        ):
+            best = cand
+    if best is None:
+        raise ConfigError(
+            f"no feasible micro tile for {machine.name} "
+            f"({machine.vector_registers} registers)"
+        )
+    return best
+
+
+def _round_up(value: int, multiple: int) -> int:
+    return -(-value // multiple) * multiple
+
+
+def _round_down(value: int, multiple: int) -> int:
+    rounded = (value // multiple) * multiple
+    return max(rounded, multiple)
+
+
+def tune_blocking(
+    machine: MachineSpec,
+    *,
+    mr: int | None = None,
+    nr: int | None = None,
+) -> BlockingConfig:
+    """Derive the full :class:`BlockingConfig` from a machine's cache sheet."""
+    if mr is None or nr is None:
+        tile = tune_micro_tile(machine)
+        mr = mr or tile.mr
+        nr = nr or tile.nr
+    l2 = machine.cache(2).size_bytes
+    l3 = machine.last_level.size_bytes
+    # mc*kc*8 = L2_FILL * L2 with mc = MC_KC_RATIO * kc
+    kc_raw = math.sqrt(L2_FILL * l2 / (DOUBLE * MC_KC_RATIO))
+    kc = max(_round_down(int(kc_raw), mr), mr)
+    mc = max(_round_down(int(MC_KC_RATIO * kc), mr), mr)
+    nc_raw = int(L3_FILL * l3 / (kc * DOUBLE))
+    nc = max(_round_up(nc_raw, kc), nr)
+    return BlockingConfig(mc=mc, kc=kc, nc=nc, mr=mr, nr=nr)
+
+
+def blocking_footprints(config: BlockingConfig) -> dict[str, int]:
+    """Byte footprints of the cache-resident structures for a config.
+
+    Keys: ``a_block`` (Ã, targets L2), ``b_panel`` (B̃, targets L3),
+    ``a_micro``/``b_micro`` (panels streamed through L1 by the kernel), and
+    ``c_tile`` (register resident).
+    """
+    return {
+        "a_block": config.mc * config.kc * DOUBLE,
+        "b_panel": config.kc * config.nc * DOUBLE,
+        "a_micro": config.mr * config.kc * DOUBLE,
+        "b_micro": config.kc * config.nr * DOUBLE,
+        "c_tile": config.mr * config.nr * DOUBLE,
+    }
+
+
+def fits_report(config: BlockingConfig, machine: MachineSpec) -> dict[str, bool]:
+    """Which structure fits which target level (used by tests and docs)."""
+    fp = blocking_footprints(config)
+    return {
+        "a_block_in_l2": fp["a_block"] <= machine.cache(2).size_bytes,
+        "b_micro_in_l2": fp["b_micro"] <= machine.cache(2).size_bytes,
+        "c_tile_in_registers": (
+            fp["c_tile"]
+            <= machine.vector_registers * machine.vector_lanes_f64 * DOUBLE
+        ),
+        # the tuner rounds N_C up to a K_C multiple, which can add up to
+        # (kc-1) columns of kc doubles beyond the raw budget
+        "b_panel_within_l3_budget": (
+            fp["b_panel"]
+            <= L3_FILL * machine.last_level.size_bytes
+            + (config.kc - 1) * config.kc * DOUBLE
+        ),
+    }

@@ -1,0 +1,37 @@
+"""Parallel execution substrate for the threaded FT-GEMM (paper Fig. 1).
+
+The paper's scheme is an OpenMP parallel region with barriers. We substitute:
+
+- :mod:`repro.parallel.team` — thread teams running *generator* workers that
+  ``yield`` at each ``#pragma omp barrier``. The **simulated** backend steps
+  all workers deterministically in a single OS thread (bit-reproducible
+  interleavings, used by tests and the figures); the **threads** backend runs
+  the same workers on real OS threads with :class:`threading.Barrier`
+  (NumPy releases the GIL, so packing/macro work genuinely overlaps);
+- :mod:`repro.parallel.partition` — the M-dimension row partition for C/A
+  ownership and the panel-granular N-dimension partition for cooperative B̃
+  packing;
+- :mod:`repro.parallel.reduction` — the cross-thread reduction of the
+  per-thread partial column checksums ``B^c_share`` (the "extra stage of
+  reduction operation among threads" of Section 2.3).
+"""
+
+from repro.parallel.team import Team, SimulatedTeam, ThreadTeam, make_team
+from repro.parallel.partition import (
+    partition_rows,
+    partition_panels,
+    owner_of_row,
+)
+from repro.parallel.reduction import reduce_partials, tree_reduce
+
+__all__ = [
+    "Team",
+    "SimulatedTeam",
+    "ThreadTeam",
+    "make_team",
+    "partition_rows",
+    "partition_panels",
+    "owner_of_row",
+    "reduce_partials",
+    "tree_reduce",
+]

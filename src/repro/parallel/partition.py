@@ -1,0 +1,53 @@
+"""Work partitioning for the threaded FT-GEMM.
+
+Section 2.3: "The computation workload on the C matrix is partitioned along
+the M-dimension" (each thread owns a contiguous row slice of C and A, and
+the matching slices of the column checksums), while "the memory access
+workloads [for B̃] are partitioned along the N-dimension and each thread is
+responsible for packing a chunk of B̃".
+
+The B̃ partition works at *micro-panel* granularity so no two threads ever
+write into the same ``N_R``-wide panel (panels are the unit of contiguous
+packed storage — element-granular splits would make threads share cache
+lines, i.e. false sharing).
+"""
+
+from __future__ import annotations
+
+from repro.util.errors import ConfigError
+
+
+def _balanced_chunks(total: int, parts: int) -> list[tuple[int, int]]:
+    """Split ``range(total)`` into ``parts`` contiguous chunks whose sizes
+    differ by at most one. Trailing chunks may be empty when parts > total."""
+    if total < 0:
+        raise ConfigError(f"total must be non-negative, got {total}")
+    if parts <= 0:
+        raise ConfigError(f"parts must be positive, got {parts}")
+    base, extra = divmod(total, parts)
+    chunks: list[tuple[int, int]] = []
+    start = 0
+    for t in range(parts):
+        length = base + (1 if t < extra else 0)
+        chunks.append((start, length))
+        start += length
+    return chunks
+
+
+def partition_rows(m: int, n_threads: int) -> list[tuple[int, int]]:
+    """Per-thread ``(ms, mlen)`` row slices of C/A — the paper's
+    "compute offset ms and length mlen"."""
+    return _balanced_chunks(m, n_threads)
+
+
+def partition_panels(n_panels: int, n_threads: int) -> list[tuple[int, int]]:
+    """Per-thread ``(first_panel, n_panels)`` chunks of a B̃ packing job."""
+    return _balanced_chunks(n_panels, n_threads)
+
+
+def owner_of_row(row: int, partition: list[tuple[int, int]]) -> int:
+    """Which thread owns ``row`` under a :func:`partition_rows` result."""
+    for tid, (start, length) in enumerate(partition):
+        if start <= row < start + length:
+            return tid
+    raise ConfigError(f"row {row} outside the partitioned range")

@@ -1,0 +1,62 @@
+"""Cross-thread reductions of per-thread checksum partials.
+
+The B̃ packing is partitioned along N, so each thread's ``B^c_share`` holds
+the column checksum of only *its* packed chunk; the true ``B^c`` for the
+current (p, j) block is the element-wise sum across threads — the paper's
+"extra stage of reduction operation among threads".
+
+In the paper every thread performs the (tiny, O(T·K_C)) reduction into its
+own private ``B^c_reduce`` buffer after the barrier — duplicated work beats
+a second barrier. :func:`reduce_partials` is that operation;
+:func:`tree_reduce` is the log-depth variant used when the partial vectors
+are long enough that duplication would dominate (and it is exercised by the
+parallel-scaling benchmarks).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import ShapeError
+
+
+def reduce_partials(partials: list[np.ndarray], out: np.ndarray | None = None) -> np.ndarray:
+    """Element-wise sum of the per-thread partial vectors.
+
+    All partials must share one shape; ``out`` (when given) receives the
+    result in place — the private ``B^c_reduce`` buffer of one thread.
+    """
+    if not partials:
+        raise ShapeError("nothing to reduce")
+    shape = partials[0].shape
+    for idx, p in enumerate(partials):
+        if p.shape != shape:
+            raise ShapeError(
+                f"partial {idx} has shape {p.shape}, expected {shape}"
+            )
+    if out is None:
+        out = np.zeros(shape, dtype=np.float64)
+    else:
+        if out.shape != shape:
+            raise ShapeError(f"out has shape {out.shape}, expected {shape}")
+        out[:] = 0.0
+    for p in partials:
+        out += p
+    return out
+
+
+def tree_reduce(partials: list[np.ndarray]) -> np.ndarray:
+    """Pairwise (log-depth) reduction; numerically this is the summation
+    order a tree barrier would produce — tests assert it agrees with
+    :func:`reduce_partials` within round-off."""
+    if not partials:
+        raise ShapeError("nothing to reduce")
+    level = [p.astype(np.float64, copy=True) for p in partials]
+    while len(level) > 1:
+        nxt: list[np.ndarray] = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(level[i] + level[i + 1])
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0]

@@ -1,0 +1,134 @@
+"""Thread teams with OpenMP-style barrier semantics.
+
+A *worker* is a generator function ``worker(tid) -> Iterator[None]`` whose
+``yield`` statements are barriers: every thread must reach the same yield
+before any proceeds — exactly ``#pragma omp barrier``. Workers must all
+execute the same number of barriers (enforced; a mismatched worker is a
+deadlock on real hardware and raises here).
+
+Two backends:
+
+- :class:`SimulatedTeam` steps all generators round-robin in the calling
+  thread. Deterministic and reproducible — the default for tests, campaigns
+  and figure generation. The step order within a round is by thread id,
+  which is *one* legal OpenMP interleaving; code whose result depends on
+  intra-round order is racy and the property tests hunt for that by
+  comparing against the rotated-order team.
+- :class:`ThreadTeam` runs each worker on an OS thread with a shared
+  :class:`threading.Barrier`. NumPy kernels release the GIL, so the packing
+  and macro-kernel phases genuinely overlap.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Iterator
+
+from repro.util.errors import ConfigError, SimulationError
+
+Worker = Callable[[int], Iterator[None]]
+
+
+class Team:
+    """Common interface: ``run(worker)`` executes one parallel region."""
+
+    def __init__(self, n_threads: int):
+        if n_threads <= 0:
+            raise ConfigError(f"n_threads must be positive, got {n_threads}")
+        self.n_threads = n_threads
+        self.barriers_executed = 0
+
+    def run(self, worker: Worker) -> None:
+        raise NotImplementedError
+
+
+class SimulatedTeam(Team):
+    """Deterministic single-OS-thread execution of a parallel region.
+
+    ``order`` optionally permutes the within-round step order (default
+    ``0..T-1``); campaigns use rotated orders to check schedule-independence.
+    """
+
+    def __init__(self, n_threads: int, order: list[int] | None = None):
+        super().__init__(n_threads)
+        if order is None:
+            order = list(range(n_threads))
+        if sorted(order) != list(range(n_threads)):
+            raise ConfigError(
+                f"order must be a permutation of 0..{n_threads - 1}, got {order}"
+            )
+        self.order = order
+
+    def run(self, worker: Worker) -> None:
+        gens = {tid: worker(tid) for tid in range(self.n_threads)}
+        live: dict[int, Iterator[None]] = dict(gens)
+        while live:
+            finished: list[int] = []
+            for tid in self.order:
+                if tid not in live:
+                    continue
+                try:
+                    next(live[tid])
+                except StopIteration:
+                    finished.append(tid)
+            for tid in finished:
+                del live[tid]
+            if live and finished:
+                raise SimulationError(
+                    f"barrier mismatch: threads {sorted(finished)} finished while "
+                    f"{sorted(live)} are still waiting at a barrier"
+                )
+            if not finished:
+                self.barriers_executed += 1
+
+
+class ThreadTeam(Team):
+    """Real OS threads joined by a :class:`threading.Barrier` at each yield."""
+
+    def __init__(self, n_threads: int, timeout: float | None = 60.0):
+        super().__init__(n_threads)
+        self.timeout = timeout
+
+    def run(self, worker: Worker) -> None:
+        barrier = threading.Barrier(self.n_threads)
+        errors: list[BaseException] = []
+        errors_lock = threading.Lock()
+        barrier_counts = [0] * self.n_threads
+
+        def body(tid: int) -> None:
+            try:
+                for _ in worker(tid):
+                    barrier_counts[tid] += 1
+                    barrier.wait(timeout=self.timeout)
+            except threading.BrokenBarrierError:
+                # another thread failed or mismatched; its error is recorded
+                pass
+            except BaseException as exc:  # propagate worker failures
+                with errors_lock:
+                    errors.append(exc)
+                barrier.abort()
+
+        threads = [
+            threading.Thread(target=body, args=(tid,), name=f"ftgemm-{tid}")
+            for tid in range(self.n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if errors:
+            raise errors[0]
+        if len(set(barrier_counts)) > 1:
+            raise SimulationError(
+                f"barrier mismatch across threads: counts {barrier_counts}"
+            )
+        self.barriers_executed += barrier_counts[0]
+
+
+def make_team(n_threads: int, backend: str = "simulated") -> Team:
+    """Factory: ``"simulated"`` (deterministic) or ``"threads"`` (real)."""
+    if backend == "simulated":
+        return SimulatedTeam(n_threads)
+    if backend == "threads":
+        return ThreadTeam(n_threads)
+    raise ConfigError(f"unknown team backend {backend!r}")

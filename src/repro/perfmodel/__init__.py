@@ -1,0 +1,60 @@
+"""Analytic performance model of the (FT-)GEMM on the simulated machine.
+
+We cannot time AVX-512 assembly from Python, so the paper's GFLOPS curves
+are regenerated from a calibrated analytical model:
+
+- :mod:`repro.perfmodel.traffic` — DRAM byte legs of the blocked algorithm
+  (packing passes, B̃ spill, C update streams) computed from the *actual*
+  block partition, plus the per-mode fault-tolerance extras: the fused
+  scheme adds only flops; the classic scheme adds the O(n²) memory passes
+  the paper eliminates;
+- :mod:`repro.perfmodel.timing` — converts compute cycles and memory bytes
+  into seconds with a bounded-overlap roofline;
+- :mod:`repro.perfmodel.gemm_model` — :class:`GemmPerfModel`, the per-mode
+  (ori / ft / classic), per-thread-count end-to-end model producing
+  :class:`PerfBreakdown` records;
+- :mod:`repro.perfmodel.overhead` — fused-vs-classic overhead curves (the
+  paper's "from about 15 % to 2.94 %" claim);
+- :mod:`repro.perfmodel.roofline` — textbook roofline helpers used by docs
+  and tests.
+
+Calibration philosophy (DESIGN.md §5): machine peaks and cache geometry are
+hardware facts; a single ``kernel_sustained_eff`` constant captures how
+close a hand-tuned kernel gets to peak; the *FT overheads are not
+calibrated* — they emerge from counted checksum flops and traffic.
+"""
+
+from repro.perfmodel.constants import ModelConstants
+from repro.perfmodel.traffic import TrafficReport, gemm_dram_traffic, ft_extra_traffic
+from repro.perfmodel.timing import TimingModel
+from repro.perfmodel.gemm_model import GemmPerfModel, PerfBreakdown, MODES
+from repro.perfmodel.overhead import overhead_curve, OverheadPoint
+from repro.perfmodel.roofline import (
+    arithmetic_intensity,
+    attainable_gflops,
+    ridge_point,
+)
+from repro.perfmodel.validate import (
+    ValidationReport,
+    expected_counters,
+    validate_run,
+)
+
+__all__ = [
+    "ModelConstants",
+    "TrafficReport",
+    "gemm_dram_traffic",
+    "ft_extra_traffic",
+    "TimingModel",
+    "GemmPerfModel",
+    "PerfBreakdown",
+    "MODES",
+    "overhead_curve",
+    "OverheadPoint",
+    "arithmetic_intensity",
+    "attainable_gflops",
+    "ridge_point",
+    "ValidationReport",
+    "expected_counters",
+    "validate_run",
+]

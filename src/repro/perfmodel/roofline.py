@@ -1,0 +1,68 @@
+"""Textbook roofline helpers.
+
+Used by the documentation, the tuning tests, and to sanity-check the full
+model: a kernel's attainable rate is ``min(peak, intensity * bandwidth)``.
+The paper's motivation — the O(n²) checksum passes of classic ABFT can no
+longer hide behind O(n³) compute on AVX-512 parts — is a roofline statement:
+checksum sweeps have intensity ~1/8 flop/byte, far left of the ridge.
+"""
+
+from __future__ import annotations
+
+from repro.perfmodel.constants import ModelConstants
+from repro.simcpu.machine import MachineSpec
+from repro.util.errors import ConfigError
+
+
+def arithmetic_intensity(flops: float, dram_bytes: float) -> float:
+    """Flops per DRAM byte."""
+    if dram_bytes <= 0:
+        raise ConfigError(f"dram_bytes must be positive, got {dram_bytes}")
+    if flops < 0:
+        raise ConfigError(f"flops must be non-negative, got {flops}")
+    return flops / dram_bytes
+
+
+def attainable_gflops(
+    intensity: float,
+    machine: MachineSpec,
+    *,
+    threads: int = 1,
+    constants: ModelConstants | None = None,
+) -> float:
+    """Roofline: min(compute peak, intensity × bandwidth)."""
+    if intensity <= 0:
+        raise ConfigError(f"intensity must be positive, got {intensity}")
+    constants = constants or ModelConstants()
+    peak = machine.peak_gflops(threads)
+    if threads == 1:
+        bw = constants.single_core_dram_gbs
+    else:
+        bw = min(
+            machine.mem_bandwidth_gbs * constants.parallel_dram_eff,
+            constants.single_core_dram_gbs * threads,
+        )
+    return min(peak, intensity * bw)
+
+
+def ridge_point(
+    machine: MachineSpec,
+    *,
+    threads: int = 1,
+    constants: ModelConstants | None = None,
+) -> float:
+    """Intensity (flop/byte) where compute and bandwidth roofs meet.
+
+    GEMM sits far right of this; a checksum sweep (~1/8 flop/byte) sits far
+    left, which is exactly why the paper fuses them.
+    """
+    constants = constants or ModelConstants()
+    peak = machine.peak_gflops(threads)
+    if threads == 1:
+        bw = constants.single_core_dram_gbs
+    else:
+        bw = min(
+            machine.mem_bandwidth_gbs * constants.parallel_dram_eff,
+            constants.single_core_dram_gbs * threads,
+        )
+    return peak / bw

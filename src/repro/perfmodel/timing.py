@@ -1,0 +1,74 @@
+"""Converting compute cycles and DRAM bytes into wall-clock seconds.
+
+A bounded-overlap roofline: out-of-order cores hide most memory latency
+under compute (``machine.overlap`` of the shorter leg overlaps the longer),
+so ``t = max(tc, tm) + (1 - overlap) * min(tc, tm)``. With ``overlap=1``
+this is the textbook ``max``; the default 0.95 keeps a realistic residue.
+"""
+
+from __future__ import annotations
+
+from repro.perfmodel.constants import ModelConstants
+from repro.simcpu.machine import MachineSpec
+from repro.util.errors import ConfigError
+
+
+class TimingModel:
+    """Seconds from (cycles, bytes) for a given thread count."""
+
+    def __init__(
+        self,
+        machine: MachineSpec,
+        constants: ModelConstants | None = None,
+        *,
+        threads: int = 1,
+    ):
+        if threads <= 0:
+            raise ConfigError(f"threads must be positive, got {threads}")
+        if threads > machine.cores:
+            raise ConfigError(
+                f"{threads} threads exceed the {machine.cores} cores of "
+                f"{machine.name}"
+            )
+        self.machine = machine
+        self.constants = constants or ModelConstants()
+        self.threads = threads
+
+    # ------------------------------------------------------------------ legs
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Per-core cycles at the sustained SIMD clock."""
+        if cycles < 0:
+            raise ConfigError(f"cycles must be non-negative, got {cycles}")
+        return cycles / (self.machine.simd_freq_ghz * 1e9)
+
+    @property
+    def dram_bandwidth_gbs(self) -> float:
+        """Aggregate sustained DRAM bandwidth available to this run."""
+        if self.threads == 1:
+            return self.constants.single_core_dram_gbs
+        socket = self.machine.mem_bandwidth_gbs * self.constants.parallel_dram_eff
+        per_core_limit = self.constants.single_core_dram_gbs * self.threads
+        return min(socket, per_core_limit)
+
+    def dram_seconds(self, nbytes: float) -> float:
+        if nbytes < 0:
+            raise ConfigError(f"bytes must be non-negative, got {nbytes}")
+        return nbytes / (self.dram_bandwidth_gbs * 1e9)
+
+    # --------------------------------------------------------------- combine
+    def combine(self, compute_seconds: float, memory_seconds: float) -> float:
+        """Bounded-overlap roofline combination of the two legs."""
+        hi = max(compute_seconds, memory_seconds)
+        lo = min(compute_seconds, memory_seconds)
+        return hi + (1.0 - self.machine.overlap) * lo
+
+    def sync_seconds(self, n_barriers: int) -> float:
+        """Cost of the parallel region: spawn once plus each barrier."""
+        if self.threads == 1:
+            return 0.0
+        if n_barriers < 0:
+            raise ConfigError(f"n_barriers must be non-negative, got {n_barriers}")
+        return (
+            self.constants.parallel_spawn_seconds
+            + n_barriers * self.constants.barrier_seconds
+        )

@@ -1,0 +1,40 @@
+"""Simulated x86 CPU substrate.
+
+The paper evaluates on a real Intel Xeon W-2255 (Cascade Lake). This package
+substitutes that hardware with:
+
+- :class:`MachineSpec` — the parameter sheet of the target CPU (frequencies,
+  FMA ports, vector width, cache geometry, memory bandwidth), with a factory
+  for the paper's exact part (:func:`MachineSpec.cascade_lake_w2255`);
+- :class:`CacheSim` / :class:`CacheHierarchy` — set-associative LRU cache
+  simulators driven by the *actual address streams* of the blocked GEMM
+  implementation (used by the blocking-parameter ablation);
+- :class:`TLBSim` — page-granularity TLB model (packing exists to reduce TLB
+  misses; the ablation shows that);
+- :class:`VectorUnit` — cycle model of the AVX-512 FMA pipeline used to cost
+  micro kernels;
+- :class:`Counters` — the event record every simulated component writes into.
+"""
+
+from repro.simcpu.machine import CacheSpec, MachineSpec
+from repro.simcpu.counters import Counters, CacheCounters
+from repro.simcpu.cache import CacheSim, CacheHierarchy
+from repro.simcpu.tlb import TLBSim
+from repro.simcpu.vector import VectorUnit
+from repro.simcpu.trace import AccessTrace, MemoryAccess
+from repro.simcpu.prefetch import PrefetchingHierarchy, PrefetchStats
+
+__all__ = [
+    "CacheSpec",
+    "MachineSpec",
+    "Counters",
+    "CacheCounters",
+    "CacheSim",
+    "CacheHierarchy",
+    "TLBSim",
+    "VectorUnit",
+    "AccessTrace",
+    "MemoryAccess",
+    "PrefetchingHierarchy",
+    "PrefetchStats",
+]

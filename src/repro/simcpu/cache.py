@@ -1,0 +1,136 @@
+"""Set-associative LRU cache simulator.
+
+Used by the blocking-parameter ablation (exp ``A-blocking`` in DESIGN.md):
+the instrumented blocked GEMM replays its real address stream through a
+:class:`CacheHierarchy` configured from a :class:`MachineSpec`, and the miss
+counts show why the paper's ``M_C``/``K_C``/``N_C`` keep the `Ã` panel in L2
+and the `B̃` panel in L3.
+
+The simulator works at line granularity with true LRU per set. Bulk ranges
+(from :class:`MemoryAccess`) are expanded internally; repeated lines within a
+single access are touched once per line, matching hardware behaviour for a
+streaming read.
+"""
+
+from __future__ import annotations
+
+from repro.simcpu.counters import CacheCounters
+from repro.simcpu.machine import CacheSpec, MachineSpec
+from repro.simcpu.trace import MemoryAccess
+from repro.util.errors import SimulationError
+
+
+class CacheSim:
+    """One set-associative LRU cache level with write-back/write-allocate."""
+
+    def __init__(self, spec: CacheSpec):
+        self.spec = spec
+        self.counters = CacheCounters()
+        # each set is a dict {tag: dirty}; dict iteration order serves as the
+        # LRU queue (oldest first) — re-inserting a tag moves it to the back
+        self._sets: list[dict[int, bool]] = [dict() for _ in range(spec.n_sets)]
+
+    # ----------------------------------------------------------------- state
+    def reset(self) -> None:
+        self.counters.reset()
+        for s in self._sets:
+            s.clear()
+
+    def resident_lines(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def contains(self, addr: int) -> bool:
+        line = addr // self.spec.line_bytes
+        return (line // self.spec.n_sets) in self._sets[line % self.spec.n_sets]
+
+    # ---------------------------------------------------------------- access
+    def access_line(self, line: int, write: bool) -> tuple[bool, bool]:
+        """Touch one line; returns ``(hit, evicted_dirty)``."""
+        set_idx = line % self.spec.n_sets
+        tag = line // self.spec.n_sets
+        cset = self._sets[set_idx]
+        self.counters.accesses += 1
+        evicted_dirty = False
+        if tag in cset:
+            self.counters.hits += 1
+            dirty = cset.pop(tag) or write
+            cset[tag] = dirty  # move to MRU position
+            return True, False
+        self.counters.misses += 1
+        if len(cset) >= self.spec.associativity:
+            victim_tag = next(iter(cset))
+            evicted_dirty = cset.pop(victim_tag)
+            self.counters.evictions += 1
+            if evicted_dirty:
+                self.counters.writebacks += 1
+        cset[tag] = write
+        return False, evicted_dirty
+
+    def access(self, access: MemoryAccess) -> int:
+        """Replay one bulk access; returns the number of missing lines."""
+        misses = 0
+        for line in access.lines(self.spec.line_bytes):
+            hit, _ = self.access_line(line, access.write)
+            if not hit:
+                misses += 1
+        return misses
+
+
+class CacheHierarchy:
+    """An inclusive-miss chain of :class:`CacheSim` levels plus memory.
+
+    A miss at L(i) is forwarded to L(i+1); a miss at the last level counts as
+    a DRAM access. ``mem_lines`` accumulates the lines fetched from memory and
+    ``mem_writeback_lines`` the dirty lines written back from the last level
+    — together they are the DRAM traffic the roofline model prices.
+    """
+
+    def __init__(self, levels: list[CacheSim]):
+        if not levels:
+            raise SimulationError("hierarchy needs at least one level")
+        line = levels[0].spec.line_bytes
+        for lv in levels:
+            if lv.spec.line_bytes != line:
+                raise SimulationError("all levels must share a line size")
+        self.levels = levels
+        self.line_bytes = line
+        self.mem_lines = 0
+        self.mem_writeback_lines = 0
+
+    @classmethod
+    def from_machine(cls, machine: MachineSpec) -> "CacheHierarchy":
+        return cls([CacheSim(spec) for spec in machine.caches])
+
+    def reset(self) -> None:
+        for lv in self.levels:
+            lv.reset()
+        self.mem_lines = 0
+        self.mem_writeback_lines = 0
+
+    def access(self, access: MemoryAccess) -> None:
+        for line in access.lines(self.line_bytes):
+            self._access_line(line, access.write)
+
+    def _access_line(self, line: int, write: bool) -> None:
+        for depth, lv in enumerate(self.levels):
+            hit, evicted_dirty = lv.access_line(line, write)
+            if evicted_dirty and depth == len(self.levels) - 1:
+                self.mem_writeback_lines += 1
+            if hit:
+                return
+        self.mem_lines += 1
+
+    def replay(self, accesses) -> None:
+        for acc in accesses:
+            self.access(acc)
+
+    # ------------------------------------------------------------- reporting
+    @property
+    def mem_bytes(self) -> int:
+        return (self.mem_lines + self.mem_writeback_lines) * self.line_bytes
+
+    def miss_rates(self) -> dict[int, float]:
+        return {lv.spec.level: lv.counters.miss_rate for lv in self.levels}
+
+    def counters_by_level(self) -> dict[int, CacheCounters]:
+        return {lv.spec.level: lv.counters for lv in self.levels}

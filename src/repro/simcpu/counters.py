@@ -1,0 +1,117 @@
+"""Event counters shared by the simulated components.
+
+:class:`Counters` is the single record every instrumented path writes into:
+the GEMM driver counts flops/loads/stores, the cache hierarchy fills one
+:class:`CacheCounters` per level, and the performance model consumes the
+totals. Counters support ``+`` so per-thread records can be reduced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CacheCounters:
+    """Hit/miss statistics for one cache (or TLB) level."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def __add__(self, other: "CacheCounters") -> "CacheCounters":
+        return CacheCounters(
+            accesses=self.accesses + other.accesses,
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            evictions=self.evictions + other.evictions,
+            writebacks=self.writebacks + other.writebacks,
+        )
+
+    def reset(self) -> None:
+        self.accesses = self.hits = self.misses = 0
+        self.evictions = self.writebacks = 0
+
+
+@dataclass
+class Counters:
+    """Aggregate execution counters for one (FT-)GEMM invocation.
+
+    ``fma_flops`` counts the multiply-add flops of the main product (2 per
+    FMA); ``checksum_flops`` counts the extra arithmetic the ABFT scheme
+    adds; the ``*_bytes`` fields are the algorithmic (cache-oblivious) memory
+    volumes the traffic model refines per level.
+    """
+
+    fma_flops: int = 0
+    checksum_flops: int = 0
+    loads_bytes: int = 0
+    stores_bytes: int = 0
+    #: extra bytes moved only because of fault tolerance (classic ABFT pays
+    #: these; the fused scheme's ambition is to keep this at zero)
+    ft_extra_bytes: int = 0
+    pack_a_bytes: int = 0
+    pack_b_bytes: int = 0
+    microkernel_calls: int = 0
+    barriers: int = 0
+    verifications: int = 0
+    errors_detected: int = 0
+    errors_corrected: int = 0
+    blocks_recomputed: int = 0
+    cache: dict[int, CacheCounters] = field(default_factory=dict)
+
+    @property
+    def total_flops(self) -> int:
+        return self.fma_flops + self.checksum_flops
+
+    @property
+    def total_bytes(self) -> int:
+        return self.loads_bytes + self.stores_bytes + self.ft_extra_bytes
+
+    def cache_level(self, level: int) -> CacheCounters:
+        """Return (creating on demand) the counter record for cache ``level``."""
+        if level not in self.cache:
+            self.cache[level] = CacheCounters()
+        return self.cache[level]
+
+    def __add__(self, other: "Counters") -> "Counters":
+        merged_cache: dict[int, CacheCounters] = {}
+        for level in set(self.cache) | set(other.cache):
+            merged_cache[level] = self.cache.get(level, CacheCounters()) + other.cache.get(
+                level, CacheCounters()
+            )
+        return Counters(
+            fma_flops=self.fma_flops + other.fma_flops,
+            checksum_flops=self.checksum_flops + other.checksum_flops,
+            loads_bytes=self.loads_bytes + other.loads_bytes,
+            stores_bytes=self.stores_bytes + other.stores_bytes,
+            ft_extra_bytes=self.ft_extra_bytes + other.ft_extra_bytes,
+            pack_a_bytes=self.pack_a_bytes + other.pack_a_bytes,
+            pack_b_bytes=self.pack_b_bytes + other.pack_b_bytes,
+            microkernel_calls=self.microkernel_calls + other.microkernel_calls,
+            barriers=self.barriers + other.barriers,
+            verifications=self.verifications + other.verifications,
+            errors_detected=self.errors_detected + other.errors_detected,
+            errors_corrected=self.errors_corrected + other.errors_corrected,
+            blocks_recomputed=self.blocks_recomputed + other.blocks_recomputed,
+            cache=merged_cache,
+        )
+
+    def reset(self) -> None:
+        self.fma_flops = self.checksum_flops = 0
+        self.loads_bytes = self.stores_bytes = self.ft_extra_bytes = 0
+        self.pack_a_bytes = self.pack_b_bytes = 0
+        self.microkernel_calls = self.barriers = self.verifications = 0
+        self.errors_detected = self.errors_corrected = self.blocks_recomputed = 0
+        for c in self.cache.values():
+            c.reset()

@@ -1,0 +1,166 @@
+"""Machine parameter sheets.
+
+:class:`MachineSpec` collects everything the performance model and the cache
+simulator need to know about a CPU. The default instance reproduces the
+paper's testbed — an Intel Xeon W-2255 (Cascade Lake-W) with DDR4-2933.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.util.errors import ConfigError
+
+DOUBLE = 8  # bytes per float64
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """Geometry and cost parameters of one cache level."""
+
+    level: int
+    size_bytes: int
+    line_bytes: int
+    associativity: int
+    latency_cycles: float
+    #: sustained bytes/cycle the level can feed the core (load bandwidth)
+    bandwidth_bytes_per_cycle: float
+    #: shared among all cores (True for the Cascade Lake L3)
+    shared: bool = False
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.line_bytes <= 0 or self.associativity <= 0:
+            raise ConfigError(f"invalid cache geometry: {self}")
+        if self.size_bytes % (self.line_bytes * self.associativity) != 0:
+            raise ConfigError(
+                f"L{self.level}: size {self.size_bytes} not divisible by "
+                f"line*assoc ({self.line_bytes}*{self.associativity})"
+            )
+
+    @property
+    def n_sets(self) -> int:
+        return self.size_bytes // (self.line_bytes * self.associativity)
+
+    @property
+    def capacity_doubles(self) -> int:
+        return self.size_bytes // DOUBLE
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Parameter sheet for a target CPU.
+
+    ``freq_ghz`` is the base frequency; ``simd_freq_ghz`` the sustained clock
+    under full-width FMA load (AVX-512 license downclock on Cascade Lake).
+    """
+
+    name: str
+    cores: int
+    freq_ghz: float
+    simd_freq_ghz: float
+    fma_ports: int
+    vector_lanes_f64: int
+    caches: tuple[CacheSpec, ...]
+    mem_bandwidth_gbs: float
+    mem_latency_ns: float
+    #: architectural FP registers available to a micro kernel (zmm0..zmm31)
+    vector_registers: int = 32
+    #: 4 KiB pages unless a spec overrides (the paper's packing exists to
+    #: keep the kernel's working set within dtlb reach)
+    page_bytes: int = 4096
+    dtlb_entries: int = 64
+    dtlb_associativity: int = 4
+    #: fraction of memory/compute overlap the out-of-order core achieves for
+    #: streaming kernels (1.0 = perfect overlap => pure roofline max())
+    overlap: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ConfigError(f"cores must be positive, got {self.cores}")
+        if not self.caches:
+            raise ConfigError("at least one cache level is required")
+        levels = [c.level for c in self.caches]
+        if levels != sorted(levels) or len(set(levels)) != len(levels):
+            raise ConfigError(f"cache levels must be increasing/unique: {levels}")
+        if not 0.0 <= self.overlap <= 1.0:
+            raise ConfigError(f"overlap must be in [0,1], got {self.overlap}")
+
+    # ------------------------------------------------------------------ peaks
+    @property
+    def flops_per_cycle_per_core(self) -> float:
+        """FMA counts as 2 flops; each port retires one full-width FMA/cycle."""
+        return 2.0 * self.fma_ports * self.vector_lanes_f64
+
+    @property
+    def peak_gflops_serial(self) -> float:
+        return self.flops_per_cycle_per_core * self.simd_freq_ghz
+
+    @property
+    def peak_gflops_parallel(self) -> float:
+        return self.peak_gflops_serial * self.cores
+
+    def peak_gflops(self, threads: int) -> float:
+        if threads <= 0:
+            raise ConfigError(f"threads must be positive, got {threads}")
+        return self.peak_gflops_serial * min(threads, self.cores)
+
+    def cache(self, level: int) -> CacheSpec:
+        for c in self.caches:
+            if c.level == level:
+                return c
+        raise ConfigError(f"{self.name} has no L{level} cache")
+
+    @property
+    def last_level(self) -> CacheSpec:
+        return self.caches[-1]
+
+    def with_(self, **kwargs) -> "MachineSpec":
+        """Return a modified copy (the ablations sweep single parameters)."""
+        return replace(self, **kwargs)
+
+    # -------------------------------------------------------------- factories
+    @staticmethod
+    def cascade_lake_w2255() -> "MachineSpec":
+        """The paper's testbed: Xeon W-2255, 10 cores, 3.7 GHz, DDR4-2933.
+
+        Cascade Lake-W has two 512-bit FMA ports per core; the sustained
+        AVX-512 clock is ~3.5 GHz on this part. Four DDR4-2933 channels give
+        a theoretical 93.9 GB/s.
+        """
+        return MachineSpec(
+            name="Intel Xeon W-2255 (Cascade Lake)",
+            cores=10,
+            freq_ghz=3.7,
+            simd_freq_ghz=3.5,
+            fma_ports=2,
+            vector_lanes_f64=8,
+            caches=(
+                CacheSpec(1, 32 * 1024, 64, 8, 4, 128.0, shared=False),
+                CacheSpec(2, 1024 * 1024, 64, 16, 14, 64.0, shared=False),
+                CacheSpec(3, 19712 * 1024, 64, 11, 50, 32.0, shared=True),
+            ),
+            mem_bandwidth_gbs=93.9,
+            mem_latency_ns=90.0,
+        )
+
+    @staticmethod
+    def small_test_machine() -> "MachineSpec":
+        """A deliberately tiny machine so cache behaviour is testable with
+        matrices of a few hundred elements (unit tests / ablations)."""
+        return MachineSpec(
+            name="test-machine",
+            cores=4,
+            freq_ghz=1.0,
+            simd_freq_ghz=1.0,
+            fma_ports=1,
+            vector_lanes_f64=4,
+            caches=(
+                CacheSpec(1, 1024, 64, 2, 2, 32.0, shared=False),
+                CacheSpec(2, 8192, 64, 4, 8, 16.0, shared=False),
+                CacheSpec(3, 65536, 64, 8, 30, 8.0, shared=True),
+            ),
+            mem_bandwidth_gbs=8.0,
+            mem_latency_ns=100.0,
+            vector_registers=16,
+            dtlb_entries=8,
+        )

@@ -1,0 +1,155 @@
+"""Stride prefetcher model.
+
+The paper's testbed runs with "hardware prefetchers enabled according to
+the Intel BIOS default" — and packed GEMM is co-designed with them: packing
+turns every kernel operand into a unit-stride stream the L2 streamer can
+follow perfectly, which is part of why Ã/B̃ exist at all.
+
+:class:`PrefetchingHierarchy` wraps a :class:`CacheHierarchy` with a
+reference-prediction table: per memory region it tracks the last line and
+stride of the access stream; once a stride repeats (``trigger`` times), the
+next ``degree`` lines are prefetched into the hierarchy. Demand accesses
+that land on prefetched lines become hits; the usefulness counters separate
+prefetches that were consumed from those that polluted.
+
+The blocking ablation uses this to show packed streams reaching near-100 %
+prefetch coverage while the unpacked (strided) walk defeats the table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.simcpu.cache import CacheHierarchy
+from repro.simcpu.trace import MemoryAccess
+from repro.util.errors import ConfigError
+
+
+@dataclass
+class PrefetchStats:
+    issued: int = 0
+    useful: int = 0
+    demand_accesses: int = 0
+    covered: int = 0  # demand lines that hit because a prefetch fetched them
+
+    @property
+    def accuracy(self) -> float:
+        return self.useful / self.issued if self.issued else 0.0
+
+    @property
+    def coverage(self) -> float:
+        return self.covered / self.demand_accesses if self.demand_accesses else 0.0
+
+
+@dataclass
+class _StreamEntry:
+    last_line: int
+    stride: int = 0
+    confidence: int = 0
+
+
+class PrefetchingHierarchy:
+    """A stride prefetcher in front of a cache hierarchy.
+
+    ``region_bits`` defines the stream granularity (default 12 → 4 KiB
+    pages, matching the Intel streamer's page-bounded behaviour);
+    ``degree`` is the prefetch depth, ``trigger`` the stride confirmations
+    required before issuing.
+    """
+
+    def __init__(
+        self,
+        hierarchy: CacheHierarchy,
+        *,
+        degree: int = 4,
+        trigger: int = 2,
+        table_size: int = 16,
+        region_bits: int = 12,
+    ):
+        if degree < 1 or trigger < 1 or table_size < 1:
+            raise ConfigError(
+                f"invalid prefetcher geometry: degree={degree}, "
+                f"trigger={trigger}, table={table_size}"
+            )
+        self.hierarchy = hierarchy
+        self.degree = degree
+        self.trigger = trigger
+        self.table_size = table_size
+        self.region_bits = region_bits
+        self.stats = PrefetchStats()
+        self._table: dict[int, _StreamEntry] = {}
+        self._prefetched: set[int] = set()
+
+    @property
+    def line_bytes(self) -> int:
+        return self.hierarchy.line_bytes
+
+    def reset(self) -> None:
+        self.hierarchy.reset()
+        self.stats = PrefetchStats()
+        self._table.clear()
+        self._prefetched.clear()
+
+    # ---------------------------------------------------------------- sink
+    def access(self, access: MemoryAccess) -> None:
+        for line in access.lines(self.line_bytes):
+            self._demand_line(line, access.write)
+
+    def replay(self, accesses) -> None:
+        for acc in accesses:
+            self.access(acc)
+
+    # ------------------------------------------------------------ internals
+    def _demand_line(self, line: int, write: bool) -> None:
+        self.stats.demand_accesses += 1
+        if line in self._prefetched:
+            self._prefetched.discard(line)
+            self.stats.useful += 1
+            self.stats.covered += 1
+        self.hierarchy._access_line(line, write)
+        self._train(line)
+
+    def _train(self, line: int) -> None:
+        region = (line * self.line_bytes) >> self.region_bits
+        entry = self._table.get(region)
+        if entry is None:
+            if len(self._table) >= self.table_size:
+                # evict the oldest stream (dict order = insertion order)
+                self._table.pop(next(iter(self._table)))
+            self._table[region] = _StreamEntry(last_line=line)
+            return
+        stride = line - entry.last_line
+        if stride == 0:
+            return
+        if stride == entry.stride:
+            entry.confidence += 1
+        else:
+            entry.stride = stride
+            entry.confidence = 1
+        entry.last_line = line
+        if entry.confidence >= self.trigger:
+            self._issue(line, stride)
+
+    def _issue(self, line: int, stride: int) -> None:
+        region = (line * self.line_bytes) >> self.region_bits
+        for step in range(1, self.degree + 1):
+            target = line + step * stride
+            if target < 0 or target in self._prefetched:
+                continue
+            # hardware streamers do not cross the 4 KiB page boundary —
+            # the physical address of the next page is unknown to them
+            if (target * self.line_bytes) >> self.region_bits != region:
+                break
+            if self.hierarchy.levels[0].contains(target * self.line_bytes):
+                continue  # already resident: no fetch issued
+            self.stats.issued += 1
+            self._prefetched.add(target)
+            self.hierarchy._access_line(target, write=False)
+
+    # ------------------------------------------------------------- plumbing
+    @property
+    def mem_lines(self) -> int:
+        return self.hierarchy.mem_lines
+
+    def miss_rates(self) -> dict[int, float]:
+        return self.hierarchy.miss_rates()

@@ -1,0 +1,85 @@
+"""Memory access traces.
+
+The instrumented GEMM driver emits bulk :class:`MemoryAccess` records (one per
+packed-panel read, per micro-kernel operand stream, per C-block update) rather
+than one event per scalar load — the cache simulator expands ranges to line
+granularity itself. :class:`AccessTrace` is a recording sink used by tests and
+the blocking ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class MemoryAccess:
+    """A contiguous byte-range access.
+
+    ``addr`` is a simulated virtual address (the allocator in
+    :mod:`repro.gemm.driver` lays arrays out in a flat address space);
+    ``write`` marks stores; ``label`` carries provenance ("A", "Btilde", ...)
+    for per-structure miss attribution.
+    """
+
+    addr: int
+    size: int
+    write: bool = False
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.addr < 0 or self.size <= 0:
+            raise ValueError(f"invalid access: addr={self.addr}, size={self.size}")
+
+    def lines(self, line_bytes: int) -> range:
+        """Indices of the cache lines this access touches."""
+        first = self.addr // line_bytes
+        last = (self.addr + self.size - 1) // line_bytes
+        return range(first, last + 1)
+
+
+class AccessTrace:
+    """A bounded in-memory recording of accesses.
+
+    Holds at most ``capacity`` events (drops and counts the overflow) so an
+    instrumented run on a larger matrix cannot exhaust memory.
+    """
+
+    def __init__(self, capacity: int = 1_000_000):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.events: list[MemoryAccess] = []
+        self.dropped = 0
+
+    def record(self, access: MemoryAccess) -> None:
+        if len(self.events) < self.capacity:
+            self.events.append(access)
+        else:
+            self.dropped += 1
+
+    def access(self, access: MemoryAccess) -> None:
+        """Memory-sink interface: a trace just records what it is handed,
+        so it can sit wherever a cache/TLB simulator would."""
+        self.record(access)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[MemoryAccess]:
+        return iter(self.events)
+
+    def total_bytes(self, *, writes: bool | None = None, label: str | None = None) -> int:
+        """Total bytes moved, optionally filtered by direction and label."""
+        total = 0
+        for ev in self.events:
+            if writes is not None and ev.write != writes:
+                continue
+            if label is not None and ev.label != label:
+                continue
+            total += ev.size
+        return total
+
+    def labels(self) -> set[str]:
+        return {ev.label for ev in self.events}

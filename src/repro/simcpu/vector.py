@@ -1,0 +1,134 @@
+"""Cycle model of the AVX-512 FMA pipeline.
+
+The paper's micro kernel is hand-written AVX-512 assembly. We cannot execute
+that from Python, so :class:`VectorUnit` reproduces its *cost*: given a
+register-tile shape ``M_R x N_R`` and depth ``K_C`` it returns the cycles the
+Cascade Lake FMA pipeline needs, accounting for
+
+- issue throughput (``fma_ports`` full-width FMAs per cycle),
+- FMA latency (accumulator dependency chains must be covered by enough
+  independent accumulators or the pipeline stalls),
+- register pressure (tiles that exceed the 32 zmm registers spill and are
+  rejected by :meth:`check_tile`).
+
+This is the standard analytical model used to derive BLIS-style micro-kernel
+shapes; for the paper's 10-core part it reproduces why ``M_R x N_R`` tiles on
+AVX-512 are chosen around 8-31 accumulators (e.g. 8x6, 16x14 halves, 31x1…).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.simcpu.machine import MachineSpec
+from repro.util.errors import ConfigError
+
+#: FMA latency in cycles on Skylake-X / Cascade Lake
+FMA_LATENCY_CYCLES = 4
+
+
+@dataclass(frozen=True)
+class TileCost:
+    """Cost report for one micro-kernel invocation."""
+
+    cycles: float
+    fma_issues: int
+    efficiency: float  # achieved / peak FMA throughput
+    registers_used: int
+
+
+class VectorUnit:
+    """Analytical cost model of a per-core SIMD FMA pipeline."""
+
+    def __init__(self, machine: MachineSpec, fma_latency: int = FMA_LATENCY_CYCLES):
+        if fma_latency <= 0:
+            raise ConfigError(f"fma_latency must be positive, got {fma_latency}")
+        self.machine = machine
+        self.lanes = machine.vector_lanes_f64
+        self.ports = machine.fma_ports
+        self.latency = fma_latency
+        self.registers = machine.vector_registers
+
+    # -------------------------------------------------------------- geometry
+    def accumulators(self, mr: int, nr: int) -> int:
+        """Vector registers holding the C tile: ceil(mr/lanes) * nr."""
+        return math.ceil(mr / self.lanes) * nr
+
+    def registers_needed(self, mr: int, nr: int) -> int:
+        """C accumulators + one column of A vectors + 1-2 broadcast B regs."""
+        a_regs = math.ceil(mr / self.lanes)
+        b_regs = 2
+        return self.accumulators(mr, nr) + a_regs + b_regs
+
+    def check_tile(self, mr: int, nr: int) -> None:
+        if mr <= 0 or nr <= 0:
+            raise ConfigError(f"tile must be positive, got {mr}x{nr}")
+        need = self.registers_needed(mr, nr)
+        if need > self.registers:
+            raise ConfigError(
+                f"micro tile {mr}x{nr} needs {need} vector registers "
+                f"but only {self.registers} exist (would spill)"
+            )
+
+    # ------------------------------------------------------------------ cost
+    def tile_efficiency(self, mr: int, nr: int) -> float:
+        """Fraction of peak FMA issue the dependency chains allow.
+
+        Each accumulator register is updated once per k-iteration; with ``a``
+        independent accumulators the pipeline can keep ``a / (latency*ports)``
+        of its slots busy, capped at 1.
+        """
+        self.check_tile(mr, nr)
+        acc = self.accumulators(mr, nr)
+        return min(1.0, acc / (self.latency * self.ports))
+
+    def microkernel_cost(self, mr: int, nr: int, kc: int) -> TileCost:
+        """Cycles for one C(mr,nr) += A(mr,kc) @ B(kc,nr) rank-kc update."""
+        self.check_tile(mr, nr)
+        if kc <= 0:
+            raise ConfigError(f"kc must be positive, got {kc}")
+        a_vecs = math.ceil(mr / self.lanes)
+        fma_issues = a_vecs * nr * kc
+        eff = self.tile_efficiency(mr, nr)
+        throughput_cycles = fma_issues / (self.ports * eff)
+        # ramp: the first `latency` iterations fill the pipeline
+        cycles = throughput_cycles + self.latency
+        return TileCost(
+            cycles=cycles,
+            fma_issues=fma_issues,
+            efficiency=eff,
+            registers_used=self.registers_needed(mr, nr),
+        )
+
+    def gemm_compute_cycles(self, m: int, n: int, k: int, mr: int, nr: int) -> float:
+        """Cycles of pure FMA work for a full m×n×k GEMM tiled mr×nr.
+
+        Edge tiles are costed at their true (smaller) shape; this is what the
+        timing model uses as the compute leg of the roofline.
+        """
+        if min(m, n, k) <= 0:
+            raise ConfigError(f"gemm dims must be positive, got {m}x{n}x{k}")
+        total = 0.0
+        m_full, m_rem = divmod(m, mr)
+        n_full, n_rem = divmod(n, nr)
+
+        def tile_cycles(tm: int, tn: int) -> float:
+            return self.microkernel_cost(tm, tn, k).cycles
+
+        if m_full and n_full:
+            total += m_full * n_full * tile_cycles(mr, nr)
+        if m_rem and n_full:
+            total += n_full * tile_cycles(m_rem, nr)
+        if m_full and n_rem:
+            total += m_full * tile_cycles(mr, n_rem)
+        if m_rem and n_rem:
+            total += tile_cycles(m_rem, n_rem)
+        return total
+
+    def flops_to_cycles(self, flops: float, efficiency: float = 1.0) -> float:
+        """Convert a raw flop count to cycles at a given pipeline efficiency."""
+        if efficiency <= 0:
+            raise ConfigError(f"efficiency must be positive, got {efficiency}")
+        peak = self.machine.flops_per_cycle_per_core
+        return flops / (peak * efficiency)

@@ -1,0 +1,39 @@
+"""Shared utilities for the FT-GEMM reproduction.
+
+Small, dependency-free helpers used across every subpackage: argument
+validation, deterministic RNG construction, table formatting, and the
+exception hierarchy.
+"""
+
+from repro.util.errors import (
+    ReproError,
+    ShapeError,
+    ConfigError,
+    FaultToleranceError,
+    UncorrectableError,
+)
+from repro.util.rng import make_rng, spawn_rngs
+from repro.util.validation import (
+    check_gemm_operands,
+    check_positive,
+    check_in,
+    as_2d_float64,
+)
+from repro.util.formatting import format_table, format_gflops, format_percent
+
+__all__ = [
+    "ReproError",
+    "ShapeError",
+    "ConfigError",
+    "FaultToleranceError",
+    "UncorrectableError",
+    "make_rng",
+    "spawn_rngs",
+    "check_gemm_operands",
+    "check_positive",
+    "check_in",
+    "as_2d_float64",
+    "format_table",
+    "format_gflops",
+    "format_percent",
+]

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the FT-GEMM reproduction.
+
+Every exception raised by the library derives from :class:`ReproError`, so
+callers can catch a single type at the API boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class ShapeError(ReproError, ValueError):
+    """Operand shapes are inconsistent for the requested operation."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A configuration object holds an invalid or inconsistent value."""
+
+
+class FaultToleranceError(ReproError, RuntimeError):
+    """The fault-tolerance machinery reached an unrecoverable state."""
+
+
+class UncorrectableError(FaultToleranceError):
+    """Errors were detected that the ABFT scheme could not correct.
+
+    Raised only when recomputation fallback is disabled (see
+    ``FTGemmConfig.recompute_fallback``) or when recomputation itself keeps
+    failing beyond ``FTGemmConfig.max_recompute_attempts``.
+    """
+
+    def __init__(self, message: str, *, detected: int = 0, corrected: int = 0):
+        super().__init__(message)
+        self.detected = detected
+        self.corrected = corrected
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The simulated hardware substrate was driven into an invalid state."""

@@ -1,0 +1,80 @@
+"""Plain-text table and unit formatting for the benchmark harness.
+
+The paper reports GFLOPS curves and percentage overheads; the harness prints
+the regenerated series as monospaced tables via :func:`format_table` so they
+can be diffed between runs and pasted into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_gflops(value: float) -> str:
+    """Render a GFLOPS value with a fixed width suitable for table columns."""
+    if value != value:  # NaN
+        return "    n/a"
+    return f"{value:7.1f}"
+
+
+def format_percent(value: float, *, signed: bool = True) -> str:
+    """Render a ratio (e.g. ``0.0294``) as a percentage string (``+2.94%``)."""
+    if value != value:
+        return "n/a"
+    sign = "+" if signed else ""
+    return f"{value * 100:{sign}.2f}%"
+
+
+def format_seconds(value: float) -> str:
+    """Human-scale duration: picks ns/us/ms/s."""
+    if value != value:
+        return "n/a"
+    if value < 1e-6:
+        return f"{value * 1e9:.1f}ns"
+    if value < 1e-3:
+        return f"{value * 1e6:.1f}us"
+    if value < 1.0:
+        return f"{value * 1e3:.2f}ms"
+    return f"{value:.3f}s"
+
+
+def format_bytes(value: float) -> str:
+    """Human-scale byte count (KiB/MiB/GiB)."""
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0:
+            return f"{value:.1f}{unit}"
+        value /= 1024.0
+    return f"{value:.1f}PiB"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned monospaced table.
+
+    Cells are stringified with ``str``; numeric alignment is the caller's
+    responsibility (pre-format floats with the helpers above).
+    """
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    out: list[str] = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append("  ".join("-" * w for w in widths))
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)

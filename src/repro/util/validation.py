@@ -1,0 +1,83 @@
+"""Argument validation helpers.
+
+The public GEMM entry points accept arbitrary array-likes; these helpers
+normalize them to contiguous float64 arrays and raise :class:`ShapeError` /
+:class:`ConfigError` with actionable messages instead of letting NumPy fail
+deep inside a kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.util.errors import ConfigError, ShapeError
+
+
+def as_2d_float64(x, name: str, *, copy: bool = False) -> np.ndarray:
+    """Coerce ``x`` to a C-contiguous 2-D float64 array.
+
+    A view is returned whenever possible (``copy=False``); the GEMM drivers
+    never mutate their ``A``/``B`` inputs so sharing is safe.
+    """
+    if copy:
+        arr = np.array(x, dtype=np.float64, order="C", ndmin=2)
+    else:
+        arr = np.asarray(x, dtype=np.float64)
+    if arr.ndim < 2:
+        arr = np.atleast_2d(arr)
+    if arr.ndim != 2:
+        raise ShapeError(f"{name} must be 2-D, got ndim={arr.ndim}")
+    if not arr.flags.c_contiguous:
+        arr = np.ascontiguousarray(arr)
+    return arr
+
+
+def check_gemm_operands(
+    a: np.ndarray, b: np.ndarray, c: np.ndarray | None = None
+) -> tuple[int, int, int]:
+    """Validate GEMM operand shapes and return ``(m, n, k)``.
+
+    ``C`` may be ``None`` (the driver allocates it); when given it must match
+    ``(m, n)``.
+    """
+    if a.ndim != 2 or b.ndim != 2:
+        raise ShapeError(
+            f"GEMM operands must be matrices, got A.ndim={a.ndim}, B.ndim={b.ndim}"
+        )
+    m, k = a.shape
+    kb, n = b.shape
+    if k != kb:
+        raise ShapeError(
+            f"inner dimensions differ: A is {m}x{k} but B is {kb}x{n}"
+        )
+    if m == 0 or n == 0 or k == 0:
+        raise ShapeError(f"empty GEMM: m={m}, n={n}, k={k}")
+    if c is not None:
+        if c.ndim != 2 or c.shape != (m, n):
+            raise ShapeError(
+                f"C must be {m}x{n} to match A@B, got {c.shape}"
+            )
+    return m, n, k
+
+
+def check_positive(value: float, name: str, *, strict: bool = True) -> None:
+    """Raise :class:`ConfigError` unless ``value`` is (strictly) positive."""
+    if strict and not value > 0:
+        raise ConfigError(f"{name} must be > 0, got {value!r}")
+    if not strict and not value >= 0:
+        raise ConfigError(f"{name} must be >= 0, got {value!r}")
+
+
+def check_in(value, name: str, allowed: Iterable) -> None:
+    """Raise :class:`ConfigError` unless ``value`` is one of ``allowed``."""
+    allowed = tuple(allowed)
+    if value not in allowed:
+        raise ConfigError(f"{name} must be one of {allowed}, got {value!r}")
+
+
+def check_multiple(value: int, of: int, name: str) -> None:
+    """Raise :class:`ConfigError` unless ``value`` is a positive multiple of ``of``."""
+    if value <= 0 or value % of != 0:
+        raise ConfigError(f"{name} must be a positive multiple of {of}, got {value}")

@@ -1,0 +1,40 @@
+"""Shared fixtures for the FT-GEMM reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import FTGemmConfig
+from repro.gemm.blocking import BlockingConfig
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_blocking() -> BlockingConfig:
+    """Tiny blocks: every loop runs multiple iterations and every ragged
+    edge path executes even for matrices of a few dozen rows."""
+    return BlockingConfig.small()
+
+
+@pytest.fixture
+def small_config(small_blocking) -> FTGemmConfig:
+    return FTGemmConfig(blocking=small_blocking)
+
+
+@pytest.fixture
+def operands(rng):
+    """Factory for (A, B, C0) triples with awkward (non-multiple) shapes."""
+
+    def make(m: int = 37, n: int = 29, k: int = 23):
+        return (
+            rng.standard_normal((m, k)),
+            rng.standard_normal((k, n)),
+            rng.standard_normal((m, n)),
+        )
+
+    return make

@@ -1,0 +1,103 @@
+"""Checksum encodings and the Huang–Abraham algebra."""
+
+import numpy as np
+import pytest
+
+from repro.abft.checksum import (
+    col_checksum,
+    encode_full,
+    row_checksum,
+    strip_full,
+    weighted_col_checksum,
+    weighted_row_checksum,
+    weights,
+)
+from repro.util.errors import ShapeError
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(6)
+
+
+def test_row_checksum_is_column_sums(rng):
+    x = rng.standard_normal((4, 7))
+    np.testing.assert_allclose(row_checksum(x), x.sum(axis=0))
+    assert row_checksum(x).shape == (7,)
+
+
+def test_col_checksum_is_row_sums(rng):
+    x = rng.standard_normal((4, 7))
+    np.testing.assert_allclose(col_checksum(x), x.sum(axis=1))
+    assert col_checksum(x).shape == (4,)
+
+
+def test_checksum_gemm_algebra(rng):
+    """The identity FT-GEMM rests on: (e^T A)B = e^T(AB), A(Be) = (AB)e."""
+    a = rng.standard_normal((5, 4))
+    b = rng.standard_normal((4, 6))
+    c = a @ b
+    np.testing.assert_allclose(row_checksum(a) @ b, row_checksum(c), rtol=1e-12)
+    np.testing.assert_allclose(a @ col_checksum(b), col_checksum(c), rtol=1e-12)
+
+
+def test_weights_vector():
+    np.testing.assert_array_equal(weights(4), [1.0, 2.0, 3.0, 4.0])
+    with pytest.raises(ShapeError):
+        weights(0)
+
+
+def test_weighted_checksums_localize(rng):
+    """The weighted/plain residual ratio reveals the corrupted index."""
+    x = rng.standard_normal((6, 5))
+    plain = row_checksum(x)
+    weighted = weighted_row_checksum(x)
+    x_bad = x.copy()
+    x_bad[3, 2] += 10.0
+    d_plain = row_checksum(x_bad) - plain
+    d_weighted = weighted_row_checksum(x_bad) - weighted
+    # only column 2 moved; the ratio identifies row 3 (weight = index + 1)
+    assert np.argmax(np.abs(d_plain)) == 2
+    assert d_weighted[2] / d_plain[2] == pytest.approx(4.0, abs=1e-9)
+
+
+def test_weighted_col_checksum(rng):
+    x = rng.standard_normal((3, 4))
+    np.testing.assert_allclose(weighted_col_checksum(x), x @ weights(4))
+
+
+def test_encode_full_layout(rng):
+    x = rng.standard_normal((3, 4))
+    full = encode_full(x)
+    assert full.shape == (4, 5)
+    np.testing.assert_allclose(full[3, :4], x.sum(axis=0))
+    np.testing.assert_allclose(full[:3, 4], x.sum(axis=1))
+    assert full[3, 4] == pytest.approx(x.sum())
+
+
+def test_full_checksum_product_closed(rng):
+    """The product of encoded matrices is the full-checksum form of the
+    product — Huang & Abraham's theorem, the basis of the offline scheme."""
+    a = rng.standard_normal((4, 3))
+    b = rng.standard_normal((3, 5))
+    a_enc = np.vstack([a, row_checksum(a)])
+    b_enc = np.hstack([b, col_checksum(b)[:, None]])
+    full = a_enc @ b_enc
+    np.testing.assert_allclose(full, encode_full(a @ b), rtol=1e-11, atol=1e-12)
+
+
+def test_strip_full_roundtrip(rng):
+    x = rng.standard_normal((3, 4))
+    np.testing.assert_array_equal(strip_full(encode_full(x)), x)
+
+
+def test_strip_full_too_small():
+    with pytest.raises(ShapeError):
+        strip_full(np.zeros((1, 5)))
+
+
+def test_checksums_reject_non_2d():
+    with pytest.raises(ShapeError):
+        row_checksum(np.zeros(3))
+    with pytest.raises(ShapeError):
+        weighted_col_checksum(np.zeros(3))

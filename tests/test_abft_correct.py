@@ -1,0 +1,135 @@
+"""Correction policy: unambiguous repairs only."""
+
+import numpy as np
+import pytest
+
+from repro.abft.checksum import col_checksum, row_checksum
+from repro.abft.correct import correct_from_residuals
+from repro.abft.locate import locate
+
+
+def residual_pattern(c, c_true, tol=1e-6):
+    row_res = row_checksum(c) - row_checksum(c_true)
+    col_res = col_checksum(c) - col_checksum(c_true)
+    return locate(row_res, col_res, tol, tol)
+
+
+@pytest.fixture
+def base(rng):
+    return rng.standard_normal((8, 10))
+
+
+def test_single_error_corrected(base):
+    c = base.copy()
+    c[3, 7] += 5.0
+    pattern = residual_pattern(c, base)
+    outcome = correct_from_residuals(c, pattern, 1e-6, 1e-6)
+    assert outcome.n_corrected == 1
+    assert outcome.fully_resolved
+    assert outcome.corrected[0][:2] == (3, 7)
+    np.testing.assert_allclose(c, base, atol=1e-9)
+
+
+def test_two_errors_distinct_deltas_corrected(base):
+    c = base.copy()
+    c[1, 2] += 3.0
+    c[5, 8] -= 11.0
+    pattern = residual_pattern(c, base)
+    outcome = correct_from_residuals(c, pattern, 1e-6, 1e-6)
+    assert outcome.n_corrected == 2
+    assert outcome.fully_resolved
+    np.testing.assert_allclose(c, base, atol=1e-9)
+
+
+def test_ambiguous_equal_deltas_not_guessed(base):
+    """Two errors with the same delta admit a transposed assignment; the
+    corrector must refuse to guess and hand both lines to recompute."""
+    c = base.copy()
+    c[1, 2] += 4.0
+    c[5, 8] += 4.0
+    pattern = residual_pattern(c, base)
+    outcome = correct_from_residuals(c, pattern, 1e-6, 1e-6)
+    assert outcome.n_corrected == 0
+    assert sorted(outcome.recompute_rows) == [1, 5]
+    assert sorted(outcome.recompute_cols) == [2, 8]
+    # C untouched by the refusal
+    assert c[1, 2] == base[1, 2] + 4.0
+
+
+def test_two_errors_same_row_recompute(base):
+    c = base.copy()
+    c[2, 1] += 3.0
+    c[2, 6] += 9.0
+    pattern = residual_pattern(c, base)
+    # row 2's residual is 12, matching neither column delta
+    outcome = correct_from_residuals(c, pattern, 1e-6, 1e-6)
+    assert not outcome.fully_resolved
+    assert 2 in outcome.recompute_rows
+
+
+def test_mixed_unique_and_ambiguous(base):
+    c = base.copy()
+    c[0, 0] += 2.0   # unique delta: correctable
+    c[3, 4] += 7.0   # equal pair: ambiguous
+    c[6, 9] += 7.0
+    pattern = residual_pattern(c, base)
+    outcome = correct_from_residuals(c, pattern, 1e-6, 1e-6)
+    assert [t[:2] for t in outcome.corrected] == [(0, 0)]
+    assert sorted(outcome.recompute_rows) == [3, 6]
+    assert c[0, 0] == pytest.approx(base[0, 0], abs=1e-9)
+
+
+def test_single_inconsistent_deltas_recompute(base):
+    """A flagged (row, col) whose deltas disagree is not one error at that
+    cell — e.g. two faults in the same row where one column residual hides
+    below tolerance. Correction must not subtract a wrong delta."""
+    c = base.copy()
+    # craft: row 2 residual 9, col 1 residual 3 -> inconsistent intersection
+    c[2, 1] += 3.0
+    c[2, 5] += 6.0
+    row_res = row_checksum(c) - row_checksum(base)
+    col_res = col_checksum(c) - col_checksum(base)
+    # mask column 5 with a large tolerance so only (2, 1) is flagged
+    tol_rows = np.full(10, 1e-6)
+    tol_rows[5] = 100.0
+    pattern = locate(row_res, col_res, tol_rows, 1e-6)
+    assert pattern.kind == "single"
+    outcome = correct_from_residuals(c, pattern, tol_rows, 1e-6)
+    assert outcome.n_corrected == 0
+    assert outcome.recompute_rows == [2]
+
+
+def test_checksum_suspect_patterns(base):
+    pattern = locate(np.zeros(10), np.array([5.0] + [0.0] * 7), 1e-6, 1e-6)
+    c = base.copy()
+    outcome = correct_from_residuals(c, pattern, 1e-6, 1e-6)
+    assert outcome.checksum_suspect
+    assert outcome.n_corrected == 0
+    np.testing.assert_array_equal(c, base)
+
+
+def test_clean_pattern_noop(base):
+    pattern = locate(np.zeros(10), np.zeros(8), 1e-6, 1e-6)
+    outcome = correct_from_residuals(base.copy(), pattern, 1e-6, 1e-6)
+    assert outcome.pattern_kind == "clean"
+    assert outcome.fully_resolved
+
+
+def test_nonfinite_delta_never_subtracted(base):
+    c = base.copy()
+    c[4, 4] = np.nan
+    pattern = residual_pattern(c, base)
+    outcome = correct_from_residuals(c, pattern, 1e-6, 1e-6)
+    # NaN deltas fail every consistency check -> recompute, not arithmetic
+    assert outcome.n_corrected == 0
+    assert 4 in outcome.recompute_rows
+
+
+def test_corrected_deltas_are_recorded(base):
+    c = base.copy()
+    c[0, 3] += 2.5
+    pattern = residual_pattern(c, base)
+    outcome = correct_from_residuals(c, pattern, 1e-6, 1e-6)
+    (i, j, delta) = outcome.corrected[0]
+    assert (i, j) == (0, 3)
+    assert delta == pytest.approx(2.5, abs=1e-9)

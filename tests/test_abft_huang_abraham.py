@@ -1,0 +1,91 @@
+"""The classic offline full-checksum GEMM."""
+
+import numpy as np
+import pytest
+
+from repro.abft.huang_abraham import ChecksumGemm
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(8)
+
+
+def test_clean_run(rng):
+    a = rng.standard_normal((9, 7))
+    b = rng.standard_normal((7, 11))
+    verdict = ChecksumGemm().run(a, b)
+    assert verdict.clean
+    np.testing.assert_allclose(verdict.c, a @ b, rtol=1e-12)
+
+
+def test_encodings(rng):
+    a = rng.standard_normal((4, 3))
+    scheme = ChecksumGemm()
+    enc = scheme.encode_a(a)
+    assert enc.shape == (5, 3)
+    np.testing.assert_allclose(enc[4], a.sum(axis=0))
+    b = rng.standard_normal((3, 6))
+    encb = scheme.encode_b(b)
+    assert encb.shape == (3, 7)
+    np.testing.assert_allclose(encb[:, 6], b.sum(axis=1))
+
+
+def test_detects_and_corrects_kernel_fault(rng):
+    a = rng.standard_normal((8, 6))
+    b = rng.standard_normal((6, 9))
+
+    def faulty_gemm(x, y):
+        out = x @ y
+        out[2, 4] += 50.0  # a fault inside the C body
+        return out
+
+    verdict = ChecksumGemm(gemm_fn=faulty_gemm).run(a, b)
+    assert not verdict.clean
+    assert verdict.corrected
+    np.testing.assert_allclose(verdict.c, a @ b, rtol=1e-10)
+
+
+def test_detects_checksum_row_fault(rng):
+    """A fault in the checksum row itself: C is fine, pattern one-sided."""
+    a = rng.standard_normal((8, 6))
+    b = rng.standard_normal((6, 9))
+
+    def faulty_gemm(x, y):
+        out = x @ y
+        out[8, 0] += 50.0  # the appended checksum row, not the body
+        return out
+
+    verdict = ChecksumGemm(gemm_fn=faulty_gemm).run(a, b)
+    assert verdict.pattern.kind == "cols_only"
+    assert verdict.outcome.checksum_suspect
+    np.testing.assert_allclose(verdict.c, a @ b, rtol=1e-12)
+
+
+def test_correct_false_leaves_corruption(rng):
+    a = rng.standard_normal((5, 5))
+    b = rng.standard_normal((5, 5))
+
+    def faulty_gemm(x, y):
+        out = x @ y
+        out[0, 0] += 9.0
+        return out
+
+    verdict = ChecksumGemm(gemm_fn=faulty_gemm).run(a, b, correct=False)
+    assert not verdict.clean
+    assert verdict.outcome.n_corrected == 0
+    assert abs(verdict.c[0, 0] - (a @ b)[0, 0]) == pytest.approx(9.0)
+
+
+def test_wrong_gemm_fn_shape_rejected(rng):
+    a = rng.standard_normal((4, 4))
+    with pytest.raises(ValueError, match="shape"):
+        ChecksumGemm(gemm_fn=lambda x, y: np.zeros((2, 2))).run(a, a)
+
+
+def test_residuals_exposed(rng):
+    a = rng.standard_normal((6, 6))
+    verdict = ChecksumGemm().run(a, a)
+    assert verdict.row_residual.shape == (6,)
+    assert verdict.col_residual.shape == (6,)
+    assert np.all(np.isfinite(verdict.row_residual))

@@ -1,0 +1,86 @@
+"""Residual analysis and pattern classification."""
+
+import numpy as np
+import pytest
+
+from repro.abft.locate import (
+    CLEAN,
+    COLS_ONLY,
+    MULTI,
+    ROWS_ONLY,
+    SINGLE,
+    locate,
+)
+from repro.util.errors import ShapeError
+
+
+def make(row_res, col_res, tol=1e-9):
+    return locate(np.asarray(row_res, float), np.asarray(col_res, float), tol, tol)
+
+
+def test_clean():
+    p = make([1e-12, -1e-12], [0.0, 1e-13, 0.0])
+    assert p.kind == CLEAN
+    assert p.n_rows == 0 and p.n_cols == 0
+
+
+def test_single():
+    p = make([0.0, 5.0, 0.0], [0.0, 0.0, 5.0, 0.0])
+    assert p.kind == SINGLE
+    assert list(p.rows) == [2]
+    assert list(p.cols) == [1]
+    assert p.delta_for_row(2) == 5.0
+    assert p.delta_for_col(1) == 5.0
+
+
+def test_multi():
+    p = make([3.0, 0.0, -4.0], [3.0, -4.0])
+    assert p.kind == MULTI
+    assert p.n_rows == 2 and p.n_cols == 2
+
+
+def test_rows_only_pattern():
+    p = make([0.0, 0.0], [7.0, 0.0])
+    assert p.kind == ROWS_ONLY
+
+
+def test_cols_only_pattern():
+    p = make([0.0, 7.0], [0.0, 0.0])
+    assert p.kind == COLS_ONLY
+
+
+def test_nan_residual_is_flagged():
+    """A NaN in C produces NaN residuals; NaN > tol is False, so without the
+    explicit finite check the corruption would read as clean."""
+    p = make([0.0, np.nan], [np.inf, 0.0])
+    assert p.kind == SINGLE
+    assert list(p.cols) == [1]
+    assert list(p.rows) == [0]
+
+
+def test_vector_tolerances():
+    row_res = np.array([2.0, 2.0])
+    col_res = np.array([2.0])
+    p = locate(row_res, col_res, np.array([3.0, 1.0]), np.array([1.0]))
+    assert list(p.cols) == [1]  # only the second exceeds its own tolerance
+    assert list(p.rows) == [0]
+
+
+def test_deltas_align_with_indices():
+    p = make([0.0, 1.5, 0.0, -2.5], [9.0, 0.0, 3.0])
+    assert p.kind == MULTI
+    assert dict(zip(p.cols, p.row_flag_deltas)) == {1: 1.5, 3: -2.5}
+    assert dict(zip(p.rows, p.col_flag_deltas)) == {0: 9.0, 2: 3.0}
+
+
+def test_delta_lookup_missing_raises():
+    p = make([5.0], [5.0])
+    with pytest.raises(KeyError):
+        p.delta_for_row(3)
+    with pytest.raises(KeyError):
+        p.delta_for_col(3)
+
+
+def test_rejects_2d_residuals():
+    with pytest.raises(ShapeError):
+        locate(np.zeros((2, 2)), np.zeros(2), 1.0, 1.0)

@@ -1,0 +1,132 @@
+"""Figure builders and the harness."""
+
+import pytest
+
+from repro.bench.figures import (
+    ALL_FIGURES,
+    build,
+    fig2a_serial,
+    fig2b_parallel,
+    fig2c_serial_injection,
+    fig2d_parallel_injection,
+    overhead_table,
+    reliability_table,
+)
+from repro.bench.harness import ExperimentRunner
+from repro.util.errors import ConfigError
+
+
+def test_registry_covers_every_panel_and_claim():
+    assert set(ALL_FIGURES) == {
+        "fig2a", "fig2b", "fig2c", "fig2d", "overhead", "reliability",
+        "scaling",
+    }
+
+
+def test_scaling_table_monotone():
+    from repro.bench.figures import scaling_table
+
+    fig = scaling_table(thread_counts=(1, 2, 4, 8), n=4096)
+    ft = fig.series["FT GFLOPS"]
+    assert all(b > a for a, b in zip(ft, ft[1:]))  # more threads, more rate
+    eff = fig.series["FT efficiency %"]
+    assert eff[0] == pytest.approx(100.0)
+    assert all(e > 60.0 for e in eff)  # decent strong scaling at 4096
+
+
+def test_fig2a_structure():
+    fig = fig2a_serial(sizes=(2048, 4096))
+    assert fig.x == [2048, 4096]
+    assert set(fig.series) == {
+        "MKL", "OpenBLAS", "BLIS", "FT-GEMM Ori", "FT-GEMM w/ FT",
+    }
+    assert "FT overhead vs Ori" in fig.observations
+
+
+def test_fig2a_orderings():
+    """The qualitative shape of panel (a): Ori above every baseline, FT
+    between Ori and MKL."""
+    fig = fig2a_serial()
+    for i, _n in enumerate(fig.x):
+        ori = fig.series["FT-GEMM Ori"][i]
+        ft = fig.series["FT-GEMM w/ FT"][i]
+        assert ori > ft > fig.series["MKL"][i]
+        assert ft > fig.series["OpenBLAS"][i]
+        assert ft > fig.series["BLIS"][i]
+
+
+def test_fig2b_orderings():
+    """Panel (b): FT slightly under MKL, comparable to OpenBLAS, well above
+    BLIS — at the large-size end."""
+    fig = fig2b_parallel()
+    ft = fig.series["FT-GEMM w/ FT"][-1]
+    assert ft < fig.series["MKL"][-1]
+    assert abs(ft / fig.series["OpenBLAS"][-1] - 1) < 0.05
+    assert ft > 1.1 * fig.series["BLIS"][-1]
+
+
+def test_fig2c_ft_nearly_flat_under_errors():
+    fig = fig2c_serial_injection(error_counts=(0, 20))
+    ft = fig.series["FT-GEMM w/ FT"]
+    assert ft[1] < ft[0]  # errors cost something...
+    assert ft[1] > 0.99 * ft[0]  # ...but almost nothing
+    assert "FT-GEMM Ori" not in fig.series
+
+
+def test_fig2d_claims_filled():
+    fig = fig2d_parallel_injection(error_counts=(0, 10))
+    assert "FT vs BLIS" in fig.observations
+    assert fig.series["FT-GEMM w/ FT"][0] > fig.series["BLIS"][0]
+
+
+def test_injection_validation_runs_real_campaigns():
+    fig = fig2c_serial_injection(error_counts=(0, 3), validate=True,)
+    assert "all final results correct" in fig.observations["validation"]
+
+
+def test_overhead_table_claim():
+    fig = overhead_table(sizes=(2048, 4096))
+    assert "overhead" in fig.observations
+    fused = fig.series["fused ov %"]
+    classic = fig.series["classic ov %"]
+    for f, c in zip(fused, classic):
+        assert c > 3 * f
+
+
+def test_reliability_small():
+    fig = reliability_table(rates_per_minute=(0, 120), n=64, runs=2)
+    assert fig.series["correct %"] == [100.0, 100.0]
+
+
+def test_build_dispatch():
+    fig = build("fig2a", sizes=(2048,))
+    assert fig.figure_id == "fig2a"
+    with pytest.raises(ConfigError):
+        build("fig9z")
+
+
+def test_harness_runs_and_persists(tmp_path):
+    runner = ExperimentRunner(tmp_path)
+    runner.run("fig2a", sizes=(2048, 4096))
+    runner.run("overhead", sizes=(2048,))
+    assert (tmp_path / "fig2a.txt").exists()
+    report = runner.report()
+    assert "fig2a" in report and "overhead" in report
+
+
+def test_harness_report_requires_runs(tmp_path):
+    with pytest.raises(ConfigError):
+        ExperimentRunner(tmp_path).report()
+
+
+def test_harness_run_all_builds_every_figure(tmp_path):
+    """The full pipeline: every registered figure builds, persists, and
+    carries both the paper claims and our observations."""
+    runner = ExperimentRunner(tmp_path)
+    built = runner.run_all()
+    assert set(built) == set(ALL_FIGURES)
+    for figure_id, fig in built.items():
+        assert (tmp_path / f"{figure_id}.txt").exists()
+        assert (tmp_path / f"{figure_id}.json").exists()
+        assert fig.observations, figure_id
+        assert fig.series, figure_id

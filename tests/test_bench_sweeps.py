@@ -1,0 +1,46 @@
+"""Sweep tooling and the shape study."""
+
+import pytest
+
+from repro.bench.sweeps import blocking_sweep, overhead_vs_k
+from repro.util.errors import ConfigError
+
+
+def test_blocking_sweep_grid_shape():
+    fig = blocking_sweep(mc_values=(96, 192), kc_values=(192, 384), n=2048)
+    assert fig.x == [96, 192]
+    assert set(fig.series) == {"KC=192", "KC=384"}
+    assert "best" in fig.observations
+
+
+def test_blocking_sweep_paper_choice_on_plateau():
+    """The paper's (192, 384) must sit within a few percent of the grid's
+    best point — it was tuned, not arbitrary."""
+    fig = blocking_sweep(n=4096)
+    paper = fig.series["KC=384"][fig.x.index(192)]
+    best = max(max(v) for v in fig.series.values())
+    assert paper >= 0.97 * best
+
+
+def test_blocking_sweep_rejects_unaligned_mc():
+    with pytest.raises(ConfigError):
+        blocking_sweep(mc_values=(100,), kc_values=(384,))
+
+
+def test_overhead_ridge_at_roofline_crossover():
+    """The fused overhead peaks where the GEMM crosses from memory- to
+    compute-bound: hidden under DRAM on the left, amortized on the right."""
+    fig = overhead_vs_k(k_values=(32, 128, 512, 1536), mn=4096)
+    ov = fig.series["overhead %"]
+    peak = max(ov)
+    assert ov.index(peak) not in (0, len(ov) - 1)  # interior maximum
+    assert ov[0] < 1.0   # memory-bound: checksum compute hides
+    assert ov[-1] < 3.0  # compute-bound: amortized (the paper's regime)
+    assert peak > 3.0    # the crossover is where fusion is stressed
+    assert "peaks" in fig.observations["regime"]
+
+
+def test_rates_increase_with_k():
+    fig = overhead_vs_k(k_values=(32, 384), mn=2048)
+    rates = fig.series["FT GFLOPS"]
+    assert rates[1] > rates[0]  # small-k updates are memory-bound

@@ -1,0 +1,74 @@
+"""Workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import (
+    WORKLOADS,
+    adjacency,
+    cancelling,
+    gaussian,
+    ill_scaled,
+    uniform,
+)
+from repro.util.errors import ConfigError
+
+
+def test_registry_complete():
+    assert {"gaussian", "uniform", "ill_scaled", "cancelling"} == set(WORKLOADS)
+
+
+def test_operands_shapes():
+    a, b = gaussian.operands(7, 9, 5, seed=0)
+    assert a.shape == (7, 5)
+    assert b.shape == (5, 9)
+
+
+def test_operands_deterministic():
+    a1, b1 = gaussian.operands(5, 5, 5, seed=3)
+    a2, b2 = gaussian.operands(5, 5, 5, seed=3)
+    np.testing.assert_array_equal(a1, a2)
+    np.testing.assert_array_equal(b1, b2)
+
+
+def test_square_helper():
+    a, b = uniform.square(6, seed=1)
+    assert a.shape == b.shape == (6, 6)
+    assert np.abs(a).max() <= 1.0
+
+
+def test_ill_scaled_spans_magnitudes():
+    a, _ = ill_scaled.operands(50, 10, 10, seed=0)
+    row_scales = np.abs(a).max(axis=1)
+    assert row_scales.max() / row_scales.min() > 1e8
+
+
+def test_cancelling_rows_nearly_cancel():
+    a, _ = cancelling.operands(10, 10, 30, seed=0)
+    # row sums are small relative to the magnitude of the entries
+    assert np.abs(a.sum(axis=1)).max() < np.abs(a).sum(axis=1).min()
+
+
+def test_invalid_dims():
+    with pytest.raises(ConfigError):
+        gaussian.operands(0, 5, 5)
+
+
+def test_adjacency_binary_and_square():
+    adj = adjacency(30, p=0.2, seed=4)
+    assert adj.shape == (30, 30)
+    assert set(np.unique(adj)) <= {0.0, 1.0}
+    assert np.all(np.diag(adj) == 0.0)
+
+
+def test_adjacency_density_tracks_p():
+    dense = adjacency(50, p=0.5, seed=0).mean()
+    sparse = adjacency(50, p=0.05, seed=0).mean()
+    assert dense > 5 * sparse
+
+
+def test_adjacency_validation():
+    with pytest.raises(ConfigError):
+        adjacency(0)
+    with pytest.raises(ConfigError):
+        adjacency(10, p=1.5)

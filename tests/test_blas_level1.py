@@ -1,0 +1,153 @@
+"""Protected Level-1 BLAS (DMR)."""
+
+import numpy as np
+import pytest
+
+from repro.blas import ft_asum, ft_axpy, ft_copy, ft_dot, ft_nrm2, ft_scal
+from repro.faults.injector import FaultInjector, InjectionPlan
+from repro.faults.models import Additive, BitFlip
+from repro.util.errors import ShapeError
+
+
+def strike(magnitude=5.0, invocation=0):
+    return FaultInjector(
+        InjectionPlan.single(
+            "blas_compute", invocation, model=Additive(magnitude=magnitude)
+        )
+    )
+
+
+@pytest.fixture
+def vecs(rng):
+    return rng.standard_normal(64), rng.standard_normal(64)
+
+
+# ------------------------------------------------------------------- axpy
+def test_axpy_clean(vecs):
+    x, y = vecs
+    expected = 2.5 * x + y
+    result = ft_axpy(2.5, x, y)
+    assert result.clean
+    np.testing.assert_array_equal(y, expected)
+    assert result.value is y
+
+
+def test_axpy_fault_repaired(vecs):
+    x, y = vecs
+    expected = 2.5 * x + y
+    result = ft_axpy(2.5, x, y, injector=strike())
+    assert result.detected == 1 and result.corrected == 1
+    np.testing.assert_array_equal(y, expected)
+
+
+def test_axpy_shape_mismatch(rng):
+    with pytest.raises(ShapeError):
+        ft_axpy(1.0, rng.standard_normal(4), rng.standard_normal(5))
+
+
+def test_axpy_nan_input_not_flagged():
+    x = np.array([1.0, np.nan])
+    y = np.array([0.0, 0.0])
+    result = ft_axpy(1.0, x, y)
+    assert result.clean  # a NaN from the *input* is legitimate data
+    assert np.isnan(y[1])
+
+
+# ------------------------------------------------------------------- scal
+def test_scal_clean(vecs):
+    x, _ = vecs
+    expected = -0.5 * x
+    result = ft_scal(-0.5, x)
+    assert result.clean
+    np.testing.assert_array_equal(x, expected)
+
+
+def test_scal_fault_repaired(vecs):
+    x, _ = vecs
+    expected = 3.0 * x
+    result = ft_scal(3.0, x, injector=strike(magnitude=123.0))
+    assert result.corrected == 1
+    np.testing.assert_array_equal(x, expected)
+
+
+# -------------------------------------------------------------------- dot
+def test_dot_clean(vecs):
+    x, y = vecs
+    result = ft_dot(x, y)
+    assert result.clean
+    assert result.value == pytest.approx(float(x @ y), rel=1e-12)
+
+
+def test_dot_fault_caught(vecs):
+    x, y = vecs
+    result = ft_dot(x, y, injector=strike(magnitude=50.0))
+    assert result.detected == 1
+    assert result.value == pytest.approx(float(x @ y), rel=1e-10)
+
+
+def test_dot_bitflip_caught(vecs):
+    x, y = vecs
+    inj = FaultInjector(
+        InjectionPlan.single("blas_compute", 0, model=BitFlip(bit=60))
+    )
+    result = ft_dot(x, y, injector=inj)
+    assert result.value == pytest.approx(float(x @ y), rel=1e-10)
+
+
+# ------------------------------------------------------------------- nrm2
+def test_nrm2_clean(vecs):
+    x, _ = vecs
+    result = ft_nrm2(x)
+    assert result.value == pytest.approx(float(np.linalg.norm(x)), rel=1e-12)
+
+
+def test_nrm2_fault(vecs):
+    x, _ = vecs
+    result = ft_nrm2(x, injector=strike(magnitude=1e4))
+    assert result.detected >= 1
+    assert result.value == pytest.approx(float(np.linalg.norm(x)), rel=1e-10)
+
+
+# ------------------------------------------------------------------- asum
+def test_asum_clean(vecs):
+    x, _ = vecs
+    result = ft_asum(x)
+    assert result.value == pytest.approx(float(np.abs(x).sum()), rel=1e-12)
+
+
+def test_asum_fault(vecs):
+    x, _ = vecs
+    result = ft_asum(x, injector=strike(magnitude=77.0))
+    assert result.detected == 1
+    assert result.value == pytest.approx(float(np.abs(x).sum()), rel=1e-10)
+
+
+# ------------------------------------------------------------------- copy
+def test_copy_clean(vecs):
+    x, y = vecs
+    result = ft_copy(x, y)
+    assert result.clean
+    np.testing.assert_array_equal(x, y)
+
+
+def test_copy_corruption_repaired(vecs):
+    x, y = vecs
+    result = ft_copy(x, y, injector=strike(magnitude=9.0))
+    assert result.corrected == 1
+    np.testing.assert_array_equal(x, y)
+
+
+def test_copy_shape_mismatch(rng):
+    with pytest.raises(ShapeError):
+        ft_copy(rng.standard_normal(3), rng.standard_normal(4))
+
+
+def test_vector_routines_reject_matrices(rng):
+    with pytest.raises(ShapeError):
+        ft_dot(rng.standard_normal((2, 2)), rng.standard_normal(4))
+
+
+def test_protection_flops_accounted(vecs):
+    x, y = vecs
+    assert ft_axpy(1.0, x, y).protection_flops >= x.size
+    assert ft_dot(x, y).protection_flops >= 2 * x.size

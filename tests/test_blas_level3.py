@@ -1,0 +1,62 @@
+"""Protected Level-3 routines."""
+
+import numpy as np
+import pytest
+
+from repro.blas import ft_syrk
+from repro.core.config import FTGemmConfig
+from repro.faults.injector import FaultInjector, InjectionPlan
+from repro.faults.models import Additive
+from repro.gemm.blocking import BlockingConfig
+from repro.util.errors import ShapeError
+
+
+@pytest.fixture
+def cfg():
+    return FTGemmConfig(blocking=BlockingConfig.small())
+
+
+def test_syrk_clean(cfg, rng):
+    a = rng.standard_normal((18, 12))
+    result = ft_syrk(a, config=cfg)
+    np.testing.assert_allclose(result.value, a @ a.T, rtol=1e-11, atol=1e-11)
+    np.testing.assert_array_equal(result.value, result.value.T)  # exact symmetry
+
+
+def test_syrk_alpha_beta(cfg, rng):
+    a = rng.standard_normal((14, 10))
+    c0 = rng.standard_normal((14, 14))
+    c0 = 0.5 * (c0 + c0.T)
+    result = ft_syrk(a, c0.copy(), alpha=2.0, beta=0.5, config=cfg)
+    np.testing.assert_allclose(
+        result.value, 2.0 * (a @ a.T) + 0.5 * c0, rtol=1e-10, atol=1e-10
+    )
+
+
+def test_syrk_fault_recovered(cfg, rng):
+    a = rng.standard_normal((18, 12))
+    inj = FaultInjector(
+        InjectionPlan.single("microkernel", 2, model=Additive(magnitude=33.0))
+    )
+    result = ft_syrk(a, config=cfg, injector=inj)
+    assert result.detected >= 1
+    np.testing.assert_allclose(result.value, a @ a.T, rtol=1e-10, atol=1e-10)
+
+
+def test_syrk_rejects_asymmetric_c(cfg, rng):
+    a = rng.standard_normal((6, 4))
+    with pytest.raises(ShapeError, match="symmetric"):
+        ft_syrk(a, rng.standard_normal((6, 6)), beta=1.0, config=cfg)
+
+
+def test_syrk_rejects_wrong_c_shape(cfg, rng):
+    a = rng.standard_normal((6, 4))
+    with pytest.raises(ShapeError):
+        ft_syrk(a, np.zeros((5, 5)), config=cfg)
+
+
+def test_syrk_accounts_protection_flops(cfg, rng):
+    a = rng.standard_normal((12, 8))
+    result = ft_syrk(a, config=cfg)
+    assert result.protection_flops > 0
+    assert result.scheme == "abft"

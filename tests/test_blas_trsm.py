@@ -1,0 +1,125 @@
+"""Composite protected TRSM and rank-1 update."""
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro.blas import ft_ger, ft_trsm
+from repro.core.config import FTGemmConfig
+from repro.faults.injector import FaultInjector, InjectionPlan
+from repro.faults.models import Additive
+from repro.gemm.blocking import BlockingConfig
+from repro.util.errors import ShapeError
+
+
+@pytest.fixture
+def tri(rng):
+    n = 40
+    a = np.tril(rng.standard_normal((n, n))) + 6.0 * np.eye(n)
+    b = rng.standard_normal((n, 12))
+    return a, b
+
+
+@pytest.fixture
+def cfg():
+    return FTGemmConfig(blocking=BlockingConfig.small())
+
+
+# ------------------------------------------------------------------- trsm
+def test_trsm_lower_matches_scipy(tri, cfg):
+    a, b = tri
+    result = ft_trsm(a, b, lower=True, block=12, config=cfg)
+    expected = scipy.linalg.solve_triangular(a, b, lower=True)
+    np.testing.assert_allclose(result.value, expected, rtol=1e-9, atol=1e-9)
+    assert result.clean
+
+
+def test_trsm_upper(tri, cfg):
+    a, b = tri
+    u = a.T.copy()
+    result = ft_trsm(u, b, lower=False, block=12, config=cfg)
+    expected = scipy.linalg.solve_triangular(u, b, lower=False)
+    np.testing.assert_allclose(result.value, expected, rtol=1e-9, atol=1e-9)
+
+
+def test_trsm_block_size_irrelevant_to_result(tri, cfg):
+    a, b = tri
+    x1 = ft_trsm(a, b, block=7, config=cfg).value
+    x2 = ft_trsm(a, b, block=40, config=cfg).value
+    np.testing.assert_allclose(x1, x2, rtol=1e-9, atol=1e-10)
+
+
+def test_trsm_gemm_fault_absorbed(tri, cfg):
+    """A fault in the trailing-update GEMM is caught by the fused ABFT."""
+    a, b = tri
+    inj = FaultInjector(
+        InjectionPlan.single("microkernel", 2, model=Additive(magnitude=35.0))
+    )
+    result = ft_trsm(a, b, block=12, config=cfg, injector=inj)
+    assert inj.n_injected == 1
+    assert result.detected >= 1
+    expected = scipy.linalg.solve_triangular(a, b, lower=True)
+    np.testing.assert_allclose(result.value, expected, rtol=1e-8, atol=1e-8)
+
+
+def test_trsm_diagonal_fault_absorbed(tri, cfg):
+    """A fault in a diagonal solve is caught by DMR — and it matters:
+    corrupting X_k would poison every later trailing update."""
+    a, b = tri
+    inj = FaultInjector(
+        InjectionPlan.single("blas_compute", 0, model=Additive(magnitude=4.0))
+    )
+    result = ft_trsm(a, b, block=12, config=cfg, injector=inj)
+    assert result.detected >= 1
+    expected = scipy.linalg.solve_triangular(a, b, lower=True)
+    np.testing.assert_allclose(result.value, expected, rtol=1e-8, atol=1e-8)
+
+
+def test_trsm_validation(tri, cfg, rng):
+    a, b = tri
+    with pytest.raises(ShapeError):
+        ft_trsm(a[:, :10], b, config=cfg)
+    with pytest.raises(ShapeError):
+        ft_trsm(a, b[:10], config=cfg)
+    with pytest.raises(ShapeError):
+        ft_trsm(a, b, block=0, config=cfg)
+    singular = a.copy()
+    singular[3, 3] = 0.0
+    with pytest.raises(ShapeError, match="singular"):
+        ft_trsm(singular, b, config=cfg)
+
+
+# -------------------------------------------------------------------- ger
+def test_ger_clean(rng):
+    x = rng.standard_normal(10)
+    y = rng.standard_normal(14)
+    a = rng.standard_normal((10, 14))
+    expected = a + 2.0 * np.outer(x, y)
+    result = ft_ger(2.0, x, y, a)
+    assert result.clean
+    np.testing.assert_array_equal(a, expected)
+
+
+def test_ger_fault_repaired(rng):
+    x = rng.standard_normal(8)
+    y = rng.standard_normal(9)
+    a = rng.standard_normal((8, 9))
+    expected = a - 0.5 * np.outer(x, y)
+
+    class Strike:
+        def visit(self, site, array):
+            array[2, 3] += 50.0
+            return True
+
+        def mark_detected(self, n):
+            pass
+
+    result = ft_ger(-0.5, x, y, a, injector=Strike())
+    assert result.corrected == 1
+    np.testing.assert_array_equal(a, expected)
+
+
+def test_ger_shape_validation(rng):
+    with pytest.raises(ShapeError):
+        ft_ger(1.0, rng.standard_normal(3), rng.standard_normal(4),
+               rng.standard_normal((4, 4)))

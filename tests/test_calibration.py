@@ -1,0 +1,132 @@
+"""Calibration against the paper's published numbers.
+
+Every quantitative claim of the poster gets an assertion with an explicit
+tolerance band. EXPERIMENTS.md documents which claims are matched tightly
+and which only in shape; these tests are the executable form of that table.
+"""
+
+import statistics
+
+import pytest
+
+from repro.baselines import BLIS, MKL, FTGemmLibrary, OpenBLAS
+from repro.bench.workloads import PARALLEL_SIZES, SERIAL_SIZES
+from repro.perfmodel.overhead import average_overheads, overhead_curve
+
+
+def averages(threads: int, sizes) -> dict[str, float]:
+    libs = {
+        "MKL": MKL(),
+        "OpenBLAS": OpenBLAS(),
+        "BLIS": BLIS(),
+        "Ori": FTGemmLibrary("ori", threads=threads),
+        "FT": FTGemmLibrary("ft", threads=threads),
+    }
+    out = {}
+    for name, lib in libs.items():
+        if isinstance(lib, FTGemmLibrary):
+            out[name] = statistics.mean(lib.modeled_gflops(n) for n in sizes)
+        else:
+            out[name] = statistics.mean(
+                lib.modeled_gflops(n, threads=threads) for n in sizes
+            )
+    return out
+
+
+@pytest.fixture(scope="module")
+def serial():
+    return averages(1, SERIAL_SIZES)
+
+
+@pytest.fixture(scope="module")
+def parallel():
+    return averages(10, PARALLEL_SIZES)
+
+
+# ------------------------------------------------------- Fig 2(a): serial
+def test_serial_ori_beats_all_baselines_within_paper_range(serial):
+    """Poster: 'better performance (3.33%-22.19%) than OpenBLAS, BLIS, MKL'."""
+    gaps = [serial["Ori"] / serial[lib] - 1 for lib in ("MKL", "OpenBLAS", "BLIS")]
+    assert min(gaps) == pytest.approx(0.0333, abs=0.04)
+    assert max(gaps) == pytest.approx(0.2219, abs=0.04)
+    assert all(g > 0 for g in gaps)
+
+
+def test_serial_ft_overhead_band():
+    """Poster: fused FT costs 1.17%-3.58% over Ori (about 2.94% quoted)."""
+    points = overhead_curve(SERIAL_SIZES)
+    for p in points:
+        assert 0.0117 <= p.fused_overhead <= 0.0358, p.n
+    fused, _ = average_overheads(points)
+    assert fused == pytest.approx(0.0294, abs=0.015)
+
+
+def test_classic_abft_overhead_about_15_percent():
+    """Poster: 'decreasing from about 15% to 2.94%'."""
+    points = overhead_curve(SERIAL_SIZES)
+    _, classic = average_overheads(points)
+    assert 0.09 <= classic <= 0.18
+    assert points[0].classic_overhead == pytest.approx(0.15, abs=0.03)
+
+
+# ----------------------------------------------------- Fig 2(b): parallel
+def test_parallel_ft_slightly_under_mkl(parallel):
+    ratio = parallel["FT"] / parallel["MKL"]
+    assert 0.95 <= ratio < 1.0  # "slightly underperforming"
+
+
+def test_parallel_ft_comparable_to_openblas(parallel):
+    ratio = parallel["FT"] / parallel["OpenBLAS"]
+    assert abs(ratio - 1.0) < 0.03  # "comparable"
+
+
+def test_parallel_ft_beats_blis_by_17_percent(parallel):
+    ratio = parallel["FT"] / parallel["BLIS"] - 1
+    assert ratio == pytest.approx(0.1697, abs=0.03)
+
+
+def test_parallel_ft_overhead_band():
+    """Poster: 0.16%-3.53%, average 1.79%."""
+    points = overhead_curve(PARALLEL_SIZES, threads=10)
+    fused, _ = average_overheads(points)
+    assert fused == pytest.approx(0.0179, abs=0.01)
+    for p in points:
+        assert p.fused_overhead <= 0.045, p.n  # small headroom over 3.53%
+
+
+# ----------------------------------------------- Fig 2(c)/(d): injection
+def test_fig2c_injected_ratios():
+    """Poster: FT with 20 errors beats OpenBLAS +22.89%, BLIS +21.56%,
+    MKL +4.98% (representative serial size)."""
+    from repro.bench.figures import FIG2C_N
+
+    ft = FTGemmLibrary("ft").modeled_gflops(FIG2C_N, injected_errors=20)
+    assert ft / MKL().modeled_gflops(FIG2C_N) - 1 == pytest.approx(0.0498, abs=0.025)
+    assert ft / OpenBLAS().modeled_gflops(FIG2C_N) - 1 == pytest.approx(
+        0.2289, abs=0.05
+    )
+    assert ft / BLIS().modeled_gflops(FIG2C_N) - 1 == pytest.approx(0.2156, abs=0.05)
+
+
+def test_fig2d_injected_ratios():
+    """Poster: parallel FT under injection ~OpenBLAS, +16.83% vs BLIS."""
+    from repro.bench.figures import FIG2D_N
+
+    ft = FTGemmLibrary("ft", threads=10).modeled_gflops(FIG2D_N, injected_errors=20)
+    assert abs(ft / OpenBLAS().modeled_gflops(FIG2D_N, threads=10) - 1) < 0.04
+    assert ft / BLIS().modeled_gflops(FIG2D_N, threads=10) - 1 == pytest.approx(
+        0.1683, abs=0.03
+    )
+
+
+# ------------------------------------------------------ hardware anchors
+def test_machine_peaks_match_testbed():
+    lib = MKL()
+    assert lib.machine.peak_gflops_serial == pytest.approx(112.0)
+    assert lib.machine.mem_bandwidth_gbs == pytest.approx(93.9)
+
+
+def test_blocking_parameters_match_paper():
+    ft = FTGemmLibrary("ft")
+    blocking = ft.config.blocking
+    assert (blocking.mc, blocking.kc, blocking.nc) == (192, 384, 9216)

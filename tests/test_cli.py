@@ -1,0 +1,71 @@
+"""Command-line interfaces (python -m repro, python -m repro.bench)."""
+
+import pytest
+
+from repro.__main__ import main as repro_main
+from repro.bench.__main__ import main as run_bench_cli
+
+
+def test_inject_clean_exit(capsys):
+    assert repro_main(["inject", "--size", "64", "--errors", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "injected : 3" in out
+    assert "verified : True" in out
+
+
+def test_inject_weighted_parallel(capsys):
+    code = repro_main(
+        ["inject", "--size", "64", "--errors", "2",
+         "--threads", "2", "--scheme", "weighted"]
+    )
+    assert code == 0
+    assert "scheme=weighted" in capsys.readouterr().out
+
+
+def test_tune_default_prints_paper_params(capsys):
+    assert repro_main(["tune"]) == 0
+    out = capsys.readouterr().out
+    assert "MC=192 KC=384 NC=9216" in out
+
+
+def test_tune_scaled_caches(capsys):
+    assert repro_main(["tune", "--l2-kib", "4096"]) == 0
+    out = capsys.readouterr().out
+    assert "KC=" in out and "KC=384" not in out  # 4 MiB L2 moves KC
+
+
+def test_validate_subcommand(capsys):
+    assert repro_main(["validate", "--size", "20"]) == 0
+    assert "MATCH" in capsys.readouterr().out
+
+
+def test_validate_weighted_beta(capsys):
+    code = repro_main(
+        ["validate", "--size", "18", "--beta", "0.5", "--scheme", "weighted"]
+    )
+    assert code == 0
+
+
+def test_storm_subcommand(capsys):
+    assert repro_main(["storm", "--rate", "120", "--size", "64", "--runs", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "correct %" in out
+
+
+def test_bench_single_figure(tmp_path, capsys):
+    assert run_bench_cli(["--figure", "fig2a", "--out", str(tmp_path)]) == 0
+    assert (tmp_path / "fig2a.txt").exists()
+    assert "fig2a" in capsys.readouterr().out
+
+
+def test_bench_forwarding_through_top_level(tmp_path, capsys):
+    code = repro_main(
+        ["bench", "--figure", "overhead", "--out", str(tmp_path)]
+    )
+    assert code == 0
+    assert (tmp_path / "overhead.txt").exists()
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        repro_main(["frobnicate"])

@@ -1,0 +1,112 @@
+"""Batched protected GEMM."""
+
+import numpy as np
+import pytest
+
+from repro.core.batched import BatchedResult, ft_gemm_batched
+from repro.core.config import FTGemmConfig
+from repro.faults.injector import FaultInjector, InjectionPlan
+from repro.faults.models import Additive
+from repro.gemm.blocking import BlockingConfig
+from repro.util.errors import ShapeError
+
+
+@pytest.fixture
+def cfg():
+    return FTGemmConfig(blocking=BlockingConfig.small())
+
+
+def test_strided_batch(cfg, rng):
+    a = rng.standard_normal((4, 12, 10))
+    b = rng.standard_normal((4, 10, 14))
+    out = ft_gemm_batched(a, b, config=cfg)
+    assert out.verified
+    np.testing.assert_allclose(out.stacked(), a @ b, rtol=1e-11)
+
+
+def test_list_batch_varied_shapes(cfg, rng):
+    a_list = [rng.standard_normal((m, 8)) for m in (5, 9, 13)]
+    b_list = [rng.standard_normal((8, n)) for n in (7, 11, 6)]
+    out = ft_gemm_batched(a_list, b_list, config=cfg)
+    assert out.verified
+    for got, a, b in zip(out.c, a_list, b_list):
+        np.testing.assert_allclose(got, a @ b, rtol=1e-11)
+    with pytest.raises(ShapeError):  # ragged shapes cannot stack
+        out.stacked()
+
+
+def test_batch_with_c_and_scalars(cfg, rng):
+    a = rng.standard_normal((3, 10, 8))
+    b = rng.standard_normal((3, 8, 12))
+    c0 = rng.standard_normal((3, 10, 12))
+    out = ft_gemm_batched(a, b, c0.copy(), alpha=2.0, beta=-1.0, config=cfg)
+    np.testing.assert_allclose(out.stacked(), 2.0 * (a @ b) - c0, rtol=1e-10)
+
+
+def test_injector_spans_the_batch(cfg, rng):
+    """Invocation counters run across items: a strike scheduled past the
+    first item's invocations lands in a later item."""
+    a = rng.standard_normal((3, 16, 12))
+    b = rng.standard_normal((3, 12, 16))
+    from repro.faults.campaign import site_invocation_counts
+
+    per_item = site_invocation_counts(16, 16, 12, cfg.blocking)["microkernel"]
+    inj = FaultInjector(
+        InjectionPlan.single(
+            "microkernel", per_item + 3, model=Additive(magnitude=42.0)
+        )
+    )
+    out = ft_gemm_batched(a, b, config=cfg, injector=inj)
+    assert inj.n_injected == 1
+    assert out.verified
+    assert out.detected >= 1
+    np.testing.assert_allclose(out.stacked(), a @ b, rtol=1e-10, atol=1e-10)
+    # the strike hit the second item
+    assert out.results[0].detected == 0
+    assert out.results[1].detected >= 1
+
+
+def test_counters_aggregate(cfg, rng):
+    a = rng.standard_normal((2, 9, 9))
+    out = ft_gemm_batched(a, a, config=cfg)
+    assert out.counters.fma_flops == sum(
+        r.counters.fma_flops for r in out.results
+    )
+
+
+def test_batch_validation(cfg, rng):
+    with pytest.raises(ShapeError):
+        ft_gemm_batched(rng.standard_normal((2, 3)), rng.standard_normal((2, 3, 4)))
+    with pytest.raises(ShapeError):
+        ft_gemm_batched([], [])
+    with pytest.raises(ShapeError):
+        ft_gemm_batched(
+            [rng.standard_normal((3, 3))],
+            [rng.standard_normal((3, 3)), rng.standard_normal((3, 3))],
+        )
+
+
+def test_transpose_flags(cfg, rng):
+    """The BLAS op() interface on the serial driver."""
+    from repro.core.ftgemm import FTGemm
+
+    a = rng.standard_normal((11, 19))
+    b = rng.standard_normal((23, 11))
+    ft = FTGemm(cfg)
+    result = ft.gemm(a, b, trans_a=True, trans_b=True)
+    assert result.verified
+    np.testing.assert_allclose(result.c, a.T @ b.T, rtol=1e-11)
+    result = ft.gemm(a, a, trans_b=True)
+    np.testing.assert_allclose(result.c, a @ a.T, rtol=1e-11)
+
+
+def test_transpose_under_injection(cfg, rng):
+    from repro.core.ftgemm import FTGemm
+
+    a = rng.standard_normal((15, 21))
+    inj = FaultInjector(
+        InjectionPlan.single("microkernel", 4, model=Additive(magnitude=30.0))
+    )
+    result = FTGemm(cfg).gemm(a, a, trans_a=True, injector=inj)
+    assert result.verified
+    np.testing.assert_allclose(result.c, a.T @ a, rtol=1e-10, atol=1e-10)

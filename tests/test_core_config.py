@@ -1,0 +1,49 @@
+"""FTGemmConfig contract."""
+
+import pytest
+
+from repro.core.config import FTGemmConfig
+from repro.gemm.blocking import BlockingConfig
+from repro.util.errors import ConfigError
+
+
+def test_defaults_are_paper_settings():
+    cfg = FTGemmConfig()
+    assert cfg.enable_ft
+    assert cfg.verify_mode == "final"
+    assert cfg.blocking.mc == 192
+    assert cfg.recompute_fallback
+    assert cfg.strict
+
+
+def test_unprotected_factory():
+    cfg = FTGemmConfig.unprotected()
+    assert not cfg.enable_ft
+
+
+def test_small_factory():
+    cfg = FTGemmConfig.small()
+    assert cfg.blocking == BlockingConfig.small()
+
+
+def test_verify_mode_validated():
+    with pytest.raises(ConfigError):
+        FTGemmConfig(verify_mode="sometimes")
+    FTGemmConfig(verify_mode="eager")
+
+
+def test_recompute_attempts_validated():
+    with pytest.raises(ConfigError):
+        FTGemmConfig(max_recompute_attempts=0)
+
+
+def test_with_modifies_copy():
+    cfg = FTGemmConfig()
+    cfg2 = cfg.with_(strict=False)
+    assert cfg.strict and not cfg2.strict
+    assert cfg2.blocking is cfg.blocking
+
+
+def test_frozen():
+    with pytest.raises(AttributeError):
+        FTGemmConfig().strict = False

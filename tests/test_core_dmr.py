@@ -1,0 +1,77 @@
+"""DMR-protected scaling."""
+
+import numpy as np
+import pytest
+
+from repro.core.dmr import dmr_scale
+from repro.simcpu.counters import Counters
+
+
+@pytest.fixture
+def c(rng):
+    return rng.standard_normal((6, 7))
+
+
+def test_scales_in_place(c):
+    expected = 2.5 * c
+    repaired = dmr_scale(c, 2.5, counters=Counters())
+    assert repaired == 0
+    np.testing.assert_array_equal(c, expected)
+
+
+def test_beta_zero_zeroes(c):
+    dmr_scale(c, 0.0, counters=Counters())
+    assert np.all(c == 0.0)
+
+
+def test_beta_one_noop(c):
+    before = c.copy()
+    counters = Counters()
+    assert dmr_scale(c, 1.0, counters=counters) == 0
+    np.testing.assert_array_equal(c, before)
+    assert counters.checksum_flops == 0  # nothing computed, nothing dup'd
+
+
+def test_catches_injected_scale_fault(c):
+    expected = -0.5 * c
+
+    def visit(site, array):
+        assert site == "scale"
+        array[2, 3] += 99.0
+        return True
+
+    counters = Counters()
+    repaired = dmr_scale(c, -0.5, counters=counters, visit=visit)
+    assert repaired == 1
+    np.testing.assert_array_equal(c, expected)
+    assert counters.errors_detected == 1
+    assert counters.errors_corrected == 1
+
+
+def test_catches_fault_under_beta_zero(c):
+    def visit(site, array):
+        array[0, 0] = 7.0
+        return True
+
+    repaired = dmr_scale(c, 0.0, counters=Counters(), visit=visit)
+    assert repaired == 1
+    assert np.all(c == 0.0)
+
+
+def test_counts_duplicate_flops(c):
+    counters = Counters()
+    dmr_scale(c, 3.0, counters=counters)
+    assert counters.checksum_flops == c.size
+
+
+def test_multiple_corruptions_all_repaired(c):
+    expected = 2.0 * c
+
+    def visit(site, array):
+        array[0, 0] += 1.0
+        array[1, 1] += 2.0
+        array[5, 6] -= 3.0
+        return True
+
+    assert dmr_scale(c, 2.0, counters=Counters(), visit=visit) == 3
+    np.testing.assert_array_equal(c, expected)

@@ -1,0 +1,200 @@
+"""The verification engine: ledger, rounds, correction, recompute."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import FTGemmConfig
+from repro.core.verification import ChecksumLedger, Verifier
+from repro.simcpu.counters import Counters
+from repro.util.errors import UncorrectableError
+
+
+def make_state(rng, m=12, n=15, k=9, alpha=1.0, beta=0.0):
+    """Build a consistent (a, b, c, ledger) quadruple as the driver would."""
+    a = rng.standard_normal((m, k))
+    b = rng.standard_normal((k, n))
+    c0 = rng.standard_normal((m, n)) if beta else None
+    c = alpha * (a @ b) + (beta * c0 if beta else 0.0)
+    ledger = ChecksumLedger.zeros(m, n)
+    ledger.row_pred = alpha * (a.sum(axis=0) @ b)
+    ledger.col_pred = alpha * (a @ b.sum(axis=1))
+    ledger.env_row = np.abs(alpha) * (np.abs(a).sum(axis=0) @ np.abs(b))
+    ledger.env_col = np.abs(alpha) * (np.abs(a) @ np.abs(b).sum(axis=1))
+    if beta:
+        ledger.row_pred += beta * c0.sum(axis=0)
+        ledger.col_pred += beta * c0.sum(axis=1)
+        ledger.c0_abs_row = np.abs(c0).sum(axis=0)
+        ledger.c0_abs_col = np.abs(c0).sum(axis=1)
+    ledger.row_ref = c.sum(axis=0)
+    ledger.col_ref = c.sum(axis=1)
+    return a, b, c0, c, ledger
+
+
+def make_verifier(a, b, c0, *, alpha=1.0, beta=0.0, **cfg_kwargs):
+    return Verifier(
+        a, b, alpha=alpha, beta=beta, c0=c0,
+        config=FTGemmConfig(**cfg_kwargs), counters=Counters(),
+    )
+
+
+def test_clean_single_round(rng):
+    a, b, c0, c, ledger = make_state(rng)
+    verifier = make_verifier(a, b, c0)
+    reports, verified = verifier.finalize(c, ledger)
+    assert verified
+    assert len(reports) == 1
+    assert reports[0].clean
+    assert verifier.counters.verifications == 1
+
+
+def test_single_corruption_corrected(rng):
+    a, b, c0, c, ledger = make_state(rng)
+    c[4, 7] += 10.0
+    ledger.row_ref[7] += 10.0  # refs were computed from the corrupted C
+    ledger.col_ref[4] += 10.0
+    verifier = make_verifier(a, b, c0)
+    reports, verified = verifier.finalize(c, ledger)
+    assert verified
+    assert verifier.counters.errors_corrected == 1
+    np.testing.assert_allclose(c, a @ b, rtol=1e-10, atol=1e-10)
+    assert reports[0].pattern_kind == "single"
+    assert reports[-1].clean
+
+
+def test_checksum_corruption_rederives_without_touching_c(rng):
+    a, b, c0, c, ledger = make_state(rng)
+    c_before = c.copy()
+    ledger.row_pred[3] += 50.0  # corrupt a predicted checksum, C is fine
+    verifier = make_verifier(a, b, c0)
+    reports, verified = verifier.finalize(c, ledger)
+    assert verified
+    assert any(r.checksum_rederived for r in reports)
+    np.testing.assert_array_equal(c, c_before)
+    assert verifier.counters.errors_corrected == 0
+
+
+def test_ambiguous_pair_recomputed(rng):
+    a, b, c0, c, ledger = make_state(rng)
+    for (i, j) in ((2, 3), (8, 11)):
+        c[i, j] += 4.0
+        ledger.row_ref[j] += 4.0
+        ledger.col_ref[i] += 4.0
+    verifier = make_verifier(a, b, c0)
+    reports, verified = verifier.finalize(c, ledger)
+    assert verified
+    assert verifier.counters.blocks_recomputed >= 2
+    np.testing.assert_allclose(c, a @ b, rtol=1e-10, atol=1e-10)
+
+
+def test_cancelling_pair_in_one_column(rng):
+    """+d and -d in the same column: the column residual cancels, giving a
+    rows-only pattern with C genuinely corrupt — must end in recompute."""
+    a, b, c0, c, ledger = make_state(rng)
+    c[1, 5] += 3.0
+    c[6, 5] -= 3.0
+    ledger.col_ref[1] += 3.0
+    ledger.col_ref[6] -= 3.0  # row_ref[5] unchanged: +3 - 3 = 0
+    verifier = make_verifier(a, b, c0)
+    reports, verified = verifier.finalize(c, ledger)
+    assert verified
+    np.testing.assert_allclose(c, a @ b, rtol=1e-10, atol=1e-10)
+
+
+def test_beta_path_with_recompute(rng):
+    a, b, c0, c, ledger = make_state(rng, alpha=2.0, beta=-0.5)
+    for (i, j) in ((0, 0), (5, 9)):
+        c[i, j] += 7.0
+        ledger.row_ref[j] += 7.0
+        ledger.col_ref[i] += 7.0
+    verifier = make_verifier(a, b, c0, alpha=2.0, beta=-0.5)
+    reports, verified = verifier.finalize(c, ledger)
+    assert verified
+    np.testing.assert_allclose(c, 2.0 * (a @ b) - 0.5 * c0, rtol=1e-10, atol=1e-10)
+
+
+def test_beta_recompute_without_c0_fails_strict(rng):
+    a, b, c0, c, ledger = make_state(rng, beta=0.5)
+    for (i, j) in ((0, 0), (5, 9)):  # ambiguous pair forces recompute
+        c[i, j] += 7.0
+        ledger.row_ref[j] += 7.0
+        ledger.col_ref[i] += 7.0
+    verifier = Verifier(
+        a, b, alpha=1.0, beta=0.5, c0=None,  # original C not preserved
+        config=FTGemmConfig(), counters=Counters(),
+    )
+    with pytest.raises(UncorrectableError):
+        verifier.finalize(c, ledger)
+
+
+def test_non_strict_returns_unverified(rng):
+    a, b, c0, c, ledger = make_state(rng, beta=0.5)
+    for (i, j) in ((0, 0), (5, 9)):
+        c[i, j] += 7.0
+        ledger.row_ref[j] += 7.0
+        ledger.col_ref[i] += 7.0
+    verifier = Verifier(
+        a, b, alpha=1.0, beta=0.5, c0=None,
+        config=FTGemmConfig(strict=False), counters=Counters(),
+    )
+    reports, verified = verifier.finalize(c, ledger)
+    assert not verified
+
+
+def test_recompute_disabled_fails(rng):
+    a, b, c0, c, ledger = make_state(rng)
+    for (i, j) in ((2, 3), (8, 11)):  # ambiguous equal-delta pair
+        c[i, j] += 4.0
+        ledger.row_ref[j] += 4.0
+        ledger.col_ref[i] += 4.0
+    verifier = make_verifier(a, b, c0, recompute_fallback=False)
+    with pytest.raises(UncorrectableError) as excinfo:
+        verifier.finalize(c, ledger)
+    assert excinfo.value.detected > 0
+
+
+def test_double_prediction_corruption_disguised_as_c_error(rng):
+    """Strikes on BOTH predicted checksum vectors intersect like a single
+    corrupted C element. Recomputing that (perfectly fine) row/column can
+    never clear the residuals; the verifier must notice the pattern
+    surviving a repair round and re-derive the predictions instead.
+
+    Found by the site-coverage matrix (two checksum-site strikes per call).
+    """
+    a, b, c0, c, ledger = make_state(rng)
+    c_before = c.copy()
+    ledger.row_pred[7] += 40.0   # corrupted prediction, column side
+    ledger.col_pred[3] += -25.0  # corrupted prediction, row side
+    verifier = make_verifier(a, b, c0)
+    reports, verified = verifier.finalize(c, ledger)
+    assert verified
+    assert any(r.checksum_rederived for r in reports)
+    np.testing.assert_allclose(c, a @ b, rtol=1e-10, atol=1e-10)
+    # the recompute that ran before the re-derivation rebuilt identical
+    # values; C is still numerically the original product
+    np.testing.assert_allclose(c, c_before, rtol=1e-12, atol=1e-12)
+
+
+def test_ledger_add_reduces(rng):
+    m, n = 4, 5
+    l1 = ChecksumLedger.zeros(m, n)
+    l2 = ChecksumLedger.zeros(m, n)
+    l1.row_pred += 1.0
+    l2.row_pred += 2.0
+    l2.c0_abs_row = np.ones(n)
+    l1.add(l2)
+    assert np.all(l1.row_pred == 3.0)
+    np.testing.assert_array_equal(l1.c0_abs_row, np.ones(n))
+    l3 = ChecksumLedger.zeros(m, n)
+    l3.c0_abs_row = np.ones(n)
+    l1.add(l3)
+    np.testing.assert_array_equal(l1.c0_abs_row, 2 * np.ones(n))
+
+
+def test_tolerances_positive_and_scaled(rng):
+    a, b, c0, c, ledger = make_state(rng)
+    verifier = make_verifier(a, b, c0)
+    tol_r, tol_c = verifier.tolerances(ledger)
+    assert np.all(tol_r > 0) and np.all(tol_c > 0)
+    # residuals of the consistent state sit far inside the tolerance
+    assert np.all(np.abs(ledger.row_ref - ledger.row_pred) < tol_r)
+    assert np.all(np.abs(ledger.col_ref - ledger.col_pred) < tol_c)

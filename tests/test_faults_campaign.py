@@ -1,0 +1,154 @@
+"""Campaign planning and execution."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import FTGemmConfig
+from repro.core.ftgemm import FTGemm
+from repro.core.parallel import ParallelFTGemm
+from repro.faults.campaign import (
+    CampaignConfig,
+    errors_per_call_from_rate,
+    plan_for_gemm,
+    run_campaign,
+    site_invocation_counts,
+    site_invocation_counts_parallel,
+)
+from repro.faults.injector import FaultInjector
+from repro.gemm.blocking import BlockingConfig
+from repro.util.errors import ConfigError
+from repro.util.rng import make_rng
+
+
+@pytest.fixture
+def cfg():
+    return BlockingConfig.small()
+
+
+def test_site_counts_match_actual_serial_visits(cfg, rng):
+    """The planner's invocation counts must mirror the driver exactly —
+    otherwise scheduled strikes never fire."""
+    m, n, k = 21, 26, 17
+    counts = site_invocation_counts(m, n, k, cfg)
+    # schedule one strike at the LAST invocation of every site
+    plan_schedule = {site: (cnt - 1,) for site, cnt in counts.items()}
+    from repro.faults.injector import InjectionPlan
+
+    inj = FaultInjector(InjectionPlan(schedule=plan_schedule))
+    FTGemm(FTGemmConfig(blocking=cfg)).gemm(
+        rng.standard_normal((m, k)), rng.standard_normal((k, n)), injector=inj
+    )
+    assert inj.n_pending == 0, "some scheduled strikes never fired"
+    for site, cnt in counts.items():
+        assert inj.invocations(site) == cnt, site
+
+
+def test_site_counts_match_actual_parallel_visits(cfg, rng):
+    m, n, k = 25, 30, 17
+    threads = 3
+    counts = site_invocation_counts_parallel(m, n, k, cfg, threads)
+    plan_schedule = {site: (cnt - 1,) for site, cnt in counts.items() if cnt > 0}
+    from repro.faults.injector import InjectionPlan
+
+    inj = FaultInjector(InjectionPlan(schedule=plan_schedule))
+    ParallelFTGemm(FTGemmConfig(blocking=cfg), n_threads=threads).gemm(
+        rng.standard_normal((m, k)), rng.standard_normal((k, n)), injector=inj
+    )
+    assert inj.n_pending == 0
+    for site, cnt in counts.items():
+        assert inj.invocations(site) == cnt, site
+
+
+def test_plan_distributes_requested_errors(cfg):
+    plan = plan_for_gemm(40, 40, 40, cfg, 7, seed=1)
+    assert plan.total_planned == 7
+    for site in plan.schedule:
+        assert site in ("microkernel", "pack_a", "pack_b")
+
+
+def test_plan_deterministic(cfg):
+    p1 = plan_for_gemm(30, 30, 30, cfg, 5, seed=2)
+    p2 = plan_for_gemm(30, 30, 30, cfg, 5, seed=2)
+    assert p1.schedule == p2.schedule
+
+
+def test_plan_rejects_overflow(cfg):
+    with pytest.raises(ConfigError, match="slots"):
+        plan_for_gemm(8, 8, 8, cfg, 10_000)
+
+
+def test_plan_rejects_negative(cfg):
+    with pytest.raises(ConfigError):
+        plan_for_gemm(8, 8, 8, cfg, -1)
+
+
+def test_rate_conversion_poisson_mean():
+    rng = make_rng(0)
+    draws = [errors_per_call_from_rate(600, 2.0, rng) for _ in range(500)]
+    assert np.mean(draws) == pytest.approx(600 * 2.0 / 60.0, rel=0.1)
+
+
+def test_rate_conversion_zero():
+    rng = make_rng(0)
+    assert errors_per_call_from_rate(0.0, 5.0, rng) == 0
+
+
+def test_rate_conversion_validation():
+    rng = make_rng(0)
+    with pytest.raises(ConfigError):
+        errors_per_call_from_rate(-1.0, 1.0, rng)
+    with pytest.raises(ConfigError):
+        errors_per_call_from_rate(1.0, 0.0, rng)
+
+
+def test_campaign_config_validation():
+    with pytest.raises(ConfigError):
+        CampaignConfig(m=8, n=8, k=8, errors_per_call=None)
+    with pytest.raises(ConfigError):
+        CampaignConfig(m=8, n=8, k=8, errors_per_call=1, rate_per_minute=5.0)
+    with pytest.raises(ConfigError):
+        CampaignConfig(m=8, n=8, k=8, errors_per_call=None, rate_per_minute=5.0)
+    with pytest.raises(ConfigError):
+        CampaignConfig(m=8, n=8, k=8, runs=0)
+
+
+def test_campaign_serial_all_correct(cfg):
+    result = run_campaign(
+        CampaignConfig(m=33, n=29, k=21, runs=3, errors_per_call=2, seed=4),
+        FTGemm(FTGemmConfig(blocking=cfg)),
+    )
+    assert result.runs == 3
+    assert result.injected == 6
+    assert result.all_correct
+    assert result.detection_rate >= 0.0
+    assert result.max_final_error < 1e-8
+
+
+def test_campaign_with_beta(cfg):
+    result = run_campaign(
+        CampaignConfig(
+            m=20, n=20, k=20, runs=2, errors_per_call=1, seed=5,
+            alpha=1.5, beta=-0.5,
+        ),
+        FTGemm(FTGemmConfig(blocking=cfg)),
+    )
+    assert result.all_correct
+
+
+def test_campaign_parallel_driver(cfg):
+    result = run_campaign(
+        CampaignConfig(m=24, n=24, k=16, runs=2, errors_per_call=2, seed=6),
+        ParallelFTGemm(FTGemmConfig(blocking=cfg), n_threads=3),
+    )
+    assert result.all_correct
+    assert result.injected == 4
+
+
+def test_campaign_zero_errors_clean(cfg):
+    result = run_campaign(
+        CampaignConfig(m=16, n=16, k=16, runs=2, errors_per_call=0),
+        FTGemm(FTGemmConfig(blocking=cfg)),
+    )
+    assert result.injected == 0
+    assert result.detected == 0
+    assert result.all_correct

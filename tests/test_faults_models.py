@@ -1,0 +1,88 @@
+"""Fault models."""
+
+import numpy as np
+import pytest
+
+from repro.faults.models import Additive, BitFlip, Scaling, StuckValue, default_model
+from repro.util.errors import ConfigError
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(9)
+
+
+def test_bitflip_pinned_bit_is_involution(rng):
+    model = BitFlip(bit=51)
+    x = 3.14159
+    y = model.apply(x, rng)
+    assert y != x
+    assert model.apply(y, rng) == x  # flipping twice restores
+
+
+def test_bitflip_sign_bit(rng):
+    assert BitFlip(bit=63).apply(2.5, rng) == -2.5
+
+
+def test_bitflip_mantissa_lsb_tiny(rng):
+    x = 1.0
+    y = BitFlip(bit=0).apply(x, rng)
+    assert y != x
+    assert abs(y - x) < 1e-15
+
+
+def test_bitflip_random_bit_in_range(rng):
+    model = BitFlip(bit_range=(52, 61))  # exponent bits below the top one
+    x = 1.0  # zero mantissa: every exponent flip is a clean power of two
+    seen = set()
+    for _ in range(20):
+        y = model.apply(x, rng)
+        ratio = abs(y / x)
+        assert ratio != 1.0
+        assert np.log2(ratio) == pytest.approx(round(np.log2(ratio)))
+        seen.add(y)
+    assert len(seen) > 1  # the bit really is drawn at random
+
+
+def test_bitflip_can_produce_nonfinite(rng):
+    # setting the top exponent bit of 1.5 (exponent 0x3FF) lands on the
+    # all-ones exponent with a nonzero mantissa: NaN — fail-continue must
+    # pass it through
+    y = BitFlip(bit=62).apply(1.5, rng)
+    assert not np.isfinite(y)
+    # with a zero mantissa the same flip yields inf
+    assert BitFlip(bit=62).apply(1.0, rng) == np.inf
+
+
+def test_bitflip_validation():
+    with pytest.raises(ConfigError):
+        BitFlip(bit=64)
+    with pytest.raises(ConfigError):
+        BitFlip(bit_range=(10, 99))
+
+
+def test_additive(rng):
+    assert Additive(magnitude=2.5).apply(1.0, rng) == 3.5
+    with pytest.raises(ConfigError):
+        Additive(magnitude=0.0)
+
+
+def test_stuck(rng):
+    assert StuckValue(value=0.0).apply(123.0, rng) == 0.0
+
+
+def test_scaling(rng):
+    assert Scaling(factor=2.0).apply(3.0, rng) == 6.0
+    with pytest.raises(ConfigError):
+        Scaling(factor=1.0)
+
+
+def test_default_model_is_high_impact_bitflip():
+    model = default_model()
+    assert isinstance(model, BitFlip)
+    assert model.bit_range[0] >= 40  # detectable region
+
+
+def test_describe():
+    assert BitFlip().describe() == "bitflip"
+    assert Additive(magnitude=1.0).describe() == "additive"

@@ -1,0 +1,51 @@
+"""Detection-coverage analysis."""
+
+import pytest
+
+from repro.faults.stats import magnitude_sweep, site_coverage
+from repro.util.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def mag_fig():
+    return magnitude_sweep(
+        relative_magnitudes=(1e-16, 1e-7, 1e-1), n=40, runs=4
+    )
+
+
+def test_magnitude_boundary_holds(mag_fig):
+    """Undetected errors must be harmless; harmful errors must be detected."""
+    assert "below round-off relevance" in mag_fig.observations["boundary"]
+
+
+def test_tiny_magnitudes_undetected_and_harmless(mag_fig):
+    detected = mag_fig.series["detected %"]
+    damage = mag_fig.series["worst rel err"]
+    assert detected[0] == 0.0  # 1e-16 relative: invisible to checksums
+    assert damage[0] < 1e-12   # and to the result
+
+
+def test_large_magnitudes_fully_detected(mag_fig):
+    detected = mag_fig.series["detected %"]
+    damage = mag_fig.series["worst rel err"]
+    assert detected[-1] == 100.0
+    assert damage[-1] < 1e-10  # detected AND repaired
+
+
+def test_magnitude_sweep_validation():
+    with pytest.raises(ConfigError):
+        magnitude_sweep(runs=0)
+
+
+def test_site_coverage_matrix_complete():
+    fig = site_coverage(n=40, runs=2, errors_per_run=1)
+    assert fig.observations["matrix"] == "all sites fully covered by both schemes"
+    assert fig.x == ["microkernel", "pack_a", "pack_b", "scale", "checksum"]
+    for scheme in ("dual", "weighted"):
+        assert all(v == 100.0 for v in fig.series[f"{scheme}: correct %"])
+
+
+def test_site_coverage_repairs_recorded():
+    fig = site_coverage(n=40, runs=2, errors_per_run=2)
+    # kernel faults always leave repair evidence in at least one scheme
+    assert fig.series["dual: repairs"][0] > 0

@@ -1,0 +1,90 @@
+"""Blocking configuration and loop partitioning."""
+
+import pytest
+
+from repro.gemm.blocking import BlockingConfig, block_starts, iter_blocks, n_blocks
+from repro.util.errors import ConfigError
+
+
+def test_default_matches_paper():
+    cfg = BlockingConfig()
+    assert (cfg.mc, cfg.kc, cfg.nc) == (192, 384, 9216)
+    assert (cfg.mr, cfg.nr) == (16, 14)
+
+
+def test_mc_must_be_multiple_of_mr():
+    with pytest.raises(ConfigError, match="multiple"):
+        BlockingConfig(mc=100, mr=16)
+
+
+def test_tile_cannot_exceed_block():
+    with pytest.raises(ConfigError):
+        BlockingConfig(mc=8, mr=16)
+    with pytest.raises(ConfigError):
+        BlockingConfig(nc=4, nr=8)
+
+
+def test_rejects_nonpositive():
+    with pytest.raises(ConfigError):
+        BlockingConfig(kc=0)
+    with pytest.raises(ConfigError):
+        BlockingConfig(mc=-192)
+
+
+def test_footprints():
+    cfg = BlockingConfig()
+    assert cfg.a_block_doubles == 192 * 384
+    assert cfg.b_panel_doubles == 384 * 9216
+    assert cfg.c_tile_doubles == 16 * 14
+
+
+def test_micro_panel_counts():
+    cfg = BlockingConfig()
+    assert cfg.micro_panels_m(192) == 12
+    assert cfg.micro_panels_m(193) == 13
+    assert cfg.micro_panels_n(14) == 1
+    assert cfg.micro_panels_n(15) == 2
+
+
+def test_with_modifies_copy():
+    cfg = BlockingConfig()
+    cfg2 = cfg.with_(kc=128)
+    assert cfg2.kc == 128 and cfg.kc == 384
+
+
+def test_iter_blocks_exact_and_ragged():
+    assert list(iter_blocks(10, 4)) == [(0, 4), (4, 4), (8, 2)]
+    assert list(iter_blocks(8, 4)) == [(0, 4), (4, 4)]
+    assert list(iter_blocks(3, 4)) == [(0, 3)]
+    assert list(iter_blocks(0, 4)) == []
+
+
+def test_iter_blocks_covers_range():
+    blocks = list(iter_blocks(97, 12))
+    assert sum(length for _, length in blocks) == 97
+    ends = [start + length for start, length in blocks]
+    starts = [start for start, _ in blocks]
+    assert starts == [0] + ends[:-1]  # contiguous, no gaps
+
+
+def test_iter_blocks_validation():
+    with pytest.raises(ConfigError):
+        list(iter_blocks(10, 0))
+    with pytest.raises(ConfigError):
+        list(iter_blocks(-1, 4))
+
+
+def test_block_starts():
+    assert block_starts(10, 4) == [0, 4, 8]
+
+
+def test_n_blocks():
+    assert n_blocks(10, 4) == 3
+    assert n_blocks(8, 4) == 2
+    assert n_blocks(0, 4) == 0
+
+
+def test_small_config_is_valid_and_small():
+    cfg = BlockingConfig.small()
+    assert cfg.mc <= 16 and cfg.kc <= 16
+    assert cfg.mc % cfg.mr == 0

@@ -1,0 +1,125 @@
+"""Macro kernel: tile sweep, fused reference checksums, hooks, counters."""
+
+import numpy as np
+import pytest
+
+from repro.gemm.macrokernel import macro_kernel
+from repro.gemm.packing import pack_a, pack_b
+from repro.simcpu.counters import Counters
+from repro.util.errors import ShapeError
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(2)
+
+
+def run_macro(rng, mlen=11, nlen=13, k=9, mr=4, nr=4, **kwargs):
+    a = rng.standard_normal((mlen, k))
+    b = rng.standard_normal((k, nlen))
+    c = rng.standard_normal((mlen, nlen))
+    c0 = c.copy()
+    macro_kernel(pack_a(a, mr), pack_b(b, nr), c, **kwargs)
+    return a, b, c0, c
+
+
+def test_macro_kernel_correct_ragged(rng):
+    a, b, c0, c = run_macro(rng)
+    np.testing.assert_allclose(c, c0 + a @ b, rtol=1e-12)
+
+
+def test_macro_kernel_exact_tiles(rng):
+    a, b, c0, c = run_macro(rng, mlen=8, nlen=8, k=4)
+    np.testing.assert_allclose(c, c0 + a @ b, rtol=1e-12)
+
+
+def test_macro_kernel_collects_reference_checksums(rng):
+    mlen, nlen = 11, 13
+    row_ref = np.zeros(nlen)
+    col_ref = np.zeros(mlen)
+    a, b, c0, c = run_macro(rng, row_ref=row_ref, col_ref=col_ref)
+    np.testing.assert_allclose(row_ref, c.sum(axis=0), rtol=1e-12)
+    np.testing.assert_allclose(col_ref, c.sum(axis=1), rtol=1e-12)
+
+
+def test_refs_must_come_together(rng):
+    with pytest.raises(ShapeError, match="together"):
+        run_macro(rng, row_ref=np.zeros(13))
+
+
+def test_refs_shape_checked(rng):
+    with pytest.raises(ShapeError):
+        run_macro(rng, row_ref=np.zeros(5), col_ref=np.zeros(11))
+
+
+def test_block_extent_mismatch(rng):
+    a = rng.standard_normal((8, 4))
+    b = rng.standard_normal((4, 8))
+    with pytest.raises(ShapeError, match="does not match"):
+        macro_kernel(pack_a(a, 4), pack_b(b, 4), np.zeros((7, 8)))
+
+
+def test_depth_mismatch(rng):
+    a = rng.standard_normal((8, 4))
+    b = rng.standard_normal((5, 8))
+    with pytest.raises(ShapeError, match="depths"):
+        macro_kernel(pack_a(a, 4), pack_b(b, 4), np.zeros((8, 8)))
+
+
+def test_on_tile_hook_sees_every_tile(rng):
+    seen = []
+    run_macro(rng, mlen=8, nlen=8, mr=4, nr=4,
+              on_tile=lambda tile, i0, j0: seen.append((i0, j0)))
+    assert sorted(seen) == [(0, 0), (0, 4), (4, 0), (4, 4)]
+
+
+def test_on_tile_corruption_lands_in_refs(rng):
+    """Faults injected by the hook must be visible to the fused reference
+    checksums (the hook runs before collection) — the property detection
+    relies on."""
+    row_ref = np.zeros(8)
+    col_ref = np.zeros(8)
+
+    def corrupt_first(tile, i0, j0):
+        if i0 == 0 and j0 == 0:
+            tile[0, 0] += 100.0
+
+    a, b, c0, c = run_macro(
+        rng, mlen=8, nlen=8, row_ref=row_ref, col_ref=col_ref,
+        on_tile=corrupt_first,
+    )
+    # refs match the *corrupted* C exactly
+    np.testing.assert_allclose(row_ref, c.sum(axis=0), rtol=1e-12)
+    assert abs(c[0, 0] - (c0 + a @ b)[0, 0] - 100.0) < 1e-9
+
+
+def test_counters(rng):
+    counters = Counters()
+    run_macro(rng, mlen=8, nlen=8, k=5, counters=counters)
+    assert counters.microkernel_calls == 4
+    assert counters.fma_flops == 4 * 2 * 4 * 4 * 5
+
+
+def test_counters_checksum_flops_only_when_collecting(rng):
+    counters = Counters()
+    run_macro(rng, mlen=8, nlen=8, counters=counters)
+    assert counters.checksum_flops == 0
+    counters2 = Counters()
+    run_macro(rng, mlen=8, nlen=8, counters=counters2,
+              row_ref=np.zeros(8), col_ref=np.zeros(8))
+    assert counters2.checksum_flops == 2 * 8 * 8
+
+
+def test_nan_propagates_silently(rng):
+    """Fail-continue: non-finite values flow through without warnings."""
+    import warnings
+
+    a = rng.standard_normal((8, 4))
+    a[0, 0] = np.nan
+    b = rng.standard_normal((4, 8))
+    c = np.zeros((8, 8))
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        macro_kernel(pack_a(a, 4), pack_b(b, 4), c)
+    assert np.isnan(c[0]).all()
+    assert np.isfinite(c[4:]).all()

@@ -1,0 +1,119 @@
+"""Packing into micro panels: round-trip, layout, padding."""
+
+import numpy as np
+import pytest
+
+from repro.gemm.packing import PackedPanels, pack_a, pack_b, unpack_a, unpack_b
+from repro.util.errors import ShapeError
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+def test_pack_a_roundtrip_exact(rng):
+    block = rng.standard_normal((16, 12))
+    assert np.array_equal(unpack_a(pack_a(block, 4)), block)
+
+
+def test_pack_a_roundtrip_ragged(rng):
+    block = rng.standard_normal((13, 7))
+    packed = pack_a(block, 4)
+    assert packed.n_panels == 4
+    assert np.array_equal(unpack_a(packed), block)
+
+
+def test_pack_a_layout_is_column_interleaved(rng):
+    """Panel i holds rows [i*mr, i*mr+mr) transposed: panel[k_idx, r] is
+    A[i*mr + r, k_idx] — the kernel broadcasts mr contiguous A values."""
+    block = rng.standard_normal((8, 5))
+    packed = pack_a(block, 4)
+    for panel_idx in range(2):
+        for kk in range(5):
+            np.testing.assert_array_equal(
+                packed.panel(panel_idx)[kk],
+                block[panel_idx * 4 : panel_idx * 4 + 4, kk],
+            )
+
+
+def test_pack_a_zero_padding(rng):
+    block = rng.standard_normal((5, 3))
+    packed = pack_a(block, 4)
+    # rows 5..7 of the second panel are zero
+    assert np.all(packed.panel(1)[:, 1:] == 0.0)
+
+
+def test_pack_b_roundtrip_exact(rng):
+    block = rng.standard_normal((9, 12))
+    assert np.array_equal(unpack_b(pack_b(block, 4)), block)
+
+
+def test_pack_b_roundtrip_ragged(rng):
+    block = rng.standard_normal((9, 10))
+    packed = pack_b(block, 4)
+    assert packed.n_panels == 3
+    assert np.array_equal(unpack_b(packed), block)
+
+
+def test_pack_b_layout_row_major_panels(rng):
+    block = rng.standard_normal((6, 8))
+    packed = pack_b(block, 4)
+    np.testing.assert_array_equal(packed.panel(0), block[:, 0:4])
+    np.testing.assert_array_equal(packed.panel(1), block[:, 4:8])
+
+
+def test_pack_b_zero_padding(rng):
+    block = rng.standard_normal((6, 5))
+    packed = pack_b(block, 4)
+    assert np.all(packed.panel(1)[:, 1:] == 0.0)
+
+
+def test_panel_extent(rng):
+    packed = pack_a(rng.standard_normal((10, 4)), 4)
+    assert packed.panel_extent(0) == 4
+    assert packed.panel_extent(1) == 4
+    assert packed.panel_extent(2) == 2
+    with pytest.raises(IndexError):
+        packed.panel_extent(3)
+
+
+def test_pack_out_buffer_reuse(rng):
+    block1 = rng.standard_normal((8, 6))
+    block2 = rng.standard_normal((8, 6))
+    buf = np.empty((2, 6, 4))
+    p1 = pack_a(block1, 4, out=buf)
+    assert p1.data is buf
+    pack_a(block2, 4, out=buf)
+    assert np.array_equal(unpack_a(PackedPanels(buf, 8)), block2)
+
+
+def test_pack_out_buffer_zeroed_between_uses(rng):
+    """A stale tail from a previous (larger) packing must not leak."""
+    buf = np.full((2, 4, 4), 7.0)
+    packed = pack_a(rng.standard_normal((5, 4)), 4, out=buf)
+    assert np.all(packed.panel(1)[:, 1:] == 0.0)
+
+
+def test_pack_out_wrong_shape_rejected(rng):
+    with pytest.raises(ShapeError):
+        pack_a(rng.standard_normal((8, 6)), 4, out=np.empty((3, 6, 4)))
+
+
+def test_pack_rejects_non_2d():
+    with pytest.raises(ShapeError):
+        pack_a(np.zeros(5), 4)
+    with pytest.raises(ShapeError):
+        pack_b(np.zeros((2, 2, 2)), 4)
+
+
+def test_packed_panels_validation():
+    with pytest.raises(ShapeError):
+        PackedPanels(np.zeros((2, 3)), valid=2)  # not 3-D
+    with pytest.raises(ShapeError):
+        PackedPanels(np.zeros((2, 3, 4)), valid=9)  # exceeds capacity
+
+
+def test_nbytes(rng):
+    packed = pack_b(rng.standard_normal((6, 8)), 4)
+    assert packed.nbytes == 2 * 6 * 4 * 8

@@ -1,0 +1,65 @@
+"""Reference GEMM oracles."""
+
+import numpy as np
+import pytest
+
+from repro.gemm.reference import gemm_naive, gemm_reference
+from repro.util.errors import ShapeError
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(4)
+
+
+def test_reference_plain(rng):
+    a = rng.standard_normal((5, 4))
+    b = rng.standard_normal((4, 6))
+    np.testing.assert_allclose(gemm_reference(a, b), a @ b)
+
+
+def test_reference_alpha_beta(rng):
+    a = rng.standard_normal((5, 4))
+    b = rng.standard_normal((4, 6))
+    c = rng.standard_normal((5, 6))
+    out = gemm_reference(a, b, c, alpha=2.5, beta=-0.5)
+    np.testing.assert_allclose(out, 2.5 * (a @ b) - 0.5 * c)
+
+
+def test_reference_does_not_mutate_c(rng):
+    a = rng.standard_normal((3, 3))
+    b = rng.standard_normal((3, 3))
+    c = rng.standard_normal((3, 3))
+    c_copy = c.copy()
+    gemm_reference(a, b, c, beta=2.0)
+    np.testing.assert_array_equal(c, c_copy)
+
+
+def test_reference_beta_zero_ignores_c_values(rng):
+    a = rng.standard_normal((3, 3))
+    b = rng.standard_normal((3, 3))
+    c = np.full((3, 3), np.nan)  # beta=0 must not read C (BLAS convention)
+    out = gemm_reference(a, b, c, beta=0.0)
+    assert np.isfinite(out).all()
+
+
+def test_reference_shape_errors(rng):
+    with pytest.raises(ShapeError):
+        gemm_reference(rng.standard_normal((3, 4)), rng.standard_normal((5, 6)))
+
+
+def test_naive_matches_reference(rng):
+    a = rng.standard_normal((4, 5))
+    b = rng.standard_normal((5, 3))
+    c = rng.standard_normal((4, 3))
+    np.testing.assert_allclose(
+        gemm_naive(a, b, c, alpha=1.5, beta=0.25),
+        gemm_reference(a, b, c, alpha=1.5, beta=0.25),
+        rtol=1e-12,
+    )
+
+
+def test_naive_plain(rng):
+    a = rng.standard_normal((3, 2))
+    b = rng.standard_normal((2, 4))
+    np.testing.assert_allclose(gemm_naive(a, b), a @ b, rtol=1e-13)

@@ -1,0 +1,79 @@
+"""Analytical blocking-parameter tuning."""
+
+import pytest
+
+from repro.gemm.tuning import (
+    blocking_footprints,
+    fits_report,
+    tune_blocking,
+    tune_micro_tile,
+)
+from repro.simcpu.machine import MachineSpec
+from repro.simcpu.vector import VectorUnit
+
+
+def test_micro_tile_reproduces_16x14():
+    """On the Cascade Lake register file the model lands on the classic
+    16x14 double-precision tile (28 accumulators = all 32 zmm used)."""
+    tile = tune_micro_tile(MachineSpec.cascade_lake_w2255())
+    assert (tile.mr, tile.nr) == (16, 14)
+    assert tile.efficiency == 1.0
+    assert tile.accumulators == 28
+
+
+def test_micro_tile_fits_registers_everywhere():
+    for machine in (MachineSpec.cascade_lake_w2255(), MachineSpec.small_test_machine()):
+        tile = tune_micro_tile(machine)
+        VectorUnit(machine).check_tile(tile.mr, tile.nr)  # must not raise
+
+
+def test_tune_blocking_reproduces_paper_parameters():
+    """The headline check: the analytic model derives the paper's published
+    M_C=192, K_C=384, N_C=9216 from the W-2255 cache sheet."""
+    cfg = tune_blocking(MachineSpec.cascade_lake_w2255())
+    assert (cfg.mc, cfg.kc, cfg.nc) == (192, 384, 9216)
+    assert (cfg.mr, cfg.nr) == (16, 14)
+
+
+def test_tune_blocking_respects_explicit_tile():
+    cfg = tune_blocking(MachineSpec.cascade_lake_w2255(), mr=8, nr=8)
+    assert cfg.mr == 8 and cfg.nr == 8
+    assert cfg.mc % 8 == 0
+
+
+def test_tune_blocking_small_machine_valid():
+    machine = MachineSpec.small_test_machine()
+    cfg = tune_blocking(machine)
+    assert cfg.mc % cfg.mr == 0
+    fp = blocking_footprints(cfg)
+    assert fp["a_block"] <= machine.cache(2).size_bytes
+
+
+def test_tune_scales_with_cache_size():
+    base = MachineSpec.cascade_lake_w2255()
+    cfg_small = tune_blocking(base)
+    bigger_l2 = tuple(
+        c if c.level != 2 else type(c)(2, 4 * c.size_bytes, c.line_bytes,
+                                       c.associativity, c.latency_cycles,
+                                       c.bandwidth_bytes_per_cycle, c.shared)
+        for c in base.caches
+    )
+    cfg_big = tune_blocking(base.with_(caches=bigger_l2))
+    assert cfg_big.kc > cfg_small.kc
+    assert cfg_big.mc > cfg_small.mc
+
+
+def test_footprints_keys_and_values():
+    cfg = tune_blocking(MachineSpec.cascade_lake_w2255())
+    fp = blocking_footprints(cfg)
+    assert fp["a_block"] == 192 * 384 * 8
+    assert fp["b_micro"] == 384 * 14 * 8
+    assert fp["c_tile"] == 16 * 14 * 8
+
+
+def test_fits_report_paper_config():
+    machine = MachineSpec.cascade_lake_w2255()
+    report = fits_report(tune_blocking(machine), machine)
+    assert report["a_block_in_l2"]  # 576 KiB in 1 MiB
+    assert report["c_tile_in_registers"]
+    assert report["b_panel_within_l3_budget"]

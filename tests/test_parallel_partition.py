@@ -1,0 +1,62 @@
+"""Work partitioning."""
+
+import pytest
+
+from repro.parallel.partition import owner_of_row, partition_panels, partition_rows
+from repro.util.errors import ConfigError
+
+
+def test_rows_cover_exactly():
+    part = partition_rows(100, 7)
+    assert len(part) == 7
+    assert sum(length for _, length in part) == 100
+    pos = 0
+    for start, length in part:
+        assert start == pos
+        pos += length
+
+
+def test_rows_balanced_within_one():
+    lengths = [length for _, length in partition_rows(100, 7)]
+    assert max(lengths) - min(lengths) <= 1
+
+
+def test_rows_more_threads_than_rows():
+    part = partition_rows(3, 5)
+    lengths = [length for _, length in part]
+    assert lengths == [1, 1, 1, 0, 0]
+
+
+def test_rows_single_thread():
+    assert partition_rows(42, 1) == [(0, 42)]
+
+
+def test_rows_validation():
+    with pytest.raises(ConfigError):
+        partition_rows(10, 0)
+    with pytest.raises(ConfigError):
+        partition_rows(-1, 2)
+
+
+def test_panels_cover():
+    part = partition_panels(10, 3)
+    assert sum(cnt for _, cnt in part) == 10
+    assert [f for f, _ in part] == [0, 4, 7]
+
+
+def test_owner_of_row():
+    part = partition_rows(10, 3)  # (0,4) (4,3) (7,3)
+    assert owner_of_row(0, part) == 0
+    assert owner_of_row(3, part) == 0
+    assert owner_of_row(4, part) == 1
+    assert owner_of_row(9, part) == 2
+    with pytest.raises(ConfigError):
+        owner_of_row(10, part)
+
+
+def test_every_row_has_exactly_one_owner():
+    part = partition_rows(23, 4)
+    owners = [owner_of_row(r, part) for r in range(23)]
+    assert owners == sorted(owners)  # contiguous ownership
+    for tid, (start, length) in enumerate(part):
+        assert owners[start : start + length] == [tid] * length

@@ -1,0 +1,66 @@
+"""Cross-thread checksum reductions."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.reduction import reduce_partials, tree_reduce
+from repro.util.errors import ShapeError
+
+
+@pytest.fixture
+def partials(rng):
+    return [rng.standard_normal(16) for _ in range(5)]
+
+
+def test_reduce_sums(partials):
+    out = reduce_partials(partials)
+    np.testing.assert_allclose(out, np.sum(partials, axis=0), rtol=1e-14)
+
+
+def test_reduce_into_out_buffer(partials):
+    out = np.full(16, 9.0)  # stale contents must be overwritten
+    result = reduce_partials(partials, out=out)
+    assert result is out
+    np.testing.assert_allclose(out, np.sum(partials, axis=0), rtol=1e-14)
+
+
+def test_reduce_single_partial(partials):
+    np.testing.assert_array_equal(reduce_partials(partials[:1]), partials[0])
+
+
+def test_reduce_empty_rejected():
+    with pytest.raises(ShapeError):
+        reduce_partials([])
+
+
+def test_reduce_shape_mismatch(partials):
+    with pytest.raises(ShapeError):
+        reduce_partials(partials + [np.zeros(4)])
+
+
+def test_reduce_out_shape_mismatch(partials):
+    with pytest.raises(ShapeError):
+        reduce_partials(partials, out=np.zeros(4))
+
+
+def test_tree_matches_sequential_within_roundoff(partials):
+    seq = reduce_partials(partials)
+    tree = tree_reduce(partials)
+    np.testing.assert_allclose(tree, seq, rtol=1e-12)
+
+
+def test_tree_does_not_mutate_inputs(partials):
+    copies = [p.copy() for p in partials]
+    tree_reduce(partials)
+    for p, c in zip(partials, copies):
+        np.testing.assert_array_equal(p, c)
+
+
+def test_tree_odd_count():
+    parts = [np.full(3, float(i)) for i in range(7)]
+    np.testing.assert_array_equal(tree_reduce(parts), np.full(3, 21.0))
+
+
+def test_tree_empty_rejected():
+    with pytest.raises(ShapeError):
+        tree_reduce([])

@@ -1,0 +1,131 @@
+"""Thread teams: barrier semantics on both backends."""
+
+import threading
+import time
+
+import pytest
+
+from repro.parallel.team import SimulatedTeam, Team, ThreadTeam, make_team
+from repro.util.errors import ConfigError, SimulationError
+
+
+def test_make_team_factory():
+    assert isinstance(make_team(2, "simulated"), SimulatedTeam)
+    assert isinstance(make_team(2, "threads"), ThreadTeam)
+    with pytest.raises(ConfigError):
+        make_team(2, "gpu")
+    with pytest.raises(ConfigError):
+        make_team(0)
+
+
+def test_simulated_phases_are_synchronized():
+    """No thread may enter phase k+1 before all finished phase k."""
+    log = []
+
+    def worker(tid):
+        log.append(("phase0", tid))
+        yield
+        log.append(("phase1", tid))
+        yield
+        log.append(("phase2", tid))
+
+    SimulatedTeam(3).run(worker)
+    phases = [p for p, _ in log]
+    assert phases == ["phase0"] * 3 + ["phase1"] * 3 + ["phase2"] * 3
+
+
+def test_simulated_order_within_round():
+    log = []
+
+    def worker(tid):
+        log.append(tid)
+        yield
+
+    SimulatedTeam(3, order=[2, 0, 1]).run(worker)
+    assert log == [2, 0, 1]
+
+
+def test_simulated_order_validated():
+    with pytest.raises(ConfigError):
+        SimulatedTeam(3, order=[0, 0, 1])
+
+
+def test_simulated_barrier_count():
+    team = SimulatedTeam(2)
+
+    def worker(tid):
+        yield
+        yield
+        yield
+
+    team.run(worker)
+    assert team.barriers_executed == 3
+
+
+def test_simulated_mismatched_barriers_detected():
+    def worker(tid):
+        yield
+        if tid == 0:
+            yield  # thread 0 hits one more barrier than thread 1
+
+    with pytest.raises(SimulationError, match="barrier mismatch"):
+        SimulatedTeam(2).run(worker)
+
+
+def test_thread_team_runs_concurrently():
+    """All threads must be inside the region simultaneously (a real
+    barrier deadlocks otherwise)."""
+    arrived = threading.Barrier(3, timeout=10)
+
+    def worker(tid):
+        arrived.wait()  # only passes if all three run at once
+        yield
+        arrived.wait()
+
+    ThreadTeam(3, timeout=10).run(worker)
+
+
+def test_thread_team_propagates_worker_errors():
+    def worker(tid):
+        yield
+        if tid == 1:
+            raise RuntimeError("worker exploded")
+        yield
+
+    with pytest.raises(RuntimeError, match="exploded"):
+        ThreadTeam(2, timeout=5).run(worker)
+
+
+def test_thread_team_phase_ordering():
+    log = []
+    lock = threading.Lock()
+
+    def worker(tid):
+        with lock:
+            log.append(("a", tid))
+        yield
+        with lock:
+            log.append(("b", tid))
+
+    ThreadTeam(4, timeout=10).run(worker)
+    # all "a" entries strictly precede all "b" entries
+    labels = [p for p, _ in log]
+    assert labels.index("b") == 4
+    assert labels == ["a"] * 4 + ["b"] * 4
+
+
+def test_base_class_validates_thread_count():
+    with pytest.raises(ConfigError):
+        Team(0)
+
+
+def test_single_thread_team_works():
+    hits = []
+
+    def worker(tid):
+        hits.append(tid)
+        yield
+        hits.append(tid)
+
+    SimulatedTeam(1).run(worker)
+    assert hits == [0, 0]

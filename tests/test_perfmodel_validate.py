@@ -1,0 +1,64 @@
+"""Counter validation: the model's accounting mirrors the implementation."""
+
+import pytest
+
+from repro.core.config import FTGemmConfig
+from repro.gemm.blocking import BlockingConfig
+from repro.perfmodel.validate import expected_counters, validate_run
+from repro.util.errors import ConfigError
+
+
+@pytest.fixture
+def cfg():
+    return FTGemmConfig(blocking=BlockingConfig.small())
+
+
+@pytest.mark.parametrize(
+    "m,n,k",
+    [(16, 24, 16), (37, 29, 23), (8, 12, 8), (5, 40, 17), (1, 1, 1)],
+)
+def test_ft_counters_match_exactly(cfg, m, n, k):
+    report = validate_run(m, n, k, cfg)
+    assert report.ok, f"mismatched fields: {report.mismatches()}\n{report}"
+
+
+@pytest.mark.parametrize("m,n,k", [(20, 18, 14), (33, 27, 21)])
+def test_ft_counters_with_beta(cfg, m, n, k):
+    report = validate_run(m, n, k, cfg, beta=0.5)
+    assert report.ok, f"{report}"
+
+
+def test_weighted_counters_match(cfg):
+    report = validate_run(
+        26, 22, 18, cfg.with_(checksum_scheme="weighted")
+    )
+    assert report.ok, f"{report}"
+
+
+def test_weighted_counters_with_beta(cfg):
+    report = validate_run(
+        21, 25, 19, cfg.with_(checksum_scheme="weighted"), beta=-1.5
+    )
+    assert report.ok, f"{report}"
+
+
+def test_unprotected_counters_match(cfg):
+    report = validate_run(24, 20, 16, cfg.with_(enable_ft=False))
+    assert report.ok, f"{report}"
+
+
+def test_ft_extra_bytes_always_zero_clean(cfg):
+    report = validate_run(30, 26, 22, cfg)
+    assert report.expected["ft_extra_bytes"] == 0
+    assert report.observed["ft_extra_bytes"] == 0
+
+
+def test_expected_counters_invalid_dims(cfg):
+    with pytest.raises(ConfigError):
+        expected_counters(0, 4, 4, cfg)
+
+
+def test_report_rendering(cfg):
+    report = validate_run(12, 12, 12, cfg)
+    text = str(report)
+    assert "fma_flops" in text and "ok" in text

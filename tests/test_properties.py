@@ -1,0 +1,188 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+The invariants that make FT-GEMM trustworthy, checked over generated
+inputs rather than fixed examples:
+
+1. the blocked GEMM equals the oracle for *any* shape/blocking combination;
+2. packing is lossless for any geometry;
+3. a clean protected run never reports errors (no false positives), for
+   any well-formed input including extreme scalings;
+4. any single above-threshold corruption is detected and the final result
+   is right (no false negatives in the single-fault model);
+5. checksum algebra identities hold for any matrices;
+6. partitions always tile the index space exactly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.config import FTGemmConfig
+from repro.core.ftgemm import FTGemm
+from repro.faults.injector import FaultInjector, InjectionPlan
+from repro.faults.models import Additive
+from repro.gemm.blocking import BlockingConfig, iter_blocks
+from repro.gemm.driver import BlockedGemm
+from repro.gemm.packing import pack_a, pack_b, unpack_a, unpack_b
+from repro.parallel.partition import partition_rows
+
+COMMON = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+dims = st.integers(min_value=1, max_value=30)
+tile = st.integers(min_value=1, max_value=6)
+
+
+def finite_matrix(rows, cols, scale_exp=0):
+    return hnp.arrays(
+        np.float64,
+        (rows, cols),
+        elements=st.floats(
+            min_value=-1e3, max_value=1e3, allow_nan=False, width=64
+        ).map(lambda x: x * 10.0**scale_exp),
+    )
+
+
+@COMMON
+@given(m=dims, n=dims, k=dims, mc=tile, kc=tile, nc=tile, data=st.data())
+def test_blocked_gemm_matches_oracle_any_blocking(m, n, k, mc, kc, nc, data):
+    mr = data.draw(st.sampled_from([t for t in (1, 2, 3) if t <= mc]))
+    nr = data.draw(st.integers(1, nc))
+    mc_aligned = (mc // mr) * mr
+    assume(mc_aligned >= mr)
+    cfg = BlockingConfig(mc=mc_aligned, kc=kc, nc=nc, mr=mr, nr=nr)
+    a = data.draw(finite_matrix(m, k))
+    b = data.draw(finite_matrix(k, n))
+    out = BlockedGemm(cfg).gemm(a, b)
+    np.testing.assert_allclose(out, a @ b, rtol=1e-9, atol=1e-6)
+
+
+@COMMON
+@given(rows=dims, cols=dims, r=st.integers(1, 8), data=st.data())
+def test_packing_lossless(rows, cols, r, data):
+    block = data.draw(finite_matrix(rows, cols))
+    assert np.array_equal(unpack_a(pack_a(block, r)), block)
+    assert np.array_equal(unpack_b(pack_b(block, r)), block)
+
+
+@COMMON
+@given(
+    m=st.integers(2, 25),
+    n=st.integers(2, 25),
+    k=st.integers(2, 25),
+    row_exp=st.integers(-8, 8),
+    col_exp=st.integers(-8, 8),
+    data=st.data(),
+)
+def test_no_false_positives(m, n, k, row_exp, col_exp, data):
+    """Property 3: clean runs verify clean for any scaling structure."""
+    a = data.draw(finite_matrix(m, k, scale_exp=row_exp))
+    b = data.draw(finite_matrix(k, n, scale_exp=col_exp))
+    result = FTGemm(FTGemmConfig.small()).gemm(a, b)
+    assert result.verified
+    assert result.detected == 0
+    assert result.clean_first_pass
+
+
+@COMMON
+@given(
+    m=st.integers(4, 24),
+    n=st.integers(4, 24),
+    k=st.integers(4, 24),
+    invocation=st.integers(0, 200),
+    magnitude=st.floats(min_value=1.0, max_value=1e6),
+    data=st.data(),
+)
+def test_single_fault_always_recovered(m, n, k, invocation, magnitude, data):
+    """Property 4: one above-threshold kernel fault anywhere -> detected,
+    repaired, final result correct."""
+    a = data.draw(finite_matrix(m, k))
+    b = data.draw(finite_matrix(k, n))
+    assume(np.abs(a).max() > 1e-3 and np.abs(b).max() > 1e-3)
+    ft = FTGemm(FTGemmConfig.small())
+    from repro.faults.campaign import site_invocation_counts
+
+    counts = site_invocation_counts(m, n, k, ft.ft_config.blocking)
+    inj = FaultInjector(
+        InjectionPlan.single(
+            "microkernel",
+            invocation % counts["microkernel"],
+            model=Additive(magnitude=magnitude),
+        )
+    )
+    result = ft.gemm(a, b, injector=inj)
+    assert inj.n_injected == 1
+    assert result.verified
+    expected = a @ b
+    scale = max(1.0, float(np.abs(expected).max()))
+    assert np.abs(result.c - expected).max() < 1e-7 * scale
+
+
+@COMMON
+@given(m=dims, n=dims, k=dims, data=st.data())
+def test_checksum_identities(m, n, k, data):
+    """Property 5: eᵀ(AB) == (eᵀA)B and (AB)e == A(Be) up to round-off."""
+    a = data.draw(finite_matrix(m, k))
+    b = data.draw(finite_matrix(k, n))
+    c = a @ b
+    envelope = np.abs(a).sum(axis=0) @ np.abs(b) + 1.0
+    assert np.all(
+        np.abs(a.sum(axis=0) @ b - c.sum(axis=0)) <= 1e-12 * envelope + 1e-9
+    )
+    envelope_c = np.abs(a) @ np.abs(b).sum(axis=1) + 1.0
+    assert np.all(
+        np.abs(a @ b.sum(axis=1) - c.sum(axis=1)) <= 1e-12 * envelope_c + 1e-9
+    )
+
+
+@given(total=st.integers(0, 500), parts=st.integers(1, 32))
+@settings(max_examples=100, deadline=None)
+def test_partition_tiles_exactly(total, parts):
+    """Property 6: partitions cover [0, total) exactly once, balanced."""
+    part = partition_rows(total, parts)
+    assert len(part) == parts
+    covered = []
+    for start, length in part:
+        covered.extend(range(start, start + length))
+    assert covered == list(range(total))
+    lengths = [length for _, length in part]
+    assert max(lengths) - min(lengths) <= 1
+
+
+@given(total=st.integers(0, 1000), step=st.integers(1, 99))
+@settings(max_examples=100, deadline=None)
+def test_iter_blocks_tiles_exactly(total, step):
+    blocks = list(iter_blocks(total, step))
+    assert sum(length for _, length in blocks) == total
+    for start, length in blocks:
+        assert 1 <= length <= step or total == 0
+    if blocks:
+        assert blocks[-1][0] + blocks[-1][1] == total
+
+
+@COMMON
+@given(
+    m=st.integers(2, 20),
+    k=st.integers(2, 20),
+    n=st.integers(2, 20),
+    alpha=st.floats(min_value=-4, max_value=4),
+    beta=st.floats(min_value=-4, max_value=4),
+    data=st.data(),
+)
+def test_ft_gemm_alpha_beta_property(m, k, n, alpha, beta, data):
+    assume(abs(alpha) > 1e-6)
+    a = data.draw(finite_matrix(m, k))
+    b = data.draw(finite_matrix(k, n))
+    c0 = data.draw(finite_matrix(m, n))
+    result = FTGemm(FTGemmConfig.small()).gemm(
+        a, b, c0.copy(), alpha=alpha, beta=beta
+    )
+    assert result.verified
+    expected = alpha * (a @ b) + beta * c0
+    scale = max(1.0, float(np.abs(expected).max()))
+    assert np.abs(result.c - expected).max() < 1e-9 * scale

@@ -1,0 +1,150 @@
+"""Property-based tests for the extension subsystems (weighted, BLAS, DMR)."""
+
+import numpy as np
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.abft.weighted import resolve_weighted
+from repro.blas import ft_axpy, ft_dot, ft_gemv, ft_trsv
+from repro.core.config import FTGemmConfig
+from repro.core.ftgemm import FTGemm
+from repro.faults.injector import FaultInjector, InjectionPlan
+from repro.faults.models import Additive
+
+COMMON = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+dims = st.integers(min_value=2, max_value=24)
+
+
+def finite_matrix(rows, cols):
+    return hnp.arrays(
+        np.float64,
+        (rows, cols),
+        elements=st.floats(min_value=-100, max_value=100, allow_nan=False, width=64),
+    )
+
+
+def finite_vector(n):
+    return hnp.arrays(
+        np.float64,
+        (n,),
+        elements=st.floats(min_value=-100, max_value=100, allow_nan=False, width=64),
+    )
+
+
+@COMMON
+@given(
+    n_errors=st.integers(1, 5),
+    n_cols=st.integers(5, 40),
+    data=st.data(),
+)
+def test_weighted_resolver_exact_on_synthetic_errors(n_errors, n_cols, data):
+    """For arbitrary single-error-per-row patterns the resolver recovers
+    every (row, column, delta) exactly."""
+    rows = sorted(
+        data.draw(
+            st.lists(
+                st.integers(0, 60), min_size=n_errors, max_size=n_errors,
+                unique=True,
+            )
+        )
+    )
+    cols = data.draw(
+        st.lists(st.integers(0, n_cols - 1), min_size=n_errors, max_size=n_errors)
+    )
+    deltas = data.draw(
+        st.lists(
+            st.floats(min_value=0.5, max_value=1e6).map(
+                lambda x: x * data.draw(st.sampled_from([1.0, -1.0]))
+            ),
+            min_size=n_errors,
+            max_size=n_errors,
+        )
+    )
+    plain = deltas
+    weighted = [(c + 1) * d for c, d in zip(cols, deltas)]
+    res = resolve_weighted(rows, plain, weighted, n_cols=n_cols)
+    assert res.fully_resolved
+    assert res.corrections == [
+        (r, c, d) for r, c, d in zip(rows, cols, deltas)
+    ]
+
+
+@COMMON
+@given(
+    m=dims, n=dims, k=dims,
+    inv_a=st.integers(0, 50), inv_b=st.integers(0, 50),
+    mag=st.floats(min_value=1.0, max_value=1e5),
+    data=st.data(),
+)
+def test_weighted_scheme_two_equal_faults_property(m, n, k, inv_a, inv_b, mag, data):
+    """Any two equal-magnitude kernel faults are absorbed by the weighted
+    scheme with a correct final result."""
+    a = data.draw(finite_matrix(m, k))
+    b = data.draw(finite_matrix(k, n))
+    assume(np.abs(a).max() > 1e-2 and np.abs(b).max() > 1e-2)
+    cfg = FTGemmConfig.small(checksum_scheme="weighted")
+    ft = FTGemm(cfg)
+    from repro.faults.campaign import site_invocation_counts
+
+    total = site_invocation_counts(m, n, k, cfg.blocking)["microkernel"]
+    schedule = tuple(sorted({inv_a % total, inv_b % total}))
+    inj = FaultInjector(
+        InjectionPlan(
+            schedule={"microkernel": schedule}, model=Additive(magnitude=mag)
+        )
+    )
+    result = ft.gemm(a, b, injector=inj)
+    assert result.verified
+    expected = a @ b
+    scale = max(1.0, float(np.abs(expected).max()), mag * 1e-10)
+    assert np.abs(result.c - expected).max() < 1e-7 * scale
+
+
+@COMMON
+@given(n=st.integers(1, 64), alpha=st.floats(-10, 10), data=st.data())
+def test_axpy_dmr_property(n, alpha, data):
+    x = data.draw(finite_vector(n))
+    y = data.draw(finite_vector(n))
+    expected = alpha * x + y
+    result = ft_axpy(alpha, x, y)
+    assert result.clean
+    np.testing.assert_array_equal(y, expected)
+
+
+@COMMON
+@given(n=st.integers(1, 64), data=st.data())
+def test_dot_dmr_never_false_positive(n, data):
+    x = data.draw(finite_vector(n))
+    y = data.draw(finite_vector(n))
+    result = ft_dot(x, y)
+    assert result.clean
+    assert abs(result.value - float(x @ y)) <= 1e-9 * (
+        float(np.abs(x) @ np.abs(y)) + 1.0
+    )
+
+
+@COMMON
+@given(m=dims, k=dims, data=st.data())
+def test_gemv_abft_never_false_positive(m, k, data):
+    a = data.draw(finite_matrix(m, k))
+    x = data.draw(finite_vector(k))
+    result = ft_gemv(a, x)
+    assert result.clean
+    np.testing.assert_allclose(result.value, a @ x, rtol=1e-9, atol=1e-9)
+
+
+@COMMON
+@given(n=st.integers(2, 16), data=st.data())
+def test_trsv_dmr_solves(n, data):
+    body = data.draw(finite_matrix(n, n))
+    a = np.tril(body, k=-1) + np.diag(5.0 + np.abs(np.diag(body)))
+    b = data.draw(finite_vector(n))
+    result = ft_trsv(a, b)
+    assert result.clean
+    np.testing.assert_allclose(a @ result.value, b, rtol=1e-8, atol=1e-8)

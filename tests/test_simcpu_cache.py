@@ -1,0 +1,142 @@
+"""Set-associative LRU cache simulator."""
+
+import pytest
+
+from repro.simcpu.cache import CacheHierarchy, CacheSim
+from repro.simcpu.machine import CacheSpec, MachineSpec
+from repro.simcpu.trace import MemoryAccess
+from repro.util.errors import SimulationError
+
+
+def direct_mapped(n_lines: int = 4, line: int = 64) -> CacheSim:
+    return CacheSim(CacheSpec(1, n_lines * line, line, 1, 1, 8.0))
+
+
+def fully_assoc(n_lines: int = 4, line: int = 64) -> CacheSim:
+    return CacheSim(CacheSpec(1, n_lines * line, line, n_lines, 1, 8.0))
+
+
+def test_cold_miss_then_hit():
+    c = fully_assoc()
+    hit, _ = c.access_line(0, write=False)
+    assert not hit
+    hit, _ = c.access_line(0, write=False)
+    assert hit
+    assert c.counters.accesses == 2
+    assert c.counters.hits == 1
+    assert c.counters.misses == 1
+
+
+def test_lru_eviction_order():
+    c = fully_assoc(n_lines=2)
+    c.access_line(0, False)
+    c.access_line(1, False)
+    c.access_line(0, False)  # 0 becomes MRU; 1 is now LRU
+    c.access_line(2, False)  # evicts 1
+    hit, _ = c.access_line(0, False)
+    assert hit
+    hit, _ = c.access_line(1, False)
+    assert not hit
+
+
+def test_dirty_eviction_counts_writeback():
+    c = fully_assoc(n_lines=1)
+    c.access_line(0, write=True)
+    _, evicted_dirty = c.access_line(1, write=False)
+    assert evicted_dirty
+    assert c.counters.writebacks == 1
+
+
+def test_clean_eviction_no_writeback():
+    c = fully_assoc(n_lines=1)
+    c.access_line(0, write=False)
+    c.access_line(1, write=False)
+    assert c.counters.evictions == 1
+    assert c.counters.writebacks == 0
+
+
+def test_direct_mapped_conflicts():
+    c = direct_mapped(n_lines=4)
+    # lines 0 and 4 map to the same set in a 4-set direct-mapped cache
+    c.access_line(0, False)
+    c.access_line(4, False)
+    hit, _ = c.access_line(0, False)
+    assert not hit  # conflict-evicted despite plenty of total capacity
+
+
+def test_bulk_access_spans_lines():
+    c = fully_assoc(n_lines=8)
+    misses = c.access(MemoryAccess(addr=0, size=256))  # 4 lines of 64B
+    assert misses == 4
+    assert c.resident_lines() == 4
+
+
+def test_bulk_access_partial_lines():
+    c = fully_assoc(n_lines=8)
+    # 1 byte touching the tail of line 0 and crossing into line 1
+    misses = c.access(MemoryAccess(addr=63, size=2))
+    assert misses == 2
+
+
+def test_contains_and_reset():
+    c = fully_assoc()
+    c.access(MemoryAccess(addr=128, size=8))
+    assert c.contains(128)
+    c.reset()
+    assert not c.contains(128)
+    assert c.counters.accesses == 0
+
+
+def test_hierarchy_miss_propagation():
+    machine = MachineSpec.small_test_machine()
+    h = CacheHierarchy.from_machine(machine)
+    h.access(MemoryAccess(addr=0, size=64))
+    # cold miss at every level, one DRAM line
+    assert h.levels[0].counters.misses == 1
+    assert h.levels[1].counters.misses == 1
+    assert h.levels[2].counters.misses == 1
+    assert h.mem_lines == 1
+    # re-access: L1 hit, deeper levels untouched
+    h.access(MemoryAccess(addr=0, size=64))
+    assert h.levels[0].counters.hits == 1
+    assert h.levels[1].counters.accesses == 1
+    assert h.mem_lines == 1
+
+
+def test_hierarchy_mem_bytes():
+    machine = MachineSpec.small_test_machine()
+    h = CacheHierarchy.from_machine(machine)
+    h.access(MemoryAccess(addr=0, size=64 * 10))
+    assert h.mem_bytes == 64 * 10
+
+
+def test_hierarchy_working_set_larger_than_l1():
+    machine = MachineSpec.small_test_machine()  # L1 = 1 KiB = 16 lines
+    h = CacheHierarchy.from_machine(machine)
+    lines = 32  # 2 KiB working set: fits L2, overflows L1
+    for _ in range(4):
+        for i in range(lines):
+            h._access_line(i, write=False)
+    rates = h.miss_rates()
+    assert rates[1] == 1.0  # streaming through a too-small L1: all misses
+    assert rates[2] < 0.3  # but L2 holds the whole set after the cold pass
+    assert h.mem_lines == lines  # DRAM touched only for the cold misses
+
+
+def test_hierarchy_rejects_empty():
+    with pytest.raises(SimulationError):
+        CacheHierarchy([])
+
+
+def test_hierarchy_rejects_mixed_line_sizes():
+    a = CacheSim(CacheSpec(1, 1024, 64, 2, 1, 8.0))
+    b = CacheSim(CacheSpec(2, 2048, 32, 2, 1, 8.0))
+    with pytest.raises(SimulationError):
+        CacheHierarchy([a, b])
+
+
+def test_replay_list():
+    machine = MachineSpec.small_test_machine()
+    h = CacheHierarchy.from_machine(machine)
+    h.replay([MemoryAccess(0, 64), MemoryAccess(64, 64)])
+    assert h.levels[0].counters.accesses == 2

@@ -1,0 +1,71 @@
+"""Event counters."""
+
+from repro.simcpu.counters import CacheCounters, Counters
+
+
+def test_cache_counters_rates():
+    c = CacheCounters(accesses=10, hits=7, misses=3)
+    assert c.hit_rate == 0.7
+    assert c.miss_rate == 0.3
+
+
+def test_cache_counters_rates_empty():
+    c = CacheCounters()
+    assert c.hit_rate == 0.0
+    assert c.miss_rate == 0.0
+
+
+def test_cache_counters_add():
+    a = CacheCounters(accesses=5, hits=3, misses=2, evictions=1, writebacks=1)
+    b = CacheCounters(accesses=1, hits=0, misses=1)
+    s = a + b
+    assert s.accesses == 6 and s.hits == 3 and s.misses == 3
+    assert s.evictions == 1 and s.writebacks == 1
+
+
+def test_counters_totals():
+    c = Counters(fma_flops=100, checksum_flops=10, loads_bytes=64,
+                 stores_bytes=32, ft_extra_bytes=8)
+    assert c.total_flops == 110
+    assert c.total_bytes == 104
+
+
+def test_counters_add_merges_cache_levels():
+    a = Counters(fma_flops=1)
+    a.cache_level(1).accesses = 5
+    b = Counters(fma_flops=2)
+    b.cache_level(1).accesses = 3
+    b.cache_level(2).misses = 7
+    s = a + b
+    assert s.fma_flops == 3
+    assert s.cache[1].accesses == 8
+    assert s.cache[2].misses == 7
+    # originals untouched
+    assert a.cache[1].accesses == 5
+
+
+def test_counters_add_all_fields():
+    a = Counters(errors_detected=1, errors_corrected=2, blocks_recomputed=3,
+                 barriers=4, verifications=5, microkernel_calls=6,
+                 pack_a_bytes=7, pack_b_bytes=8)
+    s = a + Counters(errors_detected=10)
+    assert s.errors_detected == 11
+    assert s.errors_corrected == 2
+    assert s.barriers == 4
+    assert s.pack_b_bytes == 8
+
+
+def test_counters_reset():
+    c = Counters(fma_flops=5, errors_detected=2)
+    c.cache_level(1).hits = 9
+    c.reset()
+    assert c.fma_flops == 0
+    assert c.errors_detected == 0
+    assert c.cache[1].hits == 0
+
+
+def test_cache_level_created_on_demand():
+    c = Counters()
+    assert 3 not in c.cache
+    c.cache_level(3).misses += 1
+    assert c.cache[3].misses == 1

@@ -1,0 +1,60 @@
+"""Memory access records and traces."""
+
+import pytest
+
+from repro.simcpu.trace import AccessTrace, MemoryAccess
+
+
+def test_lines_single():
+    acc = MemoryAccess(addr=0, size=8)
+    assert list(acc.lines(64)) == [0]
+
+
+def test_lines_straddle():
+    acc = MemoryAccess(addr=60, size=8)  # crosses the 64B boundary
+    assert list(acc.lines(64)) == [0, 1]
+
+
+def test_lines_exact_multiple():
+    acc = MemoryAccess(addr=128, size=128)
+    assert list(acc.lines(64)) == [2, 3]
+
+
+def test_invalid_access_rejected():
+    with pytest.raises(ValueError):
+        MemoryAccess(addr=-1, size=8)
+    with pytest.raises(ValueError):
+        MemoryAccess(addr=0, size=0)
+
+
+def test_trace_records_and_filters():
+    t = AccessTrace()
+    t.record(MemoryAccess(0, 64, write=False, label="A"))
+    t.record(MemoryAccess(64, 32, write=True, label="C"))
+    t.record(MemoryAccess(96, 16, write=False, label="A"))
+    assert len(t) == 3
+    assert t.total_bytes() == 112
+    assert t.total_bytes(writes=True) == 32
+    assert t.total_bytes(label="A") == 80
+    assert t.total_bytes(writes=False, label="A") == 80
+    assert t.labels() == {"A", "C"}
+
+
+def test_trace_capacity_drops():
+    t = AccessTrace(capacity=2)
+    for i in range(5):
+        t.record(MemoryAccess(i * 64, 8))
+    assert len(t) == 2
+    assert t.dropped == 3
+
+
+def test_trace_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        AccessTrace(capacity=0)
+
+
+def test_trace_iterates_in_order():
+    t = AccessTrace()
+    t.record(MemoryAccess(0, 8))
+    t.record(MemoryAccess(64, 8))
+    assert [a.addr for a in t] == [0, 64]

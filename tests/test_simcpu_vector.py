@@ -1,0 +1,87 @@
+"""AVX-512 FMA pipeline cost model."""
+
+import pytest
+
+from repro.simcpu.machine import MachineSpec
+from repro.simcpu.vector import VectorUnit
+from repro.util.errors import ConfigError
+
+
+@pytest.fixture
+def vu() -> VectorUnit:
+    return VectorUnit(MachineSpec.cascade_lake_w2255())
+
+
+def test_accumulator_count(vu):
+    # the classic 16x14 DGEMM tile: ceil(16/8) * 14 = 28 accumulators
+    assert vu.accumulators(16, 14) == 28
+    assert vu.accumulators(8, 6) == 6
+    assert vu.accumulators(9, 6) == 12  # ragged mr rounds up
+
+
+def test_register_budget(vu):
+    # 16x14 exactly fills the 32 zmm registers: 28 + 2 A + 2 B
+    assert vu.registers_needed(16, 14) == 32
+    vu.check_tile(16, 14)
+
+
+def test_spilling_tile_rejected(vu):
+    with pytest.raises(ConfigError, match="spill"):
+        vu.check_tile(32, 14)
+
+
+def test_tile_efficiency_saturates(vu):
+    # 28 accumulators >> latency(4) * ports(2): full throughput
+    assert vu.tile_efficiency(16, 14) == 1.0
+    # 1x1 tile: a single accumulator cannot hide 4-cycle latency on 2 ports
+    assert vu.tile_efficiency(1, 1) == pytest.approx(1 / 8)
+
+
+def test_microkernel_cost_scales_linearly_in_k(vu):
+    c1 = vu.microkernel_cost(16, 14, 128)
+    c2 = vu.microkernel_cost(16, 14, 256)
+    # doubling k roughly doubles cycles (constant ramp aside)
+    assert c2.cycles / c1.cycles == pytest.approx(2.0, rel=0.05)
+    assert c2.fma_issues == 2 * c1.fma_issues
+
+
+def test_microkernel_cost_counts_issues(vu):
+    cost = vu.microkernel_cost(16, 14, 10)
+    assert cost.fma_issues == 2 * 14 * 10  # 2 a-vectors x nr x k
+    assert cost.registers_used == 32
+
+
+def test_gemm_compute_cycles_edge_tiles(vu):
+    # edge rows/cols cost extra: 17 rows need 3 panels where 16 needs 2...
+    full = vu.gemm_compute_cycles(16, 14, 64, 16, 14)
+    ragged = vu.gemm_compute_cycles(17, 15, 64, 16, 14)
+    assert ragged > full
+    # ...but not more than one extra panel strip in each dimension
+    bigger = vu.gemm_compute_cycles(32, 28, 64, 16, 14)
+    assert ragged < bigger
+
+
+def test_gemm_compute_cycles_peak_rate(vu):
+    # large GEMM approaches peak: cycles -> flops / 32
+    m = n = k = 512
+    cycles = vu.gemm_compute_cycles(m, n, k, 16, 14)
+    flops = 2 * m * n * k
+    achieved = flops / cycles
+    assert achieved == pytest.approx(32.0, rel=0.12)
+    assert achieved <= 32.0 + 1e-9
+
+
+def test_flops_to_cycles(vu):
+    assert vu.flops_to_cycles(3200) == pytest.approx(100.0)
+    assert vu.flops_to_cycles(3200, efficiency=0.5) == pytest.approx(200.0)
+    with pytest.raises(ConfigError):
+        vu.flops_to_cycles(100, efficiency=0.0)
+
+
+def test_invalid_inputs(vu):
+    with pytest.raises(ConfigError):
+        vu.microkernel_cost(16, 14, 0)
+    with pytest.raises(ConfigError):
+        vu.check_tile(0, 4)
+    with pytest.raises(ConfigError):
+        vu.gemm_compute_cycles(0, 4, 4, 16, 14)

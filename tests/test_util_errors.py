@@ -1,0 +1,46 @@
+"""Exception hierarchy contract."""
+
+import pytest
+
+from repro.util.errors import (
+    ConfigError,
+    FaultToleranceError,
+    ReproError,
+    ShapeError,
+    SimulationError,
+    UncorrectableError,
+)
+
+
+def test_all_derive_from_repro_error():
+    for exc in (ShapeError, ConfigError, FaultToleranceError,
+                UncorrectableError, SimulationError):
+        assert issubclass(exc, ReproError)
+
+
+def test_value_errors_catchable_as_valueerror():
+    # API users who don't know the library hierarchy still catch bad input
+    assert issubclass(ShapeError, ValueError)
+    assert issubclass(ConfigError, ValueError)
+
+
+def test_ft_errors_catchable_as_runtimeerror():
+    assert issubclass(FaultToleranceError, RuntimeError)
+    assert issubclass(UncorrectableError, FaultToleranceError)
+
+
+def test_uncorrectable_carries_evidence():
+    exc = UncorrectableError("boom", detected=7, corrected=3)
+    assert exc.detected == 7
+    assert exc.corrected == 3
+    assert "boom" in str(exc)
+
+
+def test_uncorrectable_defaults():
+    exc = UncorrectableError("x")
+    assert exc.detected == 0 and exc.corrected == 0
+
+
+def test_catching_base_catches_all():
+    with pytest.raises(ReproError):
+        raise UncorrectableError("nested")

@@ -1,0 +1,63 @@
+"""Table and unit formatting."""
+
+import math
+
+import pytest
+
+from repro.util.formatting import (
+    format_bytes,
+    format_gflops,
+    format_percent,
+    format_seconds,
+    format_table,
+)
+
+
+def test_format_gflops_width_and_nan():
+    assert format_gflops(102.35).strip() == "102.3"
+    assert "n/a" in format_gflops(float("nan"))
+
+
+def test_format_percent():
+    assert format_percent(0.0294) == "+2.94%"
+    assert format_percent(-0.05) == "-5.00%"
+    assert format_percent(0.1, signed=False) == "10.00%"
+    assert format_percent(float("nan")) == "n/a"
+
+
+def test_format_seconds_scales():
+    assert format_seconds(2.5e-9).endswith("ns")
+    assert format_seconds(3.2e-6).endswith("us")
+    assert format_seconds(4.5e-3).endswith("ms")
+    assert format_seconds(1.5).endswith("s")
+    assert format_seconds(float("nan")) == "n/a"
+
+
+def test_format_bytes_scales():
+    assert format_bytes(512) == "512.0B"
+    assert format_bytes(2048) == "2.0KiB"
+    assert format_bytes(3 * 1024**2) == "3.0MiB"
+    assert format_bytes(1024**3) == "1.0GiB"
+
+
+def test_format_table_alignment():
+    out = format_table(["name", "val"], [["a", "1"], ["long", "22"]])
+    lines = out.splitlines()
+    assert len(lines) == 4  # header, rule, 2 rows
+    widths = {len(line) for line in lines}
+    assert len(widths) == 1  # all lines equal width
+
+
+def test_format_table_title():
+    out = format_table(["x"], [["1"]], title="T")
+    assert out.splitlines()[0] == "T"
+
+
+def test_format_table_rejects_ragged_rows():
+    with pytest.raises(ValueError, match="cells"):
+        format_table(["a", "b"], [["only-one"]])
+
+
+def test_format_table_stringifies():
+    out = format_table(["n"], [[math.pi]])
+    assert "3.14" in out

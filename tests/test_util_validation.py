@@ -1,0 +1,93 @@
+"""Operand validation."""
+
+import numpy as np
+import pytest
+
+from repro.util.errors import ConfigError, ShapeError
+from repro.util.validation import (
+    as_2d_float64,
+    check_gemm_operands,
+    check_in,
+    check_multiple,
+    check_positive,
+)
+
+
+def test_as_2d_float64_view_when_possible():
+    x = np.zeros((3, 4), dtype=np.float64)
+    assert as_2d_float64(x, "X") is x
+
+
+def test_as_2d_float64_converts_lists_and_ints():
+    out = as_2d_float64([[1, 2], [3, 4]], "X")
+    assert out.dtype == np.float64
+    assert out.shape == (2, 2)
+
+
+def test_as_2d_float64_makes_contiguous():
+    x = np.zeros((6, 6))[::2]  # non-contiguous view
+    out = as_2d_float64(x.T, "X")
+    assert out.flags.c_contiguous
+
+
+def test_as_2d_float64_rejects_3d():
+    with pytest.raises(ShapeError):
+        as_2d_float64(np.zeros((2, 2, 2)), "X")
+
+
+def test_as_2d_float64_copy_flag():
+    x = np.ones((2, 2))
+    out = as_2d_float64(x, "X", copy=True)
+    assert out is not x
+    out[0, 0] = 5.0
+    assert x[0, 0] == 1.0
+
+
+def test_check_gemm_operands_shapes():
+    a = np.zeros((3, 4))
+    b = np.zeros((4, 5))
+    assert check_gemm_operands(a, b) == (3, 5, 4)
+
+
+def test_check_gemm_operands_inner_mismatch():
+    with pytest.raises(ShapeError, match="inner dimensions"):
+        check_gemm_operands(np.zeros((3, 4)), np.zeros((5, 6)))
+
+
+def test_check_gemm_operands_c_mismatch():
+    a, b = np.zeros((3, 4)), np.zeros((4, 5))
+    with pytest.raises(ShapeError, match="C must be"):
+        check_gemm_operands(a, b, np.zeros((3, 6)))
+
+
+def test_check_gemm_operands_empty_rejected():
+    with pytest.raises(ShapeError, match="empty"):
+        check_gemm_operands(np.zeros((0, 4)), np.zeros((4, 5)))
+
+
+def test_check_gemm_operands_vector_rejected():
+    with pytest.raises(ShapeError):
+        check_gemm_operands(np.zeros(4), np.zeros((4, 5)))
+
+
+def test_check_positive():
+    check_positive(1.0, "x")
+    check_positive(0.0, "x", strict=False)
+    with pytest.raises(ConfigError):
+        check_positive(0.0, "x")
+    with pytest.raises(ConfigError):
+        check_positive(-1.0, "x", strict=False)
+
+
+def test_check_in():
+    check_in("a", "mode", ("a", "b"))
+    with pytest.raises(ConfigError, match="mode"):
+        check_in("c", "mode", ("a", "b"))
+
+
+def test_check_multiple():
+    check_multiple(12, 4, "mc")
+    with pytest.raises(ConfigError):
+        check_multiple(10, 4, "mc")
+    with pytest.raises(ConfigError):
+        check_multiple(0, 4, "mc")
