@@ -7,7 +7,8 @@ Subcommands:
   human-readable account of what was detected/corrected;
 - ``tune``     — derive blocking parameters for the (or a scaled) machine;
 - ``validate`` — diff a real run's counters against the analytic accounting;
-- ``storm``    — a quick reliability campaign at a physical error rate.
+- ``storm``    — a quick reliability campaign at a physical error rate;
+- ``dispatch`` — time the tile vs batched macro-kernel paths on one DGEMM.
 """
 
 from __future__ import annotations
@@ -16,6 +17,8 @@ import argparse
 import sys
 
 import numpy as np
+
+from repro.gemm.blocking import DISPATCH_MODES
 
 
 def _cmd_bench(args) -> int:
@@ -42,7 +45,7 @@ def _cmd_inject(args) -> int:
     from repro.gemm.blocking import BlockingConfig
 
     config = FTGemmConfig(
-        blocking=BlockingConfig.small(mr=8, nr=6),
+        blocking=BlockingConfig.small(mr=8, nr=6, dispatch=args.mode),
         checksum_scheme=args.scheme,
     )
     rng = np.random.default_rng(args.seed)
@@ -64,7 +67,11 @@ def _cmd_inject(args) -> int:
     result = driver.gemm(a, b, injector=injector)
     expected = a @ b
     err = float(np.abs(result.c - expected).max())
-    print(f"matrix {n}x{n}x{n}, scheme={args.scheme}, threads={args.threads}")
+    mode = getattr(driver, "last_mode", None)
+    print(
+        f"matrix {n}x{n}x{n}, scheme={args.scheme}, threads={args.threads}, "
+        f"dispatch={args.mode} -> ran {mode}"
+    )
     print(f"injected : {injector.n_injected} faults ({injector.summary()})")
     print(f"verified : {result.verified}")
     print(
@@ -111,12 +118,47 @@ def _cmd_validate(args) -> int:
     from repro.perfmodel.validate import validate_run
 
     config = FTGemmConfig(
-        blocking=BlockingConfig.small(), checksum_scheme=args.scheme
+        blocking=BlockingConfig.small(dispatch=args.mode),
+        checksum_scheme=args.scheme,
     )
     report = validate_run(args.size, args.size, args.size, config, beta=args.beta)
     print(report)
     print("counters", "MATCH" if report.ok else "MISMATCH")
     return 0 if report.ok else 1
+
+
+def _cmd_dispatch(args) -> int:
+    import time
+
+    from repro.core.config import FTGemmConfig
+    from repro.core.ftgemm import FTGemm
+    from repro.gemm.blocking import BlockingConfig
+
+    rng = np.random.default_rng(args.seed)
+    n = args.size
+    a = rng.standard_normal((n, n))
+    b = rng.standard_normal((n, n))
+    timings: dict[str, float] = {}
+    outputs: dict[str, np.ndarray] = {}
+    totals: dict[str, int] = {}
+    for mode in ("tile", "batched"):
+        blocking = BlockingConfig(mr=8, nr=6, mc=96, kc=96, nc=96, dispatch=mode)
+        driver = FTGemm(FTGemmConfig(blocking=blocking, enable_ft=args.ft))
+        best = float("inf")
+        for _ in range(args.repeats):
+            t0 = time.perf_counter()
+            result = driver.gemm(a, b)
+            best = min(best, time.perf_counter() - t0)
+        timings[mode] = best
+        outputs[mode] = result.c
+        totals[mode] = result.counters.fma_flops + result.counters.checksum_flops
+        print(f"{mode:8s} {best * 1e3:9.1f} ms  (ran {driver.last_mode})")
+    speedup = timings["tile"] / timings["batched"]
+    same = bool(np.allclose(outputs["tile"], outputs["batched"]))
+    print(f"speedup  : {speedup:.2f}x (batched over tile)")
+    print(f"results  : {'allclose' if same else 'DIVERGED'}, "
+          f"counters {'MATCH' if totals['tile'] == totals['batched'] else 'MISMATCH'}")
+    return 0 if same and totals["tile"] == totals["batched"] else 1
 
 
 def _cmd_storm(args) -> int:
@@ -148,6 +190,8 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--errors", type=int, default=5)
     p.add_argument("--threads", type=int, default=1)
     p.add_argument("--scheme", choices=("dual", "weighted"), default="dual")
+    p.add_argument("--mode", choices=DISPATCH_MODES, default="auto",
+                   help="macro-kernel dispatch (injected runs fall back to tile)")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=_cmd_inject)
 
@@ -160,7 +204,16 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--size", type=int, default=32)
     p.add_argument("--beta", type=float, default=0.0)
     p.add_argument("--scheme", choices=("dual", "weighted"), default="dual")
+    p.add_argument("--mode", choices=DISPATCH_MODES, default="auto",
+                   help="macro-kernel dispatch mode to validate")
     p.set_defaults(fn=_cmd_validate)
+
+    p = sub.add_parser("dispatch", help="time tile vs batched macro kernels")
+    p.add_argument("--size", type=int, default=256)
+    p.add_argument("--repeats", type=int, default=3)
+    p.add_argument("--ft", action=argparse.BooleanOptionalAction, default=True)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_dispatch)
 
     p = sub.add_parser("storm", help="reliability campaign at physical rates")
     p.add_argument("--rate", type=float, action="append",

@@ -60,15 +60,24 @@ def ft_gemm_batched(
     beta: float = 0.0,
     config: FTGemmConfig | None = None,
     injector=None,
+    dispatch: str | None = None,
 ) -> BatchedResult:
     """Protected ``C_i = alpha * A_i @ B_i + beta * C_i`` for every i.
 
     Operands may be sequences of matrices (shapes may vary per item) or 3-D
     arrays (the strided-batched case). One driver instance is reused across
-    the batch; the injector, when given, spans the whole batch — its
-    invocation counters keep running across items, so a campaign can strike
-    anywhere in the batch.
+    the batch — so its packing workspace is allocated once and reused by
+    every item of a uniform-shape (strided) batch; the injector, when given,
+    spans the whole batch — its invocation counters keep running across
+    items, so a campaign can strike anywhere in the batch.
+
+    ``dispatch`` overrides the blocking config's macro-kernel mode for this
+    batch (``"auto"``/``"tile"``/``"batched"``); injected batches fall back
+    to tile mode regardless, per the dispatch rules.
     """
+    config = config or FTGemmConfig()
+    if dispatch is not None:
+        config = config.with_(blocking=config.blocking.with_(dispatch=dispatch))
     a_list = _split(a_batch, "A")
     b_list = _split(b_batch, "B")
     if len(a_list) != len(b_list):
@@ -83,7 +92,7 @@ def ft_gemm_batched(
             raise ShapeError(
                 f"batch sizes differ: {len(a_list)} A operands vs {len(c_list)} C"
             )
-    driver = FTGemm(config or FTGemmConfig())
+    driver = FTGemm(config)
     out = BatchedResult()
     for a, b, c in zip(a_list, b_list, c_list):
         result = driver.gemm(a, b, c, alpha=alpha, beta=beta, injector=injector)

@@ -38,7 +38,7 @@ from repro.core.dmr import dmr_scale
 from repro.core.results import FTGemmResult
 from repro.core.verification import ChecksumLedger, Verifier
 from repro.gemm.blocking import iter_blocks
-from repro.gemm.macrokernel import TileHook, macro_kernel
+from repro.gemm.macrokernel import TileHook, macro_kernel, macro_kernel_batched
 from repro.gemm.packing import PackedPanels, pack_a, pack_b
 from repro.parallel.partition import partition_panels, partition_rows
 from repro.parallel.team import make_team
@@ -103,6 +103,8 @@ class ParallelFTGemm:
         self.n_threads = n_threads
         self.backend = backend
         self.counters = Counters()
+        #: macro-kernel mode used by the most recent call
+        self.last_mode: str | None = None
 
     @property
     def ft(self) -> bool:
@@ -131,6 +133,13 @@ class ParallelFTGemm:
             c = as_2d_float64(c, "C")
         m, n, k = check_gemm_operands(a, b, c)
         cfg = self.config.blocking
+
+        # batched macro kernels whenever no per-tile consumer is attached —
+        # same dispatch rule as the serial driver
+        use_batched = (
+            cfg.dispatch != "tile" and injector is None and on_tile is None
+        )
+        self.last_mode = "batched" if use_batched else "tile"
 
         if injector is None:
             injector = _NULL_INJECTOR
@@ -173,6 +182,13 @@ class ParallelFTGemm:
             counters = thread_counters[tid]
             ledger = ledgers[tid]
             c_slice = c[ms : ms + mlen]
+            # thread-private Ã arena: one allocation per call, reused for
+            # every (p, j, i) block this thread packs
+            atilde = (
+                np.zeros((cfg.micro_panels_m(min(cfg.mc, mlen)), max_plen, cfg.mr))
+                if mlen
+                else None
+            )
 
             # ---- prologue: A^r partial + DMR scaling fused with C encoding
             if mlen:
@@ -301,8 +317,10 @@ class ParallelFTGemm:
                     for ioff, ilen in iter_blocks(mlen, cfg.mc) if mlen else []:
                         i0 = ms + ioff
                         a_blk = a[i0 : i0 + ilen, p0 : p0 + plen]
-                        scaled = a_blk if alpha == 1.0 else alpha * a_blk
-                        packed_a = pack_a(scaled, cfg.mr)
+                        a_out = atilde[: cfg.micro_panels_m(ilen), :plen, :]
+                        packed_a = pack_a(a_blk, cfg.mr, out=a_out)
+                        if alpha != 1.0:
+                            a_out *= alpha  # fold alpha in place, no temp
                         counters.loads_bytes += a_blk.nbytes
                         counters.pack_a_bytes += packed_a.nbytes
                         counters.stores_bytes += packed_a.nbytes
@@ -329,24 +347,26 @@ class ParallelFTGemm:
                             if on_tile is not None:
                                 on_tile(tile, ti, tj)
 
+                        ref_kwargs = {}
                         if ft and last_p:
-                            weighted_kwargs = {}
+                            ref_kwargs = dict(
+                                row_ref=ledger.row_ref[j0 : j0 + jlen],
+                                col_ref=ledger.col_ref[i0 : i0 + ilen],
+                            )
                             if weighted:
-                                weighted_kwargs = dict(
+                                ref_kwargs.update(
                                     row_ref_w=ledger.row_ref_w[j0 : j0 + jlen],
                                     col_ref_w=ledger.col_ref_w[i0 : i0 + ilen],
                                     row_weights=w_m[i0 : i0 + ilen],
                                     col_weights=w_n[j0 : j0 + jlen],
                                 )
-                            macro_kernel(
+                        if use_batched:
+                            macro_kernel_batched(
                                 packed_a,
                                 packed_b_full,
                                 c_block,
-                                row_ref=ledger.row_ref[j0 : j0 + jlen],
-                                col_ref=ledger.col_ref[i0 : i0 + ilen],
-                                on_tile=hook,
                                 counters=counters,
-                                **weighted_kwargs,
+                                **ref_kwargs,
                             )
                         else:
                             macro_kernel(
@@ -355,6 +375,7 @@ class ParallelFTGemm:
                                 c_block,
                                 on_tile=hook,
                                 counters=counters,
+                                **ref_kwargs,
                             )
                         counters.loads_bytes += (
                             packed_b_full.n_panels * packed_a.nbytes

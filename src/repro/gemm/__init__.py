@@ -16,16 +16,23 @@ many times each byte moves) is identical to the paper's assembly version,
 which is what the cache simulator and performance model consume.
 """
 
-from repro.gemm.blocking import BlockingConfig, iter_blocks, block_starts
+from repro.gemm.blocking import (
+    BlockingConfig,
+    DISPATCH_MODES,
+    iter_blocks,
+    block_starts,
+)
 from repro.gemm.reference import gemm_reference, gemm_naive
 from repro.gemm.packing import pack_a, pack_b, unpack_a, unpack_b, PackedPanels
 from repro.gemm.microkernel import microkernel, microkernel_ft
-from repro.gemm.macrokernel import macro_kernel
+from repro.gemm.macrokernel import macro_kernel, macro_kernel_batched
 from repro.gemm.driver import BlockedGemm, AddressLayout
+from repro.gemm.workspace import Workspace
 from repro.gemm.tuning import tune_blocking, blocking_footprints
 
 __all__ = [
     "BlockingConfig",
+    "DISPATCH_MODES",
     "iter_blocks",
     "block_starts",
     "gemm_reference",
@@ -38,8 +45,10 @@ __all__ = [
     "microkernel",
     "microkernel_ft",
     "macro_kernel",
+    "macro_kernel_batched",
     "BlockedGemm",
     "AddressLayout",
+    "Workspace",
     "tune_blocking",
     "blocking_footprints",
 ]

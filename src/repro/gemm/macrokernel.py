@@ -1,18 +1,31 @@
 """The macro kernel: one ``M_C x N_C`` block of C updated from packed panels.
 
-The macro kernel sweeps the micro kernel over every (A-panel, B-panel) pair.
-Two extension points exist for the layers above:
+Two implementations of the same contraction live here:
 
-- ``on_tile(c_tile, i0, j0)`` is called after each tile update with a
-  writable view — the fault injector corrupts tiles here (the paper injects
-  errors "into each of our computing kernels"). It runs *before* reference
-  checksums are read from the tile: a soft error in an FMA result is held in
-  the same register the fused checksum code then consumes, which is exactly
-  why the error becomes visible as a reference-vs-predicted mismatch;
-- when ``row_ref``/``col_ref`` are given, the reference checksums of the
-  freshly updated tiles are accumulated into them (Section 2.2's
-  register-level reuse). The caller passes them only on the final K-block
-  iteration, when C holds its final value.
+- :func:`macro_kernel` sweeps the micro kernel over every (A-panel,
+  B-panel) pair — the faithful model of the paper's register-tile loop.
+  Two extension points exist for the layers above:
+
+  - ``on_tile(c_tile, i0, j0)`` is called after each tile update with a
+    writable view — the fault injector corrupts tiles here (the paper
+    injects errors "into each of our computing kernels"). It runs *before*
+    reference checksums are read from the tile: a soft error in an FMA
+    result is held in the same register the fused checksum code then
+    consumes, which is exactly why the error becomes visible as a
+    reference-vs-predicted mismatch;
+  - when ``row_ref``/``col_ref`` are given, the reference checksums of the
+    freshly updated tiles are accumulated into them (Section 2.2's
+    register-level reuse). The caller passes them only on the final K-block
+    iteration, when C holds its final value.
+
+- :func:`macro_kernel_batched` computes all tiles of the block in **one**
+  vectorized contraction over the flattened panel arrays and derives the
+  fused reference checksums as block-level reductions. It produces the same
+  values (up to floating-point summation order) and books the *identical*
+  counter totals — microkernel calls are counted per logical tile even
+  though no Python-level tile loop runs — but offers no per-tile hook; the
+  dispatch layer falls back to :func:`macro_kernel` whenever per-tile
+  granularity is required.
 """
 
 from __future__ import annotations
@@ -29,33 +42,18 @@ from repro.util.errors import ShapeError
 TileHook = Callable[[np.ndarray, int, int], None]
 
 
-def macro_kernel(
+def _check_macro_args(
     packed_a: PackedPanels,
     packed_b: PackedPanels,
     c_block: np.ndarray,
-    *,
-    row_ref: np.ndarray | None = None,
-    col_ref: np.ndarray | None = None,
-    row_ref_w: np.ndarray | None = None,
-    col_ref_w: np.ndarray | None = None,
-    row_weights: np.ndarray | None = None,
-    col_weights: np.ndarray | None = None,
-    on_tile: TileHook | None = None,
-    counters: Counters | None = None,
-) -> None:
-    """Compute ``c_block += Ã · B̃`` in register tiles, in place.
-
-    ``c_block`` is an ``(mlen, nlen)`` writable view of C with
-    ``mlen == packed_a.valid`` and ``nlen == packed_b.valid``. ``row_ref``
-    (length ``nlen``) and ``col_ref`` (length ``mlen``) — both optional,
-    together — receive ``+= eᵀC_block`` / ``+= C_block·e`` fused into the
-    tile sweep.
-
-    The weighted-checksum scheme additionally passes ``row_ref_w`` /
-    ``col_ref_w`` with ``row_weights`` (the *global* row weights of this
-    block's rows, length ``mlen``) and ``col_weights`` (length ``nlen``):
-    they receive ``+= w_rowsᵀ C_block`` / ``+= C_block · w_cols``.
-    """
+    row_ref: np.ndarray | None,
+    col_ref: np.ndarray | None,
+    row_ref_w: np.ndarray | None,
+    col_ref_w: np.ndarray | None,
+    row_weights: np.ndarray | None,
+    col_weights: np.ndarray | None,
+) -> tuple[bool, bool]:
+    """Shared argument validation; returns ``(collect, weighted)``."""
     mlen, nlen = c_block.shape
     if packed_a.valid != mlen or packed_b.valid != nlen:
         raise ShapeError(
@@ -93,6 +91,41 @@ def macro_kernel(
                 f"weighted refs must be ({nlen},) and ({mlen},), got "
                 f"{row_ref_w.shape} and {col_ref_w.shape}"
             )
+    return collect, weighted
+
+
+def macro_kernel(
+    packed_a: PackedPanels,
+    packed_b: PackedPanels,
+    c_block: np.ndarray,
+    *,
+    row_ref: np.ndarray | None = None,
+    col_ref: np.ndarray | None = None,
+    row_ref_w: np.ndarray | None = None,
+    col_ref_w: np.ndarray | None = None,
+    row_weights: np.ndarray | None = None,
+    col_weights: np.ndarray | None = None,
+    on_tile: TileHook | None = None,
+    counters: Counters | None = None,
+) -> None:
+    """Compute ``c_block += Ã · B̃`` in register tiles, in place.
+
+    ``c_block`` is an ``(mlen, nlen)`` writable view of C with
+    ``mlen == packed_a.valid`` and ``nlen == packed_b.valid``. ``row_ref``
+    (length ``nlen``) and ``col_ref`` (length ``mlen``) — both optional,
+    together — receive ``+= eᵀC_block`` / ``+= C_block·e`` fused into the
+    tile sweep.
+
+    The weighted-checksum scheme additionally passes ``row_ref_w`` /
+    ``col_ref_w`` with ``row_weights`` (the *global* row weights of this
+    block's rows, length ``mlen``) and ``col_weights`` (length ``nlen``):
+    they receive ``+= w_rowsᵀ C_block`` / ``+= C_block · w_cols``.
+    """
+    mlen, nlen = c_block.shape
+    collect, weighted = _check_macro_args(
+        packed_a, packed_b, c_block,
+        row_ref, col_ref, row_ref_w, col_ref_w, row_weights, col_weights,
+    )
 
     mr = packed_a.r
     nr = packed_b.r
@@ -127,3 +160,54 @@ def macro_kernel(
                         counters.checksum_flops += 2 * tm * tn
                     if weighted:
                         counters.checksum_flops += 4 * tm * tn
+
+
+def macro_kernel_batched(
+    packed_a: PackedPanels,
+    packed_b: PackedPanels,
+    c_block: np.ndarray,
+    *,
+    row_ref: np.ndarray | None = None,
+    col_ref: np.ndarray | None = None,
+    row_ref_w: np.ndarray | None = None,
+    col_ref_w: np.ndarray | None = None,
+    row_weights: np.ndarray | None = None,
+    col_weights: np.ndarray | None = None,
+    counters: Counters | None = None,
+) -> None:
+    """Compute ``c_block += Ã · B̃`` as one block-level contraction.
+
+    Semantically identical to :func:`macro_kernel` (same arguments, same
+    counter totals, values equal up to floating-point summation order) but
+    every micro tile is produced by a single matrix product over the
+    flattened panel arrays, and the fused reference checksums are block
+    reductions of the freshly updated C block instead of per-tile sums.
+
+    There is deliberately no ``on_tile`` parameter: per-tile observation is
+    what forces the dispatch layer back onto :func:`macro_kernel`.
+    """
+    mlen, nlen = c_block.shape
+    collect, weighted = _check_macro_args(
+        packed_a, packed_b, c_block,
+        row_ref, col_ref, row_ref_w, col_ref_w, row_weights, col_weights,
+    )
+    depth = packed_a.depth
+    with np.errstate(invalid="ignore", over="ignore"):
+        # (padded_m, depth) @ (depth, padded_n): one BLAS call for the block;
+        # the padded rows/columns fall away in the slice-accumulate
+        update = packed_a.rows() @ packed_b.cols()
+        c_block += update[:mlen, :nlen]
+        if collect:
+            row_ref += c_block.sum(axis=0)
+            col_ref += c_block.sum(axis=1)
+        if weighted:
+            row_ref_w += row_weights @ c_block
+            col_ref_w += c_block @ col_weights
+    if counters is not None:
+        tiles = packed_a.n_panels * packed_b.n_panels
+        counters.microkernel_calls += tiles
+        counters.fma_flops += tiles * tile_flops(packed_a.r, packed_b.r, depth)
+        if collect:
+            counters.checksum_flops += 2 * mlen * nlen
+        if weighted:
+            counters.checksum_flops += 4 * mlen * nlen

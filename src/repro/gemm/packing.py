@@ -68,6 +68,35 @@ class PackedPanels:
     def nbytes(self) -> int:
         return self.data.nbytes
 
+    # ------------------------------------------------- flat 2-D projections
+    # The batched macro kernel contracts whole blocks with one BLAS call and
+    # needs the panels laid out as an ordinary matrix. Both projections are
+    # cached on the instance: a PackedPanels is created per packing pass, so
+    # the cache lives exactly as long as the packed values do (reusing a
+    # workspace buffer creates a fresh PackedPanels and a fresh cache).
+
+    def rows(self) -> np.ndarray:
+        """Ã as a ``(n_panels * r, depth)`` matrix: panel rows stacked, so
+        row ``g`` is logical row ``g`` of the (padded) packed block."""
+        cached = self.__dict__.get("_rows")
+        if cached is None:
+            cached = np.ascontiguousarray(
+                self.data.transpose(0, 2, 1).reshape(self.n_panels * self.r, self.depth)
+            )
+            object.__setattr__(self, "_rows", cached)
+        return cached
+
+    def cols(self) -> np.ndarray:
+        """B̃ as a ``(depth, n_panels * r)`` matrix: panel columns side by
+        side, so column ``g`` is logical column ``g`` of the packed block."""
+        cached = self.__dict__.get("_cols")
+        if cached is None:
+            cached = np.ascontiguousarray(
+                self.data.transpose(1, 0, 2).reshape(self.depth, self.n_panels * self.r)
+            )
+            object.__setattr__(self, "_cols", cached)
+        return cached
+
 
 def pack_a(a_block: np.ndarray, mr: int, *, out: np.ndarray | None = None) -> PackedPanels:
     """Pack an ``(mlen, klen)`` block of A into ``M_R``-row micro panels.

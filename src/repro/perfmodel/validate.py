@@ -29,15 +29,27 @@ def expected_counters(
     config: FTGemmConfig,
     *,
     beta_nonzero: bool = False,
+    fresh_c: bool | None = None,
 ) -> Counters:
     """The counters a clean serial FT-GEMM call must produce.
 
     Mirrors every accounting site of :class:`~repro.gemm.driver.BlockedGemm`
-    and :class:`~repro.core.ftgemm.FTGemm` (envelope tolerance mode, no
-    faults, ``final`` verification).
+    and :class:`~repro.core.ftgemm.FTGemm` on the clean fast path (no sink,
+    no injector; envelope tolerance mode, ``final`` verification) — which is
+    the path a real benchmark run takes, in either dispatch mode (tile and
+    batched book identical totals):
+
+    - ``fresh_c`` models ``gemm(c=None)``: the driver skips the redundant
+      zeroing of the just-allocated C entirely (no store, no DMR duplicate).
+      Defaults to ``not beta_nonzero``, matching :func:`validate_run`;
+    - Ã is packed once per ``(p, i)`` and reused across j-blocks, so the
+      packing loads/stores are paid once per K-block, while the fused
+      per-``(p, j, i)`` checksum updates still accrue every iteration.
     """
     if min(m, n, k) <= 0:
         raise ConfigError(f"invalid dims {m}x{n}x{k}")
+    if fresh_c is None:
+        fresh_c = not beta_nonzero
     cfg = config.blocking
     counters = Counters()
     ft = config.enable_ft
@@ -57,14 +69,17 @@ def expected_counters(
                 counters.checksum_flops += 4 * m * n
             counters.loads_bytes += m * n * DOUBLE
             counters.stores_bytes += m * n * DOUBLE
-        else:
+        elif not fresh_c:
             counters.stores_bytes += m * n * DOUBLE  # DMR writes the zeros
             if config.dmr_protect_scale:
                 counters.checksum_flops += m * n  # duplicate of the zeroing
+        # fresh C with beta == 0: the zeroing pass is skipped outright
     else:
-        counters.stores_bytes += m * n * DOUBLE  # beta==0 zeroing store
         if beta_nonzero:
             counters.loads_bytes += m * n * DOUBLE
+            counters.stores_bytes += m * n * DOUBLE
+        elif not fresh_c:
+            counters.stores_bytes += m * n * DOUBLE  # beta==0 zeroing store
 
     p_blocks = list(iter_blocks(k, cfg.kc))
     j_blocks = list(iter_blocks(n, cfg.nc))
@@ -72,7 +87,8 @@ def expected_counters(
 
     for p_idx, (p0, plen) in enumerate(p_blocks):
         last_p = p_idx == len(p_blocks) - 1
-        for j0, jlen in j_blocks:
+        for j_idx, (j0, jlen) in enumerate(j_blocks):
+            first_j = j_idx == 0
             # ---- pack B
             b_panels = cfg.micro_panels_n(jlen)
             packed_b_bytes = b_panels * plen * cfg.nr * DOUBLE
@@ -84,13 +100,15 @@ def expected_counters(
                 if weighted:
                     counters.checksum_flops += 4 * plen * jlen
             for i0, ilen in i_blocks:
-                # ---- pack A
                 a_panels = cfg.micro_panels_m(ilen)
                 packed_a_bytes = a_panels * plen * cfg.mr * DOUBLE
-                counters.loads_bytes += ilen * plen * DOUBLE
-                counters.pack_a_bytes += packed_a_bytes
-                counters.stores_bytes += packed_a_bytes
+                if first_j:
+                    # ---- pack A: once per (p, i), reused across j-blocks
+                    counters.loads_bytes += ilen * plen * DOUBLE
+                    counters.pack_a_bytes += packed_a_bytes
+                    counters.stores_bytes += packed_a_bytes
                 if ft:
+                    # fused C^c update accrues every (p, j, i)
                     counters.checksum_flops += 4 * ilen * plen
                     if weighted:
                         counters.checksum_flops += 2 * ilen * plen

@@ -1,0 +1,424 @@
+"""Dispatch modes, the batched macro kernel, and the workspace arena.
+
+The contract under test: tile and batched modes are observationally
+identical — same C (allclose), same checksum references, same counter
+totals — and the dispatch layer silently degrades to tile mode whenever
+per-tile granularity is needed (an ``on_tile`` hook, a memory sink, a fault
+injector). The arena tests pin the zero-allocation property: once the
+workspace exists, the loop nest packs into it without a single fresh
+``np.zeros``.
+"""
+
+import numpy as np
+import pytest
+
+import repro.gemm.packing as packing
+from repro.core.config import FTGemmConfig
+from repro.core.ftgemm import FTGemm
+from repro.core.parallel import ParallelFTGemm
+from repro.faults.campaign import plan_for_gemm
+from repro.faults.injector import FaultInjector
+from repro.gemm.blocking import DISPATCH_MODES, BlockingConfig
+from repro.gemm.driver import BlockedGemm
+from repro.gemm.macrokernel import macro_kernel, macro_kernel_batched
+from repro.gemm.packing import pack_a, pack_b
+from repro.gemm.reference import gemm_reference
+from repro.simcpu.counters import Counters
+from repro.util.errors import ConfigError
+
+COUNTER_FIELDS = (
+    "fma_flops",
+    "checksum_flops",
+    "loads_bytes",
+    "stores_bytes",
+    "pack_a_bytes",
+    "pack_b_bytes",
+    "microkernel_calls",
+)
+
+SHAPES = [
+    (8, 12, 8),     # exact multiples of every block size
+    (37, 29, 23),   # ragged everywhere
+    (5, 40, 17),    # n spans multiple NC blocks (exercises Ã reuse)
+    (40, 5, 17),    # m spans multiple MC blocks
+    (1, 1, 1),      # degenerate
+]
+
+
+def _counters_dict(counters: Counters) -> dict[str, int]:
+    return {name: getattr(counters, name) for name in COUNTER_FIELDS}
+
+
+# ------------------------------------------------------------- config layer
+
+
+def test_dispatch_modes_constant():
+    assert DISPATCH_MODES == ("auto", "tile", "batched")
+
+
+def test_invalid_dispatch_rejected():
+    with pytest.raises(ConfigError):
+        BlockingConfig(dispatch="vectorized")
+
+
+# --------------------------------------------------- kernel-level equivalence
+
+
+def test_macro_kernels_agree_on_one_block(rng):
+    packed_a = pack_a(rng.standard_normal((13, 9)), 4)
+    packed_b = pack_b(rng.standard_normal((9, 11)), 4)
+    weights_m = np.arange(1.0, 14.0)
+    weights_n = np.arange(1.0, 12.0)
+    refs = {}
+    for kernel in (macro_kernel, macro_kernel_batched):
+        c = np.zeros((13, 11))
+        row = np.zeros(11)
+        col = np.zeros(13)
+        row_w = np.zeros(11)
+        col_w = np.zeros(13)
+        counters = Counters()
+        kernel(
+            packed_a, packed_b, c,
+            row_ref=row, col_ref=col,
+            row_ref_w=row_w, col_ref_w=col_w,
+            row_weights=weights_m, col_weights=weights_n,
+            counters=counters,
+        )
+        refs[kernel.__name__] = (c, row, col, row_w, col_w, counters)
+    tile, batched = refs["macro_kernel"], refs["macro_kernel_batched"]
+    for got, want in zip(batched[:5], tile[:5]):
+        np.testing.assert_allclose(got, want, rtol=1e-12, atol=1e-12)
+    assert _counters_dict(batched[5]) == _counters_dict(tile[5])
+
+
+def test_batched_macro_kernel_has_no_tile_hook():
+    # per-tile hooks force tile mode; the batched kernel must not accept one
+    import inspect
+
+    assert "on_tile" not in inspect.signature(macro_kernel_batched).parameters
+
+
+# --------------------------------------------------- driver-level equivalence
+
+
+@pytest.mark.parametrize("m,n,k", SHAPES)
+def test_blocked_gemm_modes_equivalent(rng, m, n, k):
+    a = rng.standard_normal((m, k))
+    b = rng.standard_normal((k, n))
+    c0 = rng.standard_normal((m, n))
+    runs = {}
+    for mode in ("tile", "batched"):
+        driver = BlockedGemm(BlockingConfig.small(dispatch=mode))
+        out = driver.gemm(a, b, c0.copy(), alpha=1.25, beta=0.5)
+        assert driver.last_mode == mode
+        runs[mode] = (out, _counters_dict(driver.counters))
+    np.testing.assert_allclose(
+        runs["batched"][0], runs["tile"][0], rtol=1e-11, atol=1e-11
+    )
+    np.testing.assert_allclose(
+        runs["tile"][0], gemm_reference(a, b, c0, alpha=1.25, beta=0.5),
+        rtol=1e-11, atol=1e-11,
+    )
+    assert runs["batched"][1] == runs["tile"][1]
+
+
+@pytest.mark.parametrize("m,n,k", SHAPES)
+@pytest.mark.parametrize("scheme", ["dual", "weighted"])
+def test_ftgemm_modes_equivalent(rng, m, n, k, scheme):
+    a = rng.standard_normal((m, k))
+    b = rng.standard_normal((k, n))
+    c0 = rng.standard_normal((m, n))
+    runs = {}
+    for mode in ("tile", "batched"):
+        config = FTGemmConfig(
+            blocking=BlockingConfig.small(dispatch=mode),
+            checksum_scheme=scheme,
+        )
+        driver = FTGemm(config)
+        result = driver.gemm(a, b, c0.copy(), alpha=2.0, beta=0.25)
+        assert driver.last_mode == mode
+        assert result.verified
+        assert result.detected == 0
+        runs[mode] = (result.c, _counters_dict(result.counters))
+    np.testing.assert_allclose(
+        runs["batched"][0], runs["tile"][0], rtol=1e-11, atol=1e-11
+    )
+    assert runs["batched"][1] == runs["tile"][1]
+
+
+@pytest.mark.parametrize("scheme", ["dual", "weighted"])
+def test_parallel_modes_equivalent(rng, scheme):
+    m, n, k = 50, 41, 37
+    a = rng.standard_normal((m, k))
+    b = rng.standard_normal((k, n))
+    runs = {}
+    for mode in ("tile", "batched"):
+        config = FTGemmConfig(
+            blocking=BlockingConfig.small(dispatch=mode),
+            checksum_scheme=scheme,
+        )
+        driver = ParallelFTGemm(config, n_threads=3)
+        result = driver.gemm(a, b)
+        assert driver.last_mode == mode
+        assert result.verified
+        runs[mode] = (result.c, result.counters)
+    np.testing.assert_allclose(
+        runs["batched"][0], runs["tile"][0], rtol=1e-11, atol=1e-11
+    )
+    np.testing.assert_allclose(runs["tile"][0], a @ b, rtol=1e-11, atol=1e-11)
+    for field in ("fma_flops", "checksum_flops", "microkernel_calls"):
+        assert getattr(runs["batched"][1], field) == getattr(runs["tile"][1], field)
+
+
+# ------------------------------------------------------------ dispatch rules
+
+
+def test_auto_picks_batched_on_clean_path(rng):
+    driver = BlockedGemm(BlockingConfig.small())  # dispatch="auto"
+    driver.gemm(rng.standard_normal((10, 10)), rng.standard_normal((10, 10)))
+    assert driver.last_mode == "batched"
+
+
+def test_on_tile_hook_forces_tile_mode(rng):
+    seen = []
+    driver = BlockedGemm(BlockingConfig.small(dispatch="batched"))
+    driver.gemm(
+        rng.standard_normal((10, 10)),
+        rng.standard_normal((10, 10)),
+        on_tile=lambda *args: seen.append(args),
+    )
+    assert driver.last_mode == "tile"
+    assert seen  # the hook really fired per tile
+
+
+def test_memory_sink_forces_tile_mode(rng):
+    from repro.simcpu.trace import AccessTrace
+
+    driver = BlockedGemm(BlockingConfig.small(dispatch="batched"), sink=AccessTrace())
+    driver.gemm(rng.standard_normal((10, 10)), rng.standard_normal((10, 10)))
+    assert driver.last_mode == "tile"
+
+
+@pytest.mark.parametrize("dispatch", ["auto", "batched"])
+def test_injector_forces_tile_and_detection_is_unchanged(rng, dispatch):
+    """Fault injection under dispatch="batched" behaves exactly like tile
+    mode: the run degrades to per-tile execution and every fault is still
+    detected, located and corrected."""
+    m = n = k = 24
+    a = rng.standard_normal((m, k))
+    b = rng.standard_normal((k, n))
+    results = {}
+    for mode in ("tile", dispatch):
+        config = FTGemmConfig(blocking=BlockingConfig.small(dispatch=mode))
+        plan = plan_for_gemm(m, n, k, config.blocking, 3, seed=99)
+        injector = FaultInjector(plan)
+        driver = FTGemm(config)
+        result = driver.gemm(a, b, injector=injector)
+        assert driver.last_mode == "tile"  # injected runs never batch
+        assert injector.n_injected == 3
+        assert result.verified
+        results[mode] = result
+    np.testing.assert_allclose(results[dispatch].c, a @ b, rtol=1e-9, atol=1e-9)
+    assert results[dispatch].detected == results["tile"].detected
+    assert results[dispatch].corrected == results["tile"].corrected
+
+
+def test_clean_call_after_injected_call_batches_again(rng):
+    config = FTGemmConfig(blocking=BlockingConfig.small())
+    driver = FTGemm(config)
+    a = rng.standard_normal((16, 16))
+    b = rng.standard_normal((16, 16))
+    plan = plan_for_gemm(16, 16, 16, config.blocking, 1, seed=3)
+    driver.gemm(a, b, injector=FaultInjector(plan))
+    assert driver.last_mode == "tile"
+    result = driver.gemm(a, b)
+    assert driver.last_mode == "batched"
+    assert result.verified
+    np.testing.assert_allclose(result.c, a @ b, rtol=1e-11, atol=1e-11)
+
+
+def test_ft_gemm_batched_dispatch_override(rng):
+    from repro.core.batched import ft_gemm_batched
+
+    a = rng.standard_normal((3, 10, 8))
+    b = rng.standard_normal((3, 8, 9))
+    config = FTGemmConfig(blocking=BlockingConfig.small())
+    runs = {
+        mode: ft_gemm_batched(a, b, config=config, dispatch=mode)
+        for mode in ("tile", "batched")
+    }
+    for result in runs.values():
+        assert result.verified
+    np.testing.assert_allclose(
+        runs["batched"].stacked(), runs["tile"].stacked(), rtol=1e-11, atol=1e-11
+    )
+    for field in ("fma_flops", "checksum_flops", "microkernel_calls"):
+        assert getattr(runs["batched"].counters, field) == getattr(
+            runs["tile"].counters, field
+        )
+
+
+# --------------------------------------------------------- workspace arena
+
+
+@pytest.mark.parametrize("mode", ["tile", "batched"])
+def test_loop_nest_never_allocates_packing_buffers(rng, monkeypatch, mode):
+    """The loop nest always hands pack_a/pack_b an ``out=`` arena view, and
+    once the workspace exists not a single fresh panel buffer (3-D
+    ``np.zeros``) is allocated during a call."""
+    import repro.gemm.driver as driver_mod
+
+    driver = BlockedGemm(BlockingConfig.small(dispatch=mode))
+    a = rng.standard_normal((37, 23))
+    b = rng.standard_normal((23, 29))
+    driver.gemm(a, b)  # builds the workspace
+
+    def checking(real):
+        def wrapper(block, r, *, out=None):
+            assert out is not None, f"{real.__name__} called without arena view"
+            return real(block, r, out=out)
+
+        return wrapper
+
+    monkeypatch.setattr(driver_mod, "pack_a", checking(packing.pack_a))
+    monkeypatch.setattr(driver_mod, "pack_b", checking(packing.pack_b))
+
+    panel_allocs = []
+    real_zeros = np.zeros
+
+    def counting_zeros(shape, *args, **kwargs):
+        if isinstance(shape, tuple) and len(shape) == 3:
+            panel_allocs.append(shape)
+        return real_zeros(shape, *args, **kwargs)
+
+    monkeypatch.setattr(packing.np, "zeros", counting_zeros)
+    out = driver.gemm(a, b)
+    assert panel_allocs == []
+    np.testing.assert_allclose(out, a @ b, rtol=1e-11, atol=1e-11)
+
+
+def test_workspace_buffers_reused_across_calls(rng):
+    driver = BlockedGemm(BlockingConfig.small())
+    a = rng.standard_normal((20, 16))
+    b = rng.standard_normal((16, 24))
+    driver.gemm(a, b)
+    ws = driver.workspace
+    assert ws is not None
+    a_buf, b_buf = ws.a_buf, ws.b_buf
+    driver.gemm(a, b)
+    assert driver.workspace is ws
+    assert driver.workspace.a_buf is a_buf
+    assert driver.workspace.b_buf is b_buf
+
+
+def test_workspace_grows_for_bigger_problem(rng):
+    driver = BlockedGemm(BlockingConfig.small())
+    driver.gemm(rng.standard_normal((8, 8)), rng.standard_normal((8, 8)))
+    small_ws = driver.workspace
+    driver.gemm(rng.standard_normal((40, 24)), rng.standard_normal((24, 40)))
+    assert driver.workspace is not small_ws
+    # and a subsequent smaller problem fits in the grown arena
+    big_ws = driver.workspace
+    driver.gemm(rng.standard_normal((8, 8)), rng.standard_normal((8, 8)))
+    assert driver.workspace is big_ws
+
+
+def test_packed_blocks_live_inside_the_arena(rng):
+    captured = []
+
+    class Spy(BlockedGemm):
+        def _pack_a_block(self, *args, **kwargs):
+            packed = super()._pack_a_block(*args, **kwargs)
+            captured.append(packed.data)
+            return packed
+
+    driver = Spy(BlockingConfig.small())
+    driver.gemm(rng.standard_normal((20, 20)), rng.standard_normal((20, 20)))
+    assert captured
+    for data in captured:
+        assert np.shares_memory(data, driver.workspace.a_buf)
+
+
+# ------------------------------------------------------- Ã reuse across j
+
+
+def _pack_a_counting_driver(base_cls, *args, **kwargs):
+    class Counting(base_cls):
+        pack_a_calls = 0
+
+        def _pack_a_block(self, *a, **kw):
+            type(self).pack_a_calls += 1
+            return super()._pack_a_block(*a, **kw)
+
+    return Counting(*args, **kwargs)
+
+
+@pytest.mark.parametrize("cls", [BlockedGemm, None])
+def test_packed_a_reused_across_j_blocks(rng, cls):
+    """nc=12 with n=40 gives 4 j-blocks; Ã must be packed once per (p, i),
+    not once per (p, j, i)."""
+    m, n, k = 20, 40, 17  # 3 i-blocks, 4 j-blocks, 3 p-blocks
+    blocking = BlockingConfig.small()
+    if cls is None:
+        driver = _pack_a_counting_driver(
+            FTGemm, FTGemmConfig(blocking=blocking, checksum_scheme="weighted")
+        )
+        result = driver.gemm(rng.standard_normal((m, k)), rng.standard_normal((k, n)))
+        assert result.verified
+    else:
+        driver = _pack_a_counting_driver(cls, blocking)
+        driver.gemm(rng.standard_normal((m, k)), rng.standard_normal((k, n)))
+    n_p = len(list(range(0, k, blocking.kc)))
+    n_i = len(list(range(0, m, blocking.mc)))
+    n_j = len(list(range(0, n, blocking.nc)))
+    assert n_j > 1  # the test is vacuous otherwise
+    assert type(driver).pack_a_calls == n_p * n_i
+
+
+def test_injected_run_packs_a_per_j_block(rng):
+    """With an injector attached the legacy schedule is restored: Ã is
+    repacked for every (p, j, i), which is what the campaign's site
+    invocation counts assume."""
+    m, n, k = 20, 40, 17
+    config = FTGemmConfig(blocking=BlockingConfig.small())
+    driver = _pack_a_counting_driver(FTGemm, config)
+    plan = plan_for_gemm(m, n, k, config.blocking, 1, seed=1)
+    result = driver.gemm(
+        rng.standard_normal((m, k)),
+        rng.standard_normal((k, n)),
+        injector=FaultInjector(plan),
+    )
+    assert result.verified
+    n_p, n_j, n_i = 3, 4, 3
+    assert type(driver).pack_a_calls == n_p * n_j * n_i
+
+
+# ----------------------------------------------------------- fresh-C scaling
+
+
+def test_fresh_c_skips_zeroing_stores(rng):
+    a = rng.standard_normal((10, 10))
+    b = rng.standard_normal((10, 10))
+    fresh = BlockedGemm(BlockingConfig.small())
+    fresh.gemm(a, b)  # c=None: freshly allocated, no zeroing pass
+    provided = BlockedGemm(BlockingConfig.small())
+    provided.gemm(a, b, np.full((10, 10), np.nan), beta=0.0)
+    assert (
+        provided.counters.stores_bytes - fresh.counters.stores_bytes
+        == 10 * 10 * 8
+    )
+    # everything but the zeroing store is identical
+    assert provided.counters.loads_bytes == fresh.counters.loads_bytes
+    assert provided.counters.fma_flops == fresh.counters.fma_flops
+
+
+def test_fresh_c_skip_preserves_ft_verification(rng):
+    a = rng.standard_normal((15, 13))
+    b = rng.standard_normal((13, 11))
+    for scheme in ("dual", "weighted"):
+        config = FTGemmConfig(
+            blocking=BlockingConfig.small(), checksum_scheme=scheme
+        )
+        result = FTGemm(config).gemm(a, b)
+        assert result.verified
+        np.testing.assert_allclose(result.c, a @ b, rtol=1e-11, atol=1e-11)
