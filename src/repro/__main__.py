@@ -33,7 +33,41 @@ def _cmd_bench(args) -> int:
     return bench_main(forward)
 
 
+def _inject_model(name: str):
+    from repro.faults.models import (
+        Additive,
+        BitFlip,
+        ColBurst,
+        RowBurst,
+        StuckBit,
+        StuckValue,
+    )
+
+    return {
+        "bitflip": lambda: BitFlip(),
+        "additive": lambda: Additive(magnitude=64.0),
+        "stuck": lambda: StuckValue(value=0.0),
+        "stuckbit": lambda: StuckBit(),
+        "rowburst": lambda: RowBurst(),
+        "colburst": lambda: ColBurst(),
+    }[name]()
+
+
+def _parse_fail_stops(specs):
+    from repro.faults.models import FailStop
+
+    stops = []
+    for spec in specs or []:
+        tid, sep, barrier = spec.partition(":")
+        if not sep:
+            raise SystemExit(f"--fail-stop wants TID:BARRIER, got {spec!r}")
+        stops.append(FailStop(thread=int(tid), barrier=int(barrier)))
+    return tuple(stops)
+
+
 def _cmd_inject(args) -> int:
+    from dataclasses import replace
+
     from repro.core.config import FTGemmConfig
     from repro.core.ftgemm import FTGemm
     from repro.core.parallel import ParallelFTGemm
@@ -44,9 +78,14 @@ def _cmd_inject(args) -> int:
     from repro.faults.injector import FaultInjector
     from repro.gemm.blocking import BlockingConfig
 
+    fail_stops = _parse_fail_stops(args.fail_stop)
+    if fail_stops and args.threads < 2:
+        print("fail-stop faults need --threads >= 2 (a thread team to kill)")
+        return 2
     config = FTGemmConfig(
         blocking=BlockingConfig.small(mr=8, nr=6, dispatch=args.mode),
         checksum_scheme=args.scheme,
+        strict=args.strict,
     )
     rng = np.random.default_rng(args.seed)
     n = args.size
@@ -54,15 +93,29 @@ def _cmd_inject(args) -> int:
     b = rng.standard_normal((n, n))
     counts = None
     if args.threads > 1:
-        driver = ParallelFTGemm(config, n_threads=args.threads)
+        driver = ParallelFTGemm(
+            config, n_threads=args.threads, backend=args.backend
+        )
         counts = site_invocation_counts_parallel(
             n, n, n, config.blocking, args.threads
         )
     else:
         driver = FTGemm(config)
+    sites = tuple(args.sites.split(",")) if args.sites else None
+    plan_kwargs = {"sites": sites} if sites else {}
     plan = plan_for_gemm(
-        n, n, n, config.blocking, args.errors, seed=args.seed, counts=counts
+        n,
+        n,
+        n,
+        config.blocking,
+        args.errors,
+        seed=args.seed,
+        counts=counts,
+        model=_inject_model(args.model) if args.model else None,
+        **plan_kwargs,
     )
+    if fail_stops:
+        plan = replace(plan, fail_stops=fail_stops)
     injector = FaultInjector(plan)
     result = driver.gemm(a, b, injector=injector)
     expected = a @ b
@@ -79,8 +132,22 @@ def _cmd_inject(args) -> int:
         f"{result.recomputed_blocks} lines recomputed, "
         f"{len(result.reports)} verification rounds"
     )
+    outcomes = injector.site_outcomes()
+    if outcomes:
+        print("per-site : site         injected detected corrected uncorrected")
+        for site in sorted(outcomes):
+            row = outcomes[site]
+            print(
+                f"           {site:<12s} {row['injected']:8d} "
+                f"{row['detected']:8d} {row['corrected']:9d} "
+                f"{row['uncorrected']:11d}"
+            )
+    if result.recovery is not None:
+        print(f"recovery : {result.recovery.summary()}")
     print(f"max |error| vs oracle: {err:.3e}")
-    return 0 if result.verified and err < 1e-8 else 1
+    if not result.verified:
+        return 2
+    return 0 if err < 1e-8 else 1
 
 
 def _cmd_tune(args) -> int:
@@ -189,9 +256,29 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--size", type=int, default=160)
     p.add_argument("--errors", type=int, default=5)
     p.add_argument("--threads", type=int, default=1)
+    p.add_argument("--backend", choices=("simulated", "threads"),
+                   default="simulated",
+                   help="team backend when --threads > 1")
     p.add_argument("--scheme", choices=("dual", "weighted"), default="dual")
     p.add_argument("--mode", choices=DISPATCH_MODES, default="auto",
-                   help="macro-kernel dispatch (injected runs fall back to tile)")
+                   help="macro-kernel dispatch (kernel-site injection falls "
+                        "back to tile; checksum/scale-only plans batch)")
+    p.add_argument("--model",
+                   choices=("bitflip", "additive", "stuck", "stuckbit",
+                            "rowburst", "colburst"),
+                   default=None,
+                   help="fault model (stuckbit is persistent; bursts strike "
+                        "multiple elements)")
+    p.add_argument("--sites", default=None,
+                   help="comma-separated injection sites "
+                        "(default: kernel sites)")
+    p.add_argument("--fail-stop", action="append", default=None,
+                   metavar="TID:BARRIER",
+                   help="kill thread TID at barrier BARRIER (repeatable; "
+                        "needs --threads >= 2)")
+    p.add_argument("--strict", action=argparse.BooleanOptionalAction,
+                   default=False,
+                   help="raise on unverifiable results instead of exiting 2")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=_cmd_inject)
 

@@ -14,7 +14,8 @@ from repro.core.config import FTGemmConfig
 from repro.core.results import FTGemmResult, VerificationReport
 from repro.core.ftgemm import FTGemm
 from repro.core.parallel import ParallelFTGemm
-from repro.core.verification import ChecksumLedger, Verifier
+from repro.core.verification import ChecksumLedger, Verifier, ledger_from_state
+from repro.core.supervisor import EscalationSupervisor, RecoveryReport, RecoveryRound
 from repro.core.dmr import dmr_scale
 from repro.core.batched import BatchedResult, ft_gemm_batched
 
@@ -26,6 +27,10 @@ __all__ = [
     "ParallelFTGemm",
     "ChecksumLedger",
     "Verifier",
+    "ledger_from_state",
+    "EscalationSupervisor",
+    "RecoveryReport",
+    "RecoveryRound",
     "dmr_scale",
     "BatchedResult",
     "ft_gemm_batched",

@@ -52,6 +52,11 @@ class FTGemmConfig:
     keep_original_c: bool = True
     dmr_protect_scale: bool = True
     strict: bool = True
+    #: wrap verification in the escalation supervisor
+    #: (:mod:`repro.core.supervisor`): diagnose recurring residual
+    #: signatures, quarantine sticky faults, and escalate past the plain
+    #: verifier's recompute budget (repack-and-recompute, then DMR).
+    enable_supervisor: bool = True
 
     def __post_init__(self) -> None:
         check_in(self.verify_mode, "verify_mode", ("final", "eager"))

@@ -38,6 +38,7 @@ import numpy as np
 from repro.core.config import FTGemmConfig
 from repro.core.dmr import dmr_scale
 from repro.core.results import FTGemmResult, VerificationReport
+from repro.core.supervisor import EscalationSupervisor
 from repro.core.verification import ChecksumLedger, Verifier
 from repro.gemm.driver import BlockedGemm, MemorySink
 from repro.gemm.macrokernel import TileHook, macro_kernel, macro_kernel_batched
@@ -48,10 +49,13 @@ from repro.simcpu.counters import Counters
 class _NullInjector:
     """No-faults stand-in so the hot path has no None checks at call sites."""
 
-    def visit(self, site: str, array: np.ndarray) -> bool:
+    def visit(self, site: str, array: np.ndarray, tid: int | None = None) -> bool:
         return False
 
     def mark_detected(self, n: int) -> None:
+        pass
+
+    def mark_corrected(self, n: int) -> None:
         pass
 
     n_injected = 0
@@ -137,32 +141,71 @@ class FTGemm(BlockedGemm):
         out = super().gemm(a, b, c, alpha=alpha, beta=beta, on_tile=hook)
         reports: list[VerificationReport] = list(self._eager_reports)
         verified = True
+        recovery = None
         if self.ft:
-            verifier = Verifier(
-                self._a,
-                self._b,
-                alpha=self._alpha,
-                beta=self._beta,
-                c0=self._c0,
-                config=self.ft_config,
-                counters=self.counters,
+            live_injector = (
+                self._injector if self._injector is not _NULL_INJECTOR else None
             )
-            final_reports, verified = verifier.finalize(out, self._ledger)
-            reports.extend(final_reports)
-            self._injector.mark_detected(self.counters.errors_detected)
+            if self.ft_config.enable_supervisor:
+                supervisor = EscalationSupervisor(
+                    self._a,
+                    self._b,
+                    alpha=self._alpha,
+                    beta=self._beta,
+                    c0=self._c0,
+                    config=self.ft_config,
+                    counters=self.counters,
+                    injector=live_injector,
+                )
+                try:
+                    final_reports, verified, recovery = supervisor.finalize(
+                        out, self._ledger
+                    )
+                finally:
+                    self._injector.mark_detected(self.counters.errors_detected)
+                    mark_corrected = getattr(self._injector, "mark_corrected", None)
+                    if mark_corrected is not None:
+                        mark_corrected(self.counters.errors_corrected)
+                reports.extend(final_reports)
+                if not (recovery.rounds or recovery.quarantined):
+                    recovery = None  # clean path: no recovery story to tell
+            else:
+                verifier = Verifier(
+                    self._a,
+                    self._b,
+                    alpha=self._alpha,
+                    beta=self._beta,
+                    c0=self._c0,
+                    config=self.ft_config,
+                    counters=self.counters,
+                    injector=live_injector,
+                )
+                try:
+                    final_reports, verified = verifier.finalize(out, self._ledger)
+                finally:
+                    self._injector.mark_detected(self.counters.errors_detected)
+                    mark_corrected = getattr(self._injector, "mark_corrected", None)
+                    if mark_corrected is not None:
+                        mark_corrected(self.counters.errors_corrected)
+                reports.extend(final_reports)
         result = FTGemmResult(
             c=out,
             counters=self.counters,
             reports=reports,
             verified=verified,
             ft_enabled=self.ft,
+            recovery=recovery,
         )
         self._release_call_state()
         return result
 
+    _KERNEL_SITES = ("microkernel", "pack_a", "pack_b")
+
     def _make_tile_hook(self, user_hook: TileHook | None) -> TileHook | None:
         injector = self._injector
-        if injector is _NULL_INJECTOR and user_hook is None:
+        if user_hook is None and (
+            injector is _NULL_INJECTOR or self._injection_allows_batched()
+        ):
             # no per-tile consumer: leave the hook out entirely so the
             # dispatch layer is free to take the batched fast path
             return None
@@ -173,6 +216,29 @@ class FTGemm(BlockedGemm):
                 user_hook(c_tile, i0, j0)
 
         return hook
+
+    def _injection_allows_batched(self) -> bool:
+        """A plan that strikes no kernel-layer site (micro-kernel tiles or
+        packed buffers) needs no per-tile observation — checksum/scale
+        injection touches only driver-level state, so batched dispatch stays
+        legal. Injectors without a queryable plan stay conservatively on the
+        per-tile schedule."""
+        if self._injector is _NULL_INJECTOR:
+            return False
+        targets = getattr(self._injector, "targets_site", None)
+        if targets is None:
+            return False
+        return not any(targets(site) for site in self._KERNEL_SITES)
+
+    def _resolve_mode(self, on_tile: TileHook | None) -> str:
+        if (
+            on_tile is None
+            and self.sink is None
+            and self.config.dispatch != "tile"
+            and self._injection_allows_batched()
+        ):
+            return "batched"
+        return super()._resolve_mode(on_tile)
 
     def _fast_path(self) -> bool:
         """Fault injection observes every pass at per-(p, j, i) granularity;

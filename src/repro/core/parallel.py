@@ -36,22 +36,34 @@ import numpy as np
 from repro.core.config import FTGemmConfig
 from repro.core.dmr import dmr_scale
 from repro.core.results import FTGemmResult
-from repro.core.verification import ChecksumLedger, Verifier
+from repro.core.supervisor import (
+    EscalationSupervisor,
+    RecoveryReport,
+    RecoveryRound,
+    _merge_counters,
+)
+from repro.core.verification import ChecksumLedger, Verifier, ledger_from_state
 from repro.gemm.blocking import iter_blocks
+from repro.gemm.driver import BlockedGemm
 from repro.gemm.macrokernel import TileHook, macro_kernel, macro_kernel_batched
 from repro.gemm.packing import PackedPanels, pack_a, pack_b
 from repro.parallel.partition import partition_panels, partition_rows
-from repro.parallel.team import make_team
+from repro.parallel.team import Team, make_team
 from repro.simcpu.counters import Counters
-from repro.util.errors import ConfigError
+from repro.util.errors import ConfigError, UncorrectableError
 from repro.util.validation import as_2d_float64, check_gemm_operands
+
+_KERNEL_SITES = ("microkernel", "pack_a", "pack_b")
 
 
 class _NullInjector:
-    def visit(self, site: str, array: np.ndarray) -> bool:
+    def visit(self, site: str, array: np.ndarray, tid: int | None = None) -> bool:
         return False
 
     def mark_detected(self, n: int) -> None:
+        pass
+
+    def mark_corrected(self, n: int) -> None:
         pass
 
 
@@ -59,19 +71,34 @@ _NULL_INJECTOR = _NullInjector()
 
 
 class _LockedInjector:
-    """Serializes injector access from real threads."""
+    """Serializes injector access from real threads; everything else (plan,
+    quarantine, sticky machinery) is delegated untouched — those run in the
+    serial prologue/epilogue."""
 
     def __init__(self, inner):
         self._inner = inner
         self._lock = threading.Lock()
 
-    def visit(self, site: str, array: np.ndarray) -> bool:
+    def visit(self, site: str, array: np.ndarray, tid: int | None = None) -> bool:
         with self._lock:
-            return self._inner.visit(site, array)
+            return self._inner.visit(site, array, tid=tid)
 
     def mark_detected(self, n: int) -> None:
         with self._lock:
             self._inner.mark_detected(n)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+def _injection_allows_batched(injector) -> bool:
+    """Batched dispatch stays legal only when the plan strikes no
+    kernel-layer site (micro-kernel tiles, packed buffers); injectors
+    without a queryable plan conservatively force the per-tile schedule."""
+    targets = getattr(injector, "targets_site", None)
+    if targets is None:
+        return False
+    return not any(targets(site) for site in _KERNEL_SITES)
 
 
 class ParallelFTGemm:
@@ -89,6 +116,7 @@ class ParallelFTGemm:
         *,
         n_threads: int = 4,
         backend: str = "simulated",
+        order: list[int] | None = None,
     ):
         self.config = config or FTGemmConfig()
         #: alias so campaign code can treat serial and parallel drivers alike
@@ -102,6 +130,9 @@ class ParallelFTGemm:
             raise ConfigError(f"n_threads must be positive, got {n_threads}")
         self.n_threads = n_threads
         self.backend = backend
+        #: within-round step order for the simulated backend (property tests
+        #: permute it to hunt for schedule-dependent behaviour)
+        self.order = order
         self.counters = Counters()
         #: macro-kernel mode used by the most recent call
         self.last_mode: str | None = None
@@ -135,12 +166,42 @@ class ParallelFTGemm:
         cfg = self.config.blocking
 
         # batched macro kernels whenever no per-tile consumer is attached —
-        # same dispatch rule as the serial driver
+        # same dispatch rule as the serial driver (checksum/scale-only
+        # injection touches no kernel-layer state, so it batches too)
         use_batched = (
-            cfg.dispatch != "tile" and injector is None and on_tile is None
+            cfg.dispatch != "tile"
+            and on_tile is None
+            and (injector is None or _injection_allows_batched(injector))
         )
         self.last_mode = "batched" if use_batched else "tile"
 
+        # fail-stop faults are executed by the team, not by visit()
+        fail_stops = tuple(
+            getattr(getattr(injector, "plan", None), "fail_stops", ()) or ()
+        )
+
+        if injector is not None:
+            bind = getattr(injector, "bind_thread_map", None)
+            if bind is not None:
+                # canonical per-thread invocation numbering: strike placement
+                # becomes identical across team backends and step orders
+                from repro.faults.campaign import parallel_thread_map
+
+                bind(
+                    parallel_thread_map(
+                        m,
+                        n,
+                        k,
+                        cfg,
+                        self.n_threads,
+                        beta=beta,
+                        ft=self.ft,
+                        dmr_protect_scale=self.config.dmr_protect_scale,
+                        mode="batched" if use_batched else "tile",
+                    )
+                )
+
+        raw_injector = injector
         if injector is None:
             injector = _NULL_INJECTOR
         elif self.backend == "threads":
@@ -202,7 +263,7 @@ class ParallelFTGemm:
                             w_m[ms : ms + mlen] @ a_slice
                         )
                         counters.checksum_flops += 2 * mlen * k
-                    injector.visit("checksum", a_row_parts[tid])
+                    injector.visit("checksum", a_row_parts[tid], tid=tid)
                     if beta != 0.0:
                         abs_c = np.abs(c_slice)
                         ledger.c0_abs_row = abs_c.sum(axis=0)
@@ -211,14 +272,19 @@ class ParallelFTGemm:
                         counters.checksum_flops += 2 * c_slice.size
                     if config.dmr_protect_scale:
                         dmr_scale(
-                            c_slice, beta, counters=counters, visit=injector.visit
+                            c_slice,
+                            beta,
+                            counters=counters,
+                            visit=lambda site, arr: injector.visit(
+                                site, arr, tid=tid
+                            ),
                         )
                     else:
                         if beta == 0.0:
                             c_slice[:] = 0.0
                         elif beta != 1.0:
                             c_slice *= beta
-                        injector.visit("scale", c_slice)
+                        injector.visit("scale", c_slice, tid=tid)
                     if beta != 0.0:
                         ledger.row_pred += c_slice.sum(axis=0)
                         ledger.col_pred[ms : ms + mlen] += c_slice.sum(axis=1)
@@ -227,13 +293,15 @@ class ParallelFTGemm:
                             ledger.row_pred_w += w_m[ms : ms + mlen] @ c_slice
                             ledger.col_pred_w[ms : ms + mlen] += c_slice @ w_n
                             counters.checksum_flops += 4 * c_slice.size
-                    injector.visit("checksum", ledger.col_pred[ms : ms + mlen])
+                    injector.visit(
+                        "checksum", ledger.col_pred[ms : ms + mlen], tid=tid
+                    )
                 else:
                     if beta == 0.0:
                         c_slice[:] = 0.0
                     elif beta != 1.0:
                         c_slice *= beta
-                    injector.visit("scale", c_slice)
+                    injector.visit("scale", c_slice, tid=tid)
             yield  # barrier: A^r partials complete, C scaled
             counters.barriers += 1
 
@@ -287,10 +355,12 @@ class ParallelFTGemm:
                                 )
                                 counters.checksum_flops += 4 * plen * width
                             injector.visit(
-                                "checksum", ledger.row_pred[col0 : col0 + width]
+                                "checksum",
+                                ledger.row_pred[col0 : col0 + width],
+                                tid=tid,
                             )
                         injector.visit(
-                            "pack_b", btilde[f0 : f0 + cnt, :plen, :]
+                            "pack_b", btilde[f0 : f0 + cnt, :plen, :], tid=tid
                         )
                     elif ft:
                         bc_share[tid, :plen] = 0.0
@@ -337,13 +407,13 @@ class ParallelFTGemm:
                                 )
                                 counters.checksum_flops += 2 * ilen * plen
                             injector.visit(
-                                "checksum", ledger.col_pred[i0 : i0 + ilen]
+                                "checksum", ledger.col_pred[i0 : i0 + ilen], tid=tid
                             )
-                        injector.visit("pack_a", packed_a.data)
+                        injector.visit("pack_a", packed_a.data, tid=tid)
                         c_block = c[i0 : i0 + ilen, j0 : j0 + jlen]
 
                         def hook(tile: np.ndarray, ti: int, tj: int) -> None:
-                            injector.visit("microkernel", tile)
+                            injector.visit("microkernel", tile, tid=tid)
                             if on_tile is not None:
                                 on_tile(tile, ti, tj)
 
@@ -386,35 +456,234 @@ class ParallelFTGemm:
                     yield  # barrier: macro phase done, B̃ reusable
                     counters.barriers += 1
 
-        team = make_team(self.n_threads, self.backend)
+        if fail_stops or self.order is not None:
+            team = make_team(
+                self.n_threads,
+                self.backend,
+                fail_stops=fail_stops,
+                order=self.order,
+            )
+        else:
+            team = make_team(self.n_threads, self.backend)
         team.run(worker)
 
-        # ---- serial epilogue: reduce ledgers, verify, correct
+        # ---- serial epilogue: reduce counters, recover from deaths, verify
         total = Counters()
         for tc in thread_counters:
             total = total + tc
+
+        recovery: RecoveryReport | None = None
+        if team.deaths:
+            recovery = self._recover_from_deaths(
+                team,
+                a,
+                b,
+                c,
+                alpha=alpha,
+                beta=beta,
+                c0=c0,
+                row_part=row_part,
+                p_blocks=p_blocks,
+                j_blocks=j_blocks,
+                counters=total,
+            )
+
         self.counters = total
         reports = []
         verified = True
         if ft:
-            ledger = ledgers[0]
-            for other in ledgers[1:]:
-                ledger.add(other)
-            verifier = Verifier(
-                a,
-                b,
-                alpha=alpha,
-                beta=beta,
-                c0=c0,
-                config=self.config,
-                counters=total,
-            )
-            reports, verified = verifier.finalize(c, ledger)
-            injector.mark_detected(total.errors_detected)
+            if team.deaths:
+                # survivor ledgers are polluted by stale shared-B̃ reads and
+                # the dead thread's ledger is partial: rebuild the whole
+                # checksum state from first principles over the recovered C
+                ledger = ledger_from_state(
+                    a,
+                    b,
+                    c,
+                    alpha=alpha,
+                    beta=beta,
+                    c0=c0,
+                    weighted=weighted,
+                    counters=total,
+                )
+            else:
+                ledger = ledgers[0]
+                for other in ledgers[1:]:
+                    ledger.add(other)
+            if self.config.enable_supervisor:
+                supervisor = EscalationSupervisor(
+                    a,
+                    b,
+                    alpha=alpha,
+                    beta=beta,
+                    c0=c0,
+                    config=self.config,
+                    counters=total,
+                    injector=raw_injector,
+                )
+                try:
+                    reports, verified, recovery = supervisor.finalize(
+                        c, ledger, report=recovery
+                    )
+                finally:
+                    injector.mark_detected(total.errors_detected)
+                    mark_corrected = getattr(injector, "mark_corrected", None)
+                    if mark_corrected is not None:
+                        mark_corrected(total.errors_corrected)
+                if not (recovery.rounds or recovery.quarantined):
+                    recovery = None
+            else:
+                verifier = Verifier(
+                    a,
+                    b,
+                    alpha=alpha,
+                    beta=beta,
+                    c0=c0,
+                    config=self.config,
+                    counters=total,
+                    injector=raw_injector,
+                )
+                try:
+                    reports, verified = verifier.finalize(c, ledger)
+                finally:
+                    injector.mark_detected(total.errors_detected)
+                    mark_corrected = getattr(injector, "mark_corrected", None)
+                    if mark_corrected is not None:
+                        mark_corrected(total.errors_corrected)
+                if recovery is not None and recovery.rounds and verified:
+                    recovery.rounds[-1].succeeded = True
+        elif recovery is not None and recovery.rounds:
+            # unprotected run: no verification pass follows, the direct
+            # re-execution is the whole recovery story
+            recovery.rounds[-1].succeeded = True
         return FTGemmResult(
             c=c,
             counters=total,
             reports=reports,
             verified=verified,
             ft_enabled=ft,
+            recovery=recovery,
         )
+
+    # ----------------------------------------------------- fail-stop recovery
+    def _recover_from_deaths(
+        self,
+        team: Team,
+        a: np.ndarray,
+        b: np.ndarray,
+        c: np.ndarray,
+        *,
+        alpha: float,
+        beta: float,
+        c0: np.ndarray | None,
+        row_part,
+        p_blocks,
+        j_blocks,
+        counters: Counters,
+    ) -> RecoveryReport:
+        """The recovery epoch extending the Figure-1 protocol.
+
+        A fail-stopped thread leaves two kinds of damage: its own row slice
+        of C is incomplete, and — because B̃ is packed cooperatively — every
+        (p, j) block whose pack barrier the thread never reached ran its
+        macro phase against the thread's *stale* B̃ chunk, polluting those
+        columns for every survivor. The survivors re-partition the dead
+        rows and re-execute them through fresh blocked drivers (a second
+        parallel region on the same backend); the polluted columns are
+        recomputed directly from the original operands. Verification then
+        runs on the recovered C as usual.
+        """
+        cfg = self.config.blocking
+        deaths = sorted(team.deaths, key=lambda d: d.tid)
+        dead = {d.tid for d in deaths}
+        survivors = [t for t in range(self.n_threads) if t not in dead]
+        if not survivors:
+            raise UncorrectableError(
+                f"all {self.n_threads} threads fail-stopped; "
+                "no survivor left to run recovery"
+            )
+        if beta != 0.0 and c0 is None:
+            raise UncorrectableError(
+                "fail-stop recovery with beta != 0 needs the preserved input "
+                "C (enable_ft + keep_original_c); the dead thread's rows "
+                "were already scaled in place"
+            )
+
+        # -- the dead threads' row slices, split across the survivors
+        segments = [row_part[t] for t in sorted(dead) if row_part[t][1]]
+        assign: list[list[tuple[int, int]]] = [[] for _ in survivors]
+        for ms, mlen in segments:
+            for s_idx, (off, ln) in enumerate(
+                partition_rows(mlen, len(survivors))
+            ):
+                if ln:
+                    assign[s_idx].append((ms + off, ln))
+        rec_counters = [Counters() for _ in survivors]
+
+        def recovery_worker(slot: int):
+            driver = BlockedGemm(cfg, counters=rec_counters[slot])
+            for r0, rlen in assign[slot]:
+                c_slice = c[r0 : r0 + rlen]
+                if beta != 0.0:
+                    c_slice[:] = c0[r0 : r0 + rlen]
+                driver.gemm(a[r0 : r0 + rlen], b, c_slice, alpha=alpha, beta=beta)
+            yield
+
+        if any(assign):
+            rec_team = make_team(len(survivors), self.backend)
+            rec_team.run(recovery_worker)
+            for rc in rec_counters:
+                _merge_counters(counters, rc)
+
+        # -- columns computed against a stale shared-B̃ chunk of a dead thread
+        n_j = len(j_blocks)
+        cols: set[int] = set()
+        for death in deaths:
+            for p_idx in range(len(p_blocks)):
+                for j_idx, (j0, jlen) in enumerate(j_blocks):
+                    t = p_idx * n_j + j_idx
+                    if 1 + 2 * t <= death.barrier:
+                        continue  # chunk was packed before the death
+                    n_panels_j = cfg.micro_panels_n(jlen)
+                    f0, cnt = partition_panels(n_panels_j, self.n_threads)[
+                        death.tid
+                    ]
+                    width = (
+                        min(cnt * cfg.nr, jlen - f0 * cfg.nr) if cnt else 0
+                    )
+                    if width > 0:
+                        col0 = j0 + f0 * cfg.nr
+                        cols.update(range(col0, col0 + width))
+        if cols:
+            jdx = np.asarray(sorted(cols), dtype=np.intp)
+            fresh = alpha * (a @ b[:, jdx])
+            if beta != 0.0:
+                fresh += beta * c0[:, jdx]
+            c[:, jdx] = fresh
+            counters.fma_flops += 2 * a.shape[0] * a.shape[1] * len(cols)
+            counters.blocks_recomputed += len(cols)
+
+        report = RecoveryReport(
+            thread_deaths=tuple((d.tid, d.barrier) for d in deaths),
+            recovered_rows=tuple(segments),
+            recovered_cols=tuple(sorted(cols)),
+            diagnosis=(
+                f"fail-stop: thread(s) {sorted(dead)} died mid-region; "
+                f"{len(survivors)} survivor(s) re-executed the dead row "
+                "partition and stale-B̃ columns were recomputed"
+            ),
+        )
+        report.rounds.append(
+            RecoveryRound(
+                0,
+                "thread_recovery",
+                "fail_stop",
+                False,
+                detail=(
+                    f"re-executed {sum(ln for _, ln in segments)} row(s) "
+                    f"across {len(survivors)} survivor(s); "
+                    f"recomputed {len(cols)} stale column(s)"
+                ),
+            )
+        )
+        return report

@@ -54,6 +54,9 @@ class FTGemmResult:
     reports: list[VerificationReport] = field(default_factory=list)
     verified: bool = True
     ft_enabled: bool = True
+    #: :class:`repro.core.supervisor.RecoveryReport` when the run needed
+    #: recovery beyond a clean first verification (None on the clean path)
+    recovery: object | None = None
 
     @property
     def detected(self) -> int:
@@ -74,9 +77,12 @@ class FTGemmResult:
 
     def summary(self) -> str:
         status = "verified" if self.verified else "UNVERIFIED"
-        return (
+        base = (
             f"FTGemmResult({self.c.shape[0]}x{self.c.shape[1]}, {status}, "
             f"detected={self.detected}, corrected={self.corrected}, "
             f"recomputed_lines={self.recomputed_blocks}, "
             f"verify_rounds={len(self.reports)})"
         )
+        if self.recovery is not None:
+            base += "\n  " + self.recovery.summary()
+        return base

@@ -105,8 +105,20 @@ class ChecksumLedger:
                     mine += theirs
 
 
+#: kernel sites whose sticky faults re-poison recomputed C lines (the
+#: recompute flows through the same packed-buffer path the fault lives in)
+_KERNEL_STICKY_SITES = ("microkernel", "pack_a", "pack_b")
+
+
 class Verifier:
-    """Runs the verify/correct/recompute loop for one GEMM call."""
+    """Runs the verify/correct/recompute loop for one GEMM call.
+
+    ``injector`` (optional) lets persistent faults behave persistently: a
+    recomputed line flows through the same stuck hardware, so the verifier
+    hands freshly recomputed data back to the injector for sticky
+    re-application. Plain recompute therefore cannot converge past a live
+    sticky fault — that is the escalation supervisor's job.
+    """
 
     def __init__(
         self,
@@ -118,6 +130,7 @@ class Verifier:
         c0: np.ndarray | None,
         config: FTGemmConfig,
         counters: Counters,
+        injector=None,
     ):
         self.a = a
         self.b = b
@@ -126,6 +139,14 @@ class Verifier:
         self.c0 = c0
         self.config = config
         self.counters = counters
+        self.injector = injector
+
+    def _poison(self, array: np.ndarray, sites: tuple[str, ...]) -> int:
+        """Sticky re-application hook; 0 when no live persistent faults."""
+        reapply = getattr(self.injector, "reapply_sticky", None)
+        if reapply is None:
+            return 0
+        return reapply(array, sites=sites)
 
     # ------------------------------------------------------------ tolerances
     def tolerances(self, ledger: ChecksumLedger) -> tuple[np.ndarray, np.ndarray]:
@@ -373,6 +394,9 @@ class Verifier:
             2 * self.a.size + 2 * self.b.size + c.shape[0] + c.shape[1]
         )
         self.counters.ft_extra_bytes += self.a.nbytes + self.b.nbytes
+        # a sticky fault in the checksum unit corrupts the re-derivation too
+        self._poison(ledger.row_pred, sites=("checksum",))
+        self._poison(ledger.col_pred, sites=("checksum",))
 
     def _refresh_refs(self, c: np.ndarray, ledger: ChecksumLedger) -> None:
         """Recompute reference checksums from C after it was modified."""
@@ -396,12 +420,14 @@ class Verifier:
             fresh = self.alpha * (self.a[idx, :] @ self.b)
             if self.beta != 0.0:
                 fresh += self.beta * self.c0[idx, :]
+            self._poison(fresh, sites=_KERNEL_STICKY_SITES)
             c[idx, :] = fresh
         if cols:
             jdx = np.asarray(cols, dtype=np.intp)
             fresh = self.alpha * (self.a @ self.b[:, jdx])
             if self.beta != 0.0:
                 fresh += self.beta * self.c0[:, jdx]
+            self._poison(fresh, sites=_KERNEL_STICKY_SITES)
             c[:, jdx] = fresh
         self.counters.blocks_recomputed += len(rows) + len(cols)
         k = self.a.shape[1]
@@ -409,3 +435,70 @@ class Verifier:
             len(rows) * c.shape[1] + len(cols) * c.shape[0]
         )
         return True
+
+
+def ledger_from_state(
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray,
+    *,
+    alpha: float,
+    beta: float,
+    c0: np.ndarray | None,
+    weighted: bool = False,
+    counters: Counters | None = None,
+) -> ChecksumLedger:
+    """Build a complete :class:`ChecksumLedger` from scratch.
+
+    Used by the recovery paths, where the fused per-block ledger cannot be
+    trusted: after a fail-stop (a dead thread's partial contributions and
+    stale shared reductions pollute every vector) or after the supervisor
+    recomputed suspect regions. Predictions and envelopes come from A, B
+    (and the preserved C₀), references from the current C. O(MK + KN + MN)
+    extra passes — recovery-path cost, never on the clean path.
+    """
+    m, k = a.shape
+    n = b.shape[1]
+    ledger = ChecksumLedger.zeros(m, n, weighted=weighted)
+    abs_a = np.abs(a)
+    abs_b = np.abs(b)
+    a_row = alpha * a.sum(axis=0)
+    abs_a_row = abs(alpha) * abs_a.sum(axis=0)
+    ledger.row_pred = a_row @ b
+    ledger.col_pred = alpha * (a @ b.sum(axis=1))
+    ledger.env_row = abs_a_row @ abs_b
+    ledger.env_col = abs(alpha) * (abs_a @ abs_b.sum(axis=1))
+    if weighted:
+        w_m = np.arange(1.0, m + 1.0)
+        w_n = np.arange(1.0, n + 1.0)
+        ledger.row_pred_w = alpha * ((w_m @ a) @ b)
+        ledger.col_pred_w = alpha * (a @ (b @ w_n))
+    if beta != 0.0 and c0 is not None:
+        abs_c0 = np.abs(c0)
+        ledger.row_pred += beta * c0.sum(axis=0)
+        ledger.col_pred += beta * c0.sum(axis=1)
+        ledger.c0_abs_row = abs_c0.sum(axis=0)
+        ledger.c0_abs_col = abs_c0.sum(axis=1)
+        if weighted:
+            ledger.row_pred_w += beta * (w_m @ c0)
+            ledger.col_pred_w += beta * (c0 @ w_n)
+    ledger.row_ref = c.sum(axis=0)
+    ledger.col_ref = c.sum(axis=1)
+    if weighted:
+        ledger.row_ref_w = w_m @ c
+        ledger.col_ref_w = c @ w_n
+    if counters is not None:
+        counters.checksum_flops += 4 * a.size + 4 * b.size + 2 * c.size
+        counters.ft_extra_bytes += a.nbytes + b.nbytes + c.nbytes
+    return ledger
+
+
+def copy_ledger_into(src: ChecksumLedger, dst: ChecksumLedger) -> None:
+    """Overwrite ``dst``'s vectors with ``src``'s (callers hold references
+    to the ledger object, so recovery replaces its contents in place)."""
+    for name in (
+        "row_pred", "col_pred", "row_ref", "col_ref", "env_row", "env_col",
+        "c0_abs_row", "c0_abs_col",
+        "row_pred_w", "col_pred_w", "row_ref_w", "col_ref_w",
+    ):
+        setattr(dst, name, getattr(src, name))

@@ -22,6 +22,10 @@ from repro.faults.models import (
     Additive,
     StuckValue,
     Scaling,
+    StuckBit,
+    RowBurst,
+    ColBurst,
+    FailStop,
 )
 from repro.faults.sites import (
     SITE_MICROKERNEL,
@@ -41,6 +45,7 @@ from repro.faults.campaign import (
     plan_for_gemm,
     site_invocation_counts,
     site_invocation_counts_parallel,
+    parallel_thread_map,
 )
 
 __all__ = [
@@ -49,6 +54,10 @@ __all__ = [
     "Additive",
     "StuckValue",
     "Scaling",
+    "StuckBit",
+    "RowBurst",
+    "ColBurst",
+    "FailStop",
     "SITE_MICROKERNEL",
     "SITE_PACK_A",
     "SITE_PACK_B",
@@ -66,6 +75,7 @@ __all__ = [
     "plan_for_gemm",
     "site_invocation_counts",
     "site_invocation_counts_parallel",
+    "parallel_thread_map",
     "magnitude_sweep",
     "site_coverage",
 ]

@@ -60,6 +60,85 @@ def site_invocation_counts(
     }
 
 
+def parallel_thread_map(
+    m: int,
+    n: int,
+    k: int,
+    config: BlockingConfig,
+    n_threads: int,
+    *,
+    beta: float = 0.0,
+    ft: bool = True,
+    dmr_protect_scale: bool = True,
+    mode: str = "tile",
+) -> dict[str, list[list[int]]]:
+    """The canonical per-thread invocation numbering of a parallel call.
+
+    Walks the worker's program exactly — barrier segment by barrier segment,
+    threads in ascending id within a segment, program order within a thread
+    — and assigns every ``visit`` a canonical invocation index (the index it
+    holds in the identity-order simulated schedule). The result maps
+    ``site → [per-thread list of canonical indices, in that thread's visit
+    order]``; binding it to a :class:`~repro.faults.injector.FaultInjector`
+    makes strike placement identical across team backends and step orders.
+
+    ``mode="batched"`` drops the per-tile micro-kernel visits (the batched
+    macro kernel has no per-tile hook), matching the driver's dispatch.
+    """
+    from repro.parallel.partition import partition_panels, partition_rows
+
+    row_part = partition_rows(m, n_threads)
+    p_blocks = list(iter_blocks(k, config.kc))
+    j_blocks = list(iter_blocks(n, config.nc))
+    tmap: dict[str, list[list[int]]] = {
+        site: [[] for _ in range(n_threads)]
+        for site in ("microkernel", "pack_a", "pack_b", "scale", "checksum")
+    }
+    counters = {site: 0 for site in tmap}
+
+    def emit(site: str, tid: int, times: int = 1) -> None:
+        lane = tmap[site][tid]
+        for _ in range(times):
+            lane.append(counters[site])
+            counters[site] += 1
+
+    # prologue segment: A^r partial + (DMR-)scaling, fused C encodings
+    for tid, (_ms, mlen) in enumerate(row_part):
+        if not mlen:
+            continue
+        if ft:
+            emit("checksum", tid)
+            if not dmr_protect_scale or beta != 1.0:
+                emit("scale", tid)
+            emit("checksum", tid)
+        else:
+            emit("scale", tid)
+    for _p0, plen in p_blocks:
+        for j0, jlen in j_blocks:
+            n_panels_j = config.micro_panels_n(jlen)
+            panel_part = partition_panels(n_panels_j, n_threads)
+            # pack segment: cooperative B̃ packing, N-partitioned
+            for tid, (f0, cnt) in enumerate(panel_part):
+                width = min(cnt * config.nr, jlen - f0 * config.nr) if cnt else 0
+                if width > 0:
+                    if ft:
+                        emit("checksum", tid)
+                    emit("pack_b", tid)
+            # macro segment: each thread sweeps its own row slice
+            for tid, (_ms, mlen) in enumerate(row_part):
+                for _ioff, ilen in iter_blocks(mlen, config.mc) if mlen else []:
+                    if ft:
+                        emit("checksum", tid)
+                    emit("pack_a", tid)
+                    if mode == "tile":
+                        emit(
+                            "microkernel",
+                            tid,
+                            times=config.micro_panels_m(ilen) * n_panels_j,
+                        )
+    return tmap
+
+
 def site_invocation_counts_parallel(
     m: int,
     n: int,
@@ -73,39 +152,10 @@ def site_invocation_counts_parallel(
 
     The parallel worker visits sites per thread (each thread packs its own
     B̃ chunk and its own Ã blocks), so counts depend on the row partition
-    and the panel partition — mirrored exactly here.
+    and the panel partition — totals of :func:`parallel_thread_map`.
     """
-    from repro.parallel.partition import partition_panels, partition_rows
-
-    row_part = partition_rows(m, n_threads)
-    p_blocks = list(iter_blocks(k, config.kc))
-    j_blocks = list(iter_blocks(n, config.nc))
-    threads_nz = sum(1 for _, mlen in row_part if mlen > 0)
-
-    pack_b = 0
-    pack_a = 0
-    tiles = 0
-    checksum = 2 * threads_nz
-    for _p0, _plen in p_blocks:
-        for _j0, jlen in j_blocks:
-            n_panels_j = config.micro_panels_n(jlen)
-            packers = sum(
-                1 for _f0, cnt in partition_panels(n_panels_j, n_threads) if cnt > 0
-            )
-            pack_b += packers
-            checksum += packers
-            for _ms, mlen in row_part:
-                for _ioff, ilen in iter_blocks(mlen, config.mc) if mlen else []:
-                    pack_a += 1
-                    checksum += 1
-                    tiles += config.micro_panels_m(ilen) * n_panels_j
-    return {
-        "microkernel": tiles,
-        "pack_a": pack_a,
-        "pack_b": pack_b,
-        "scale": threads_nz if beta != 1.0 else 0,
-        "checksum": checksum,
-    }
+    tmap = parallel_thread_map(m, n, k, config, n_threads, beta=beta)
+    return {site: sum(len(lane) for lane in lanes) for site, lanes in tmap.items()}
 
 
 def plan_for_gemm(
@@ -187,6 +237,9 @@ class CampaignConfig:
     seed: int = 0
     alpha: float = 1.0
     beta: float = 0.0
+    #: fail-stop faults (thread deaths) attached to every run's plan,
+    #: executed by the parallel team backends
+    fail_stops: tuple = ()
 
     def __post_init__(self) -> None:
         if (self.errors_per_call is None) == (self.rate_per_minute is None):
@@ -211,6 +264,14 @@ class CampaignResult:
     correct_results: int = 0
     max_final_error: float = 0.0
     per_run_injected: list[int] = field(default_factory=list)
+    #: runs that finished with ``verified=False`` (non-strict configs only)
+    unverified_runs: int = 0
+    #: thread deaths executed across all runs (fail-stop campaigns)
+    thread_deaths: int = 0
+    #: runs whose recovery escalated past plain ABFT correct/recompute
+    escalations: int = 0
+    #: per-site injected/detected/corrected/uncorrected aggregates
+    per_site: dict[str, dict[str, int]] = field(default_factory=dict)
 
     @property
     def all_correct(self) -> bool:
@@ -219,6 +280,15 @@ class CampaignResult:
     @property
     def detection_rate(self) -> float:
         return self.detected / self.injected if self.injected else 1.0
+
+    def merge_site_outcomes(self, outcomes: dict[str, dict[str, int]]) -> None:
+        for site, row in outcomes.items():
+            mine = self.per_site.setdefault(
+                site,
+                {"injected": 0, "detected": 0, "corrected": 0, "uncorrected": 0},
+            )
+            for key, value in row.items():
+                mine[key] += value
 
 
 def run_campaign(config: CampaignConfig, ft_gemm=None) -> CampaignResult:
@@ -268,6 +338,10 @@ def run_campaign(config: CampaignConfig, ft_gemm=None) -> CampaignResult:
             beta=config.beta,
             counts=counts,
         )
+        if config.fail_stops:
+            from dataclasses import replace
+
+            plan = replace(plan, fail_stops=tuple(config.fail_stops))
         injector = FaultInjector(plan)
         c = None if c0 is None else c0.copy()
         ft_result = ft_gemm.gemm(
@@ -285,4 +359,10 @@ def run_campaign(config: CampaignConfig, ft_gemm=None) -> CampaignResult:
         result.correct_results += int(ok)
         result.max_final_error = max(result.max_final_error, err)
         result.per_run_injected.append(injector.n_injected)
+        result.unverified_runs += int(not ft_result.verified)
+        recovery = getattr(ft_result, "recovery", None)
+        if recovery is not None:
+            result.thread_deaths += len(recovery.thread_deaths)
+            result.escalations += int(recovery.escalated)
+        result.merge_site_outcomes(injector.site_outcomes())
     return result

@@ -3,15 +3,30 @@
 :class:`FaultInjector` follows a deterministic :class:`InjectionPlan`: the
 plan names, per site, the *invocation indices* at which to strike (e.g. "the
 37th micro-kernel tile of this GEMM call"). The injector keeps per-site
-invocation counters, corrupts one element of the array it is handed when a
-scheduled index comes up, and records every strike as an
-:class:`InjectionRecord` so campaigns can check detection coverage strike by
-strike.
+invocation counters, corrupts one element (or, for burst models, a run of
+elements) of the array it is handed when a scheduled index comes up, and
+records every strike as an :class:`InjectionRecord` so campaigns can check
+detection coverage strike by strike.
 
 Determinism matters twice: the paper's experiments are repeated twenty times
 (we want bit-identical reruns), and the parallel scheme executes hooks from
-several simulated threads (victim choices must not depend on interleaving —
-hence one RNG per record drawn from the plan, not from a shared stream).
+several threads. Two mechanisms make parallel injection schedule-independent:
+
+- the victim RNG is derived from ``(plan.seed, site, invocation)``, never
+  from a shared stream, so *which element* is corrupted does not depend on
+  interleaving;
+- when the driver binds a *thread map* (see
+  :func:`repro.faults.campaign.parallel_thread_map`), each ``visit`` carries
+  the calling thread id and is translated to its canonical invocation index
+  — the index it would have in the deterministic simulated schedule — so
+  *which visit* is struck is interleaving-independent too, even on real OS
+  threads or permuted simulated step orders.
+
+Persistent (``model.persistent``) strikes additionally enter a sticky
+registry: every later visit to the struck site re-applies the corruption
+(the stuck latch is still stuck), and the verification layer re-poisons
+recomputed lines through :meth:`FaultInjector.reapply_sticky` until the
+supervisor quarantines the fault.
 """
 
 from __future__ import annotations
@@ -20,10 +35,17 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.faults.models import FaultModel, default_model
+from repro.faults.models import FailStop, FaultModel, default_model
 from repro.faults.sites import ALL_SITES, validate_site
-from repro.util.errors import ConfigError
+from repro.util.errors import ConfigError, SimulationError
 from repro.util.rng import derive_seed
+
+#: kernel-site sticky faults re-poison a recomputed line once per packed
+#: micro-panel that flows through the stuck buffer slot; this is the modeled
+#: panel width (elements per pass over the stuck slot)
+_REPLAY_PERIOD = 8
+
+_KERNEL_SITES = ("microkernel", "pack_a", "pack_b")
 
 
 @dataclass
@@ -39,10 +61,26 @@ class InjectionRecord:
     #: filled in by the verification layer when the strike is detected
     detected: bool = False
     corrected: bool = False
+    #: thread that executed the struck visit (None for serial drivers)
+    tid: int | None = None
+    #: elements corrupted by this strike (> 1 for burst models)
+    n_elements: int = 1
+    #: True when the fault entered the sticky registry (persistent models)
+    persistent: bool = False
 
     @property
     def magnitude(self) -> float:
         return abs(self.new_value - self.old_value)
+
+
+@dataclass
+class _StickyFault:
+    """A live persistent fault: re-applies until quarantined."""
+
+    site: str
+    flat_index: int
+    model: FaultModel
+    reapplied: int = 0
 
 
 @dataclass(frozen=True)
@@ -50,12 +88,14 @@ class InjectionPlan:
     """Which invocations of which sites get corrupted.
 
     ``schedule`` maps site → sorted tuple of 0-based invocation indices.
-    ``seed`` drives victim-element and bit choices.
+    ``seed`` drives victim-element and bit choices. ``fail_stops`` lists
+    thread deaths (executed by the team backends, not by ``visit``).
     """
 
     schedule: dict[str, tuple[int, ...]]
     model: FaultModel = field(default_factory=default_model)
     seed: int = 0
+    fail_stops: tuple[FailStop, ...] = ()
 
     def __post_init__(self) -> None:
         for site, indices in self.schedule.items():
@@ -65,6 +105,11 @@ class InjectionPlan:
             if list(indices) != sorted(set(indices)):
                 raise ConfigError(
                     f"schedule for {site!r} must be sorted and duplicate-free"
+                )
+        for stop in self.fail_stops:
+            if not isinstance(stop, FailStop):
+                raise ConfigError(
+                    f"fail_stops entries must be FailStop, got {stop!r}"
                 )
 
     @property
@@ -93,45 +138,162 @@ class FaultInjector:
         self.plan = plan
         self.records: list[InjectionRecord] = []
         self._counters: dict[str, int] = {site: 0 for site in ALL_SITES}
-        self._pending: dict[str, list[int]] = {
-            site: list(indices) for site, indices in plan.schedule.items()
+        self._scheduled: dict[str, frozenset[int]] = {
+            site: frozenset(indices) for site, indices in plan.schedule.items()
         }
+        self._struck: set[tuple[str, int]] = set()
+        self._thread_map: dict[str, list[list[int]]] | None = None
+        self._tid_counters: dict[tuple[str, int], int] = {}
+        self._sticky: list[_StickyFault] = []
+        self._quarantined: list[_StickyFault] = []
+        #: total sticky re-applications performed (all sites)
+        self.sticky_reapplied = 0
+
+    # ------------------------------------------------------------ thread map
+    def bind_thread_map(self, thread_map: dict[str, list[list[int]]]) -> None:
+        """Attach the canonical per-thread invocation map for a parallel run.
+
+        After binding, a ``visit(site, array, tid=t)`` is numbered by the
+        canonical schedule (``thread_map[site][t][k]`` for the thread's
+        k-th visit of the site) instead of by global arrival order, which
+        makes strike placement identical across team backends and step
+        orders. Call once per GEMM, before the parallel region.
+        """
+        self._thread_map = thread_map
+        self._tid_counters = {}
+
+    def _next_invocation(self, site: str, tid: int | None) -> int:
+        if tid is None or self._thread_map is None:
+            invocation = self._counters[site]
+        else:
+            lanes = self._thread_map.get(site, [])
+            key = (site, tid)
+            pos = self._tid_counters.get(key, 0)
+            self._tid_counters[key] = pos + 1
+            lane = lanes[tid] if tid < len(lanes) else []
+            if pos >= len(lane):
+                raise SimulationError(
+                    f"thread {tid} visited {site!r} {pos + 1} times but the "
+                    f"bound thread map only lists {len(lane)} visits — the "
+                    "map was built for a different call shape"
+                )
+            invocation = lane[pos]
+        self._counters[site] += 1
+        return invocation
 
     # ------------------------------------------------------------------ hook
-    def visit(self, site: str, array: np.ndarray) -> bool:
+    def visit(self, site: str, array: np.ndarray, tid: int | None = None) -> bool:
         """The driver hook: called once per invocation of ``site``.
 
-        Corrupts one element of ``array`` (a writable view of live state)
-        in place if this invocation is scheduled. Returns True on a strike.
+        Corrupts element(s) of ``array`` (a writable view of live state)
+        in place if this invocation is scheduled, then re-applies any live
+        sticky faults registered for the site. Returns True on a new strike.
         """
         validate_site(site)
-        invocation = self._counters[site]
-        self._counters[site] = invocation + 1
-        pending = self._pending.get(site)
-        if not pending or pending[0] != invocation:
-            return False
-        pending.pop(0)
-        if array.size == 0:
-            return False
-        rng = np.random.default_rng(
-            derive_seed(self.plan.seed, site, invocation)
-        )
-        flat_idx = int(rng.integers(array.size))
-        index = np.unravel_index(flat_idx, array.shape)
-        old = float(array[index])
-        new = self.plan.model.apply(old, rng)
-        array[index] = new
-        self.records.append(
-            InjectionRecord(
-                site=site,
-                invocation=invocation,
-                index=tuple(int(i) for i in index),
-                old_value=old,
-                new_value=new,
-                model=self.plan.model.describe(),
+        invocation = self._next_invocation(site, tid)
+        struck = False
+        scheduled = self._scheduled.get(site)
+        if (
+            scheduled is not None
+            and invocation in scheduled
+            and (site, invocation) not in self._struck
+            and array.size > 0
+        ):
+            self._struck.add((site, invocation))
+            rng = np.random.default_rng(
+                derive_seed(self.plan.seed, site, invocation)
             )
-        )
-        return True
+            flat_idx = int(rng.integers(array.size))
+            index = np.unravel_index(flat_idx, array.shape)
+            touched = self.plan.model.strike(array, index, rng)
+            first_index, old, new = touched[0]
+            self.records.append(
+                InjectionRecord(
+                    site=site,
+                    invocation=invocation,
+                    index=first_index,
+                    old_value=old,
+                    new_value=new,
+                    model=self.plan.model.describe(),
+                    tid=tid,
+                    n_elements=len(touched),
+                    persistent=self.plan.model.persistent,
+                )
+            )
+            if self.plan.model.persistent:
+                for elem_index, _old, _new in touched:
+                    self._sticky.append(
+                        _StickyFault(
+                            site=site,
+                            flat_index=int(
+                                np.ravel_multi_index(elem_index, array.shape)
+                            ),
+                            model=self.plan.model,
+                        )
+                    )
+            struck = True
+        if self._sticky:
+            self._reapply_site(site, array)
+        return struck
+
+    def _reapply_site(self, site: str, array: np.ndarray) -> None:
+        """Re-corrupt one element per live sticky fault of ``site`` — the
+        stuck buffer slot strikes whatever data flows through it next."""
+        if array.size == 0:
+            return
+        for fault in self._sticky:
+            if fault.site != site:
+                continue
+            index = np.unravel_index(fault.flat_index % array.size, array.shape)
+            array[index] = fault.model.reapply(float(array[index]))
+            fault.reapplied += 1
+            self.sticky_reapplied += 1
+
+    # -------------------------------------------------- persistent machinery
+    @property
+    def has_persistent(self) -> bool:
+        """True while un-quarantined sticky faults are live."""
+        return bool(self._sticky)
+
+    def reapply_sticky(
+        self, array: np.ndarray, *, sites: tuple[str, ...] | None = None
+    ) -> int:
+        """Re-poison freshly recomputed data (the verification layer's
+        recompute flows through the same stuck hardware).
+
+        Kernel-site faults corrupt once per modeled packed panel
+        (``_REPLAY_PERIOD`` elements) — a recomputed line passes through the
+        stuck slot once per panel, so plain recompute keeps re-introducing
+        errors and can never converge. Other sites corrupt one element.
+        Returns the number of elements corrupted.
+        """
+        if array.size == 0 or not self._sticky:
+            return 0
+        n = 0
+        for fault in self._sticky:
+            if sites is not None and fault.site not in sites:
+                continue
+            if fault.site in _KERNEL_SITES:
+                start = fault.flat_index % _REPLAY_PERIOD
+                positions = range(start, array.size, _REPLAY_PERIOD)
+            else:
+                positions = (fault.flat_index % array.size,)
+            for pos in positions:
+                index = np.unravel_index(pos, array.shape)
+                array[index] = fault.model.reapply(float(array[index]))
+                n += 1
+            fault.reapplied += 1
+        self.sticky_reapplied += n
+        return n
+
+    def quarantine(self) -> tuple[tuple[str, int], ...]:
+        """Retire every live sticky fault (the supervisor declared its
+        region suspect and routes around it). Returns ``(site, flat_index)``
+        descriptors of what was quarantined."""
+        retired = tuple((f.site, f.flat_index) for f in self._sticky)
+        self._quarantined.extend(self._sticky)
+        self._sticky.clear()
+        return retired
 
     # ------------------------------------------------------------- reporting
     @property
@@ -140,7 +302,17 @@ class FaultInjector:
 
     @property
     def n_pending(self) -> int:
-        return sum(len(v) for v in self._pending.values())
+        return sum(len(v) for v in self._scheduled.values()) - len(self._struck)
+
+    @property
+    def canonical_records(self) -> list[InjectionRecord]:
+        """Records in canonical ``(site, invocation)`` order — identical
+        across team backends and step orders for the same plan."""
+        return sorted(self.records, key=lambda r: (r.site, r.invocation))
+
+    def targets_site(self, site: str) -> bool:
+        """Whether the plan schedules any strike at ``site``."""
+        return bool(self._scheduled.get(validate_site(site)))
 
     def invocations(self, site: str) -> int:
         """How many times ``site`` was visited so far."""
@@ -157,8 +329,32 @@ class FaultInjector:
                 rec.detected = True
                 remaining -= 1
 
+    def mark_corrected(self, n: int) -> None:
+        """Flag the first ``n`` uncorrected records as corrected."""
+        remaining = n
+        for rec in self.records:
+            if remaining <= 0:
+                break
+            if not rec.corrected:
+                rec.corrected = True
+                remaining -= 1
+
     def summary(self) -> dict[str, int]:
         per_site: dict[str, int] = {}
         for rec in self.records:
             per_site[rec.site] = per_site.get(rec.site, 0) + 1
         return per_site
+
+    def site_outcomes(self) -> dict[str, dict[str, int]]:
+        """Per-site injected/detected/corrected/uncorrected counts."""
+        outcomes: dict[str, dict[str, int]] = {}
+        for rec in self.records:
+            row = outcomes.setdefault(
+                rec.site,
+                {"injected": 0, "detected": 0, "corrected": 0, "uncorrected": 0},
+            )
+            row["injected"] += 1
+            row["detected"] += int(rec.detected)
+            row["corrected"] += int(rec.corrected)
+            row["uncorrected"] += int(not rec.corrected)
+        return outcomes

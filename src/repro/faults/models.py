@@ -24,12 +24,37 @@ from repro.util.errors import ConfigError
 
 @dataclass(frozen=True)
 class FaultModel:
-    """Base class; subclasses implement :meth:`apply` on a scalar float."""
+    """Base class; subclasses implement :meth:`apply` on a scalar float.
+
+    ``persistent`` marks stuck-at faults: the injector keeps a sticky
+    registry for them and re-applies :meth:`reapply` on every later visit
+    to the struck site — recompute alone can never converge past one.
+    Multi-element models override :meth:`strike` instead of :meth:`apply`.
+    """
 
     name: str = "identity"
 
+    #: persistent faults re-strike the same site/element on every visit
+    persistent = False
+
     def apply(self, value: float, rng: np.random.Generator) -> float:
         raise NotImplementedError
+
+    def reapply(self, value: float) -> float:
+        """Deterministic re-application for persistent models (no RNG: a
+        stuck circuit corrupts the same way every time)."""
+        return value
+
+    def strike(
+        self, array: np.ndarray, index: tuple[int, ...], rng: np.random.Generator
+    ) -> list[tuple[tuple[int, ...], float, float]]:
+        """Corrupt ``array`` in place starting at ``index``; returns the
+        ``(index, old, new)`` list of every element touched. The default is
+        the single-element scalar model; burst models widen it."""
+        old = float(array[index])
+        new = self.apply(old, rng)
+        array[index] = new
+        return [(tuple(int(i) for i in index), old, new)]
 
     def describe(self) -> str:
         return self.name
@@ -106,6 +131,134 @@ class Scaling(FaultModel):
 
     def apply(self, value: float, rng: np.random.Generator) -> float:
         return value * self.factor
+
+
+def _force_bit(value: float, bit: int, stuck_at: int) -> float:
+    raw = np.float64(value).view(np.uint64)
+    mask = np.uint64(1 << bit)
+    forced = (raw | mask) if stuck_at else (raw & ~mask)
+    return float(forced.view(np.float64))
+
+
+@dataclass(frozen=True)
+class StuckBit(FaultModel):
+    """A *persistent* stuck-at fault: one bit of the victim is forced to a
+    fixed level, and — unlike a transient flip — the same corruption
+    re-applies every time the struck site is revisited (the stuck latch is
+    still stuck when a recompute flows through the same buffer). Detection
+    is the ordinary checksum mismatch; recovery requires quarantining the
+    region and recomputing through *fresh* storage (the escalation
+    supervisor's repack path).
+    """
+
+    name: str = "stuckbit"
+    bit: int = 54
+    stuck_at: int = 1
+
+    persistent = True
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.bit <= 63:
+            raise ConfigError(f"bit must be in [0, 63], got {self.bit}")
+        if self.stuck_at not in (0, 1):
+            raise ConfigError(f"stuck_at must be 0 or 1, got {self.stuck_at}")
+
+    def apply(self, value: float, rng: np.random.Generator) -> float:
+        return _force_bit(value, self.bit, self.stuck_at)
+
+    def reapply(self, value: float) -> float:
+        return _force_bit(value, self.bit, self.stuck_at)
+
+
+@dataclass(frozen=True)
+class _Burst(FaultModel):
+    """Shared machinery of the burst models: ``width`` consecutive elements
+    along one axis each take an independent bit flip, defeating the
+    single-error (row, column) localization that in-place correction needs.
+    """
+
+    name: str = "burst"
+    width: int = 4
+    bit_range: tuple[int, int] = (48, 58)
+
+    #: which axis the run follows: -1 = fastest (a row of C), 0 = slowest
+    _axis = -1
+
+    def __post_init__(self) -> None:
+        if self.width < 2:
+            raise ConfigError(f"burst width must be >= 2, got {self.width}")
+        lo, hi = self.bit_range
+        if not (0 <= lo <= hi <= 63):
+            raise ConfigError(f"bit_range must be within [0, 63], got {self.bit_range}")
+
+    def apply(self, value: float, rng: np.random.Generator) -> float:
+        lo, hi = self.bit_range
+        bit = int(rng.integers(lo, hi + 1))
+        raw = np.float64(value).view(np.uint64)
+        return float((raw ^ np.uint64(1 << bit)).view(np.float64))
+
+    def strike(
+        self, array: np.ndarray, index: tuple[int, ...], rng: np.random.Generator
+    ) -> list[tuple[tuple[int, ...], float, float]]:
+        axis = self._axis if array.ndim > 1 else -1
+        axis = axis % array.ndim
+        touched = []
+        idx = list(index)
+        start = idx[axis]
+        stop = min(start + self.width, array.shape[axis])
+        for pos in range(start, stop):
+            idx[axis] = pos
+            here = tuple(idx)
+            old = float(array[here])
+            new = self.apply(old, rng)
+            array[here] = new
+            touched.append((tuple(int(i) for i in here), old, new))
+        return touched
+
+
+@dataclass(frozen=True)
+class RowBurst(_Burst):
+    """Multi-element strike along the fastest axis — in a C tile this spans
+    several *columns* of one row, so the row/column residual intersection is
+    ambiguous and the verifier must fall back to line recomputation."""
+
+    name: str = "rowburst"
+
+    _axis = -1
+
+
+@dataclass(frozen=True)
+class ColBurst(_Burst):
+    """Multi-element strike down the slowest axis — several *rows* of one
+    column in a C tile; the column-recompute dual of :class:`RowBurst`."""
+
+    name: str = "colburst"
+
+    _axis = 0
+
+
+@dataclass(frozen=True)
+class FailStop(FaultModel):
+    """A fail-stop fault: simulated thread ``thread`` dies on arrival at
+    barrier ``barrier`` (0-based, counting the worker's yields). It carries
+    no data corruption — :meth:`apply` is the identity — because the damage
+    is *missing* work: unexecuted macro phases and a stale shared-B̃ chunk.
+    Carried on :class:`~repro.faults.injector.InjectionPlan.fail_stops` and
+    executed by the team backends, not by the element injector.
+    """
+
+    name: str = "failstop"
+    thread: int = 0
+    barrier: int = 0
+
+    def __post_init__(self) -> None:
+        if self.thread < 0:
+            raise ConfigError(f"thread must be non-negative, got {self.thread}")
+        if self.barrier < 0:
+            raise ConfigError(f"barrier must be non-negative, got {self.barrier}")
+
+    def apply(self, value: float, rng: np.random.Generator) -> float:
+        return value
 
 
 def default_model() -> FaultModel:

@@ -1,19 +1,11 @@
 """Injection sites: the instrumented points of the FT-GEMM pipeline.
 
 Mirrors where the paper's source-level injector strikes ("into each of our
-computing kernels"). Each site corresponds to one hook the drivers invoke:
-
-- ``microkernel`` — the freshly computed C tile after a rank-K_C update; a
-  fault here models a wrong FMA result still in registers. Detected by the
-  reference-vs-predicted checksum mismatch and usually *corrected* in place.
-- ``pack_a`` / ``pack_b`` — a corrupted element of a packed buffer; the
-  error spreads along a whole row/column strip of C, producing multi-column
-  (or multi-row) residual patterns that force block recomputation.
-- ``scale`` — the ``C = βC`` pass; protected by DMR (the pass is duplicated
-  and compared) because it happens before checksums exist.
-- ``checksum`` — corruption of a checksum vector itself; shows up as a
-  one-sided residual, resolved by re-deriving the checksum, never by
-  touching C.
+computing kernels"). Each site corresponds to one hook the drivers invoke;
+what a strike at each site *does* depends on the fault model riding on it
+(transient, persistent, burst, or fail-stop). The full taxonomy —
+site × duration × detection mechanism × recovery path — lives in the
+fault-taxonomy table in ``DESIGN.md`` (mirrored in ``docs/TUTORIAL.md``).
 """
 
 from __future__ import annotations

@@ -1,4 +1,4 @@
-"""Thread teams with OpenMP-style barrier semantics.
+"""Thread teams with OpenMP-style barrier semantics and fail-stop survival.
 
 A *worker* is a generator function ``worker(tid) -> Iterator[None]`` whose
 ``yield`` statements are barriers: every thread must reach the same yield
@@ -14,29 +14,79 @@ Two backends:
   which is *one* legal OpenMP interleaving; code whose result depends on
   intra-round order is racy and the property tests hunt for that by
   comparing against the rotated-order team.
-- :class:`ThreadTeam` runs each worker on an OS thread with a shared
-  :class:`threading.Barrier`. NumPy kernels release the GIL, so the packing
-  and macro-kernel phases genuinely overlap.
+- :class:`ThreadTeam` runs each worker on an OS thread with a monitored
+  barrier. NumPy kernels release the GIL, so the packing and macro-kernel
+  phases genuinely overlap.
+
+Fail-stop faults (:class:`repro.faults.models.FailStop`) kill a chosen
+thread on arrival at a chosen barrier — its segment work is done, but it
+never passes the barrier again. Both backends *detect* the death rather
+than deadlock: the simulated team notices the missed barrier in its
+round-robin accounting; the threaded team's survivors poll while stalled
+at the barrier and remove parties that exited without completing
+(timeout-based liveness detection, the practical fail-stop detector of
+MPI/ULFM-style runtimes). Deaths are recorded on ``team.deaths`` so the
+driver can run a recovery epoch; the team itself never repairs data.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Callable, Iterator
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
 
 from repro.util.errors import ConfigError, SimulationError
 
 Worker = Callable[[int], Iterator[None]]
 
 
+@dataclass(frozen=True)
+class ThreadDeath:
+    """One fail-stop event observed during a parallel region."""
+
+    tid: int
+    #: barrier index the thread died at (its segment work up to this
+    #: barrier completed; the barrier itself was never passed)
+    barrier: int
+    #: barrier index at which the survivors noticed the death
+    detected_at: int
+
+
+def _kill_schedule(fail_stops: Iterable) -> dict[int, int]:
+    """``tid → earliest kill barrier`` from FailStop-like objects."""
+    kills: dict[int, int] = {}
+    for stop in fail_stops:
+        tid = stop.thread
+        barrier = stop.barrier
+        if tid in kills:
+            kills[tid] = min(kills[tid], barrier)
+        else:
+            kills[tid] = barrier
+    return kills
+
+
 class Team:
     """Common interface: ``run(worker)`` executes one parallel region."""
 
-    def __init__(self, n_threads: int):
+    def __init__(self, n_threads: int, fail_stops: Iterable = ()):
         if n_threads <= 0:
             raise ConfigError(f"n_threads must be positive, got {n_threads}")
         self.n_threads = n_threads
         self.barriers_executed = 0
+        self._kills = _kill_schedule(fail_stops)
+        for tid in self._kills:
+            if tid >= n_threads:
+                raise ConfigError(
+                    f"fail-stop targets thread {tid} but the team has "
+                    f"{n_threads} threads"
+                )
+        #: fail-stop events observed during the last ``run``
+        self.deaths: list[ThreadDeath] = []
+
+    @property
+    def dead_tids(self) -> set[int]:
+        return {d.tid for d in self.deaths}
 
     def run(self, worker: Worker) -> None:
         raise NotImplementedError
@@ -47,10 +97,18 @@ class SimulatedTeam(Team):
 
     ``order`` optionally permutes the within-round step order (default
     ``0..T-1``); campaigns use rotated orders to check schedule-independence.
+    A fail-stop kill closes the victim's generator when it arrives at the
+    scheduled barrier; the missed-barrier accounting (the thread is absent
+    from every later round) is how the death is "detected" here.
     """
 
-    def __init__(self, n_threads: int, order: list[int] | None = None):
-        super().__init__(n_threads)
+    def __init__(
+        self,
+        n_threads: int,
+        order: list[int] | None = None,
+        fail_stops: Iterable = (),
+    ):
+        super().__init__(n_threads, fail_stops)
         if order is None:
             order = list(range(n_threads))
         if sorted(order) != list(range(n_threads)):
@@ -60,10 +118,13 @@ class SimulatedTeam(Team):
         self.order = order
 
     def run(self, worker: Worker) -> None:
+        self.deaths = []
         gens = {tid: worker(tid) for tid in range(self.n_threads)}
         live: dict[int, Iterator[None]] = dict(gens)
+        barrier_counts = {tid: 0 for tid in gens}
         while live:
             finished: list[int] = []
+            died: list[int] = []
             for tid in self.order:
                 if tid not in live:
                     continue
@@ -71,7 +132,17 @@ class SimulatedTeam(Team):
                     next(live[tid])
                 except StopIteration:
                     finished.append(tid)
-            for tid in finished:
+                    continue
+                arrived_at = barrier_counts[tid]
+                if self._kills.get(tid) == arrived_at:
+                    live[tid].close()
+                    died.append(tid)
+                    self.deaths.append(
+                        ThreadDeath(tid, barrier=arrived_at, detected_at=arrived_at)
+                    )
+                    continue
+                barrier_counts[tid] += 1
+            for tid in finished + died:
                 del live[tid]
             if live and finished:
                 raise SimulationError(
@@ -82,35 +153,144 @@ class SimulatedTeam(Team):
                 self.barriers_executed += 1
 
 
-class ThreadTeam(Team):
-    """Real OS threads joined by a :class:`threading.Barrier` at each yield."""
+class _MonitoredBarrier:
+    """A shrinkable barrier with stall-driven liveness detection.
 
-    def __init__(self, n_threads: int, timeout: float | None = 60.0):
-        super().__init__(n_threads)
+    Like :class:`threading.Barrier`, but a waiter that stalls past the poll
+    interval invokes ``on_stall(generation)``, which may report newly
+    detected dead parties; the barrier then shrinks and releases the
+    survivors. ``timeout`` still bounds a genuinely wedged region.
+    """
+
+    def __init__(self, parties: int, *, poll: float = 0.01, timeout: float = 60.0):
+        self._cond = threading.Condition()
+        self.parties = parties
+        self._count = 0
+        self._generation = 0
+        self._poll = poll
+        self._timeout = timeout
+        self._broken = False
+
+    def abort(self) -> None:
+        with self._cond:
+            self._broken = True
+            self._cond.notify_all()
+
+    def _release(self) -> None:
+        self._count = 0
+        self._generation += 1
+        self._cond.notify_all()
+
+    def wait(self, on_stall: Callable[[int], int] | None = None) -> None:
+        with self._cond:
+            if self._broken:
+                raise threading.BrokenBarrierError
+            generation = self._generation
+            self._count += 1
+            if self._count >= self.parties:
+                self._release()
+                return
+            deadline = time.monotonic() + self._timeout
+            while generation == self._generation and not self._broken:
+                notified = self._cond.wait(self._poll)
+                if generation != self._generation or self._broken:
+                    break
+                if not notified:
+                    removed = on_stall(generation) if on_stall is not None else 0
+                    if removed:
+                        self.parties -= removed
+                        if self._count >= self.parties:
+                            self._release()
+                            return
+                    elif time.monotonic() > deadline:
+                        self._broken = True
+                        self._cond.notify_all()
+                        raise SimulationError(
+                            f"barrier timed out after {self._timeout}s with "
+                            f"{self._count}/{self.parties} arrived"
+                        )
+            if self._broken:
+                raise threading.BrokenBarrierError
+
+
+class ThreadTeam(Team):
+    """Real OS threads joined by a monitored barrier at each yield.
+
+    A fail-stop victim returns from its thread body without notifying
+    anyone — exactly how a real dead worker behaves. Survivors stalled at
+    the next barrier detect it (the thread has exited without completing
+    its program), shrink the barrier, record the death, and continue.
+    """
+
+    def __init__(
+        self,
+        n_threads: int,
+        timeout: float | None = 60.0,
+        fail_stops: Iterable = (),
+    ):
+        super().__init__(n_threads, fail_stops)
         self.timeout = timeout
 
     def run(self, worker: Worker) -> None:
-        barrier = threading.Barrier(self.n_threads)
+        self.deaths = []
+        n = self.n_threads
+        barrier = _MonitoredBarrier(n, timeout=self.timeout or 60.0)
         errors: list[BaseException] = []
-        errors_lock = threading.Lock()
-        barrier_counts = [0] * self.n_threads
+        state_lock = threading.Lock()
+        barrier_counts = [0] * n
+        exited = [False] * n
+        completed = [False] * n
+        current_barrier = [0] * n
+        detected: set[int] = set()
+
+        def on_stall(generation: int) -> int:
+            # called by a stalled waiter under the barrier lock: count
+            # threads that exited without finishing their program and were
+            # not yet accounted for
+            removed = 0
+            with state_lock:
+                for tid in range(n):
+                    if exited[tid] and not completed[tid] and tid not in detected:
+                        detected.add(tid)
+                        self.deaths.append(
+                            ThreadDeath(
+                                tid,
+                                barrier=current_barrier[tid],
+                                detected_at=generation,
+                            )
+                        )
+                        removed += 1
+            return removed
 
         def body(tid: int) -> None:
+            gen = worker(tid)
             try:
-                for _ in worker(tid):
-                    barrier_counts[tid] += 1
-                    barrier.wait(timeout=self.timeout)
+                passed = 0
+                for _ in gen:
+                    with state_lock:
+                        current_barrier[tid] = passed
+                    if self._kills.get(tid) == passed:
+                        gen.close()
+                        return  # fail-stop: vanish without reaching the barrier
+                    barrier.wait(on_stall)
+                    passed += 1
+                    barrier_counts[tid] = passed
+                with state_lock:
+                    completed[tid] = True
             except threading.BrokenBarrierError:
                 # another thread failed or mismatched; its error is recorded
                 pass
             except BaseException as exc:  # propagate worker failures
-                with errors_lock:
+                with state_lock:
                     errors.append(exc)
                 barrier.abort()
+            finally:
+                with state_lock:
+                    exited[tid] = True
 
         threads = [
             threading.Thread(target=body, args=(tid,), name=f"ftgemm-{tid}")
-            for tid in range(self.n_threads)
+            for tid in range(n)
         ]
         for t in threads:
             t.start()
@@ -118,17 +298,39 @@ class ThreadTeam(Team):
             t.join()
         if errors:
             raise errors[0]
-        if len(set(barrier_counts)) > 1:
+        # deaths nobody was left to observe (e.g. every thread fail-stopped
+        # in the same round): account for them now the region is over
+        for tid in range(n):
+            if exited[tid] and not completed[tid] and tid not in detected:
+                detected.add(tid)
+                self.deaths.append(
+                    ThreadDeath(
+                        tid,
+                        barrier=current_barrier[tid],
+                        detected_at=current_barrier[tid],
+                    )
+                )
+        survivor_counts = {
+            barrier_counts[tid] for tid in range(n) if tid not in self.dead_tids
+        }
+        if len(survivor_counts) > 1:
             raise SimulationError(
                 f"barrier mismatch across threads: counts {barrier_counts}"
             )
-        self.barriers_executed += barrier_counts[0]
+        if survivor_counts:
+            self.barriers_executed += survivor_counts.pop()
 
 
-def make_team(n_threads: int, backend: str = "simulated") -> Team:
+def make_team(
+    n_threads: int,
+    backend: str = "simulated",
+    *,
+    fail_stops: Iterable = (),
+    order: list[int] | None = None,
+) -> Team:
     """Factory: ``"simulated"`` (deterministic) or ``"threads"`` (real)."""
     if backend == "simulated":
-        return SimulatedTeam(n_threads)
+        return SimulatedTeam(n_threads, order=order, fail_stops=fail_stops)
     if backend == "threads":
-        return ThreadTeam(n_threads)
+        return ThreadTeam(n_threads, fail_stops=fail_stops)
     raise ConfigError(f"unknown team backend {backend!r}")

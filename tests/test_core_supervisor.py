@@ -1,0 +1,192 @@
+"""Escalation supervisor: diagnosis, quarantine, and the recovery ladder.
+
+The headline regression: a persistent ``StuckBit`` in a packing buffer
+defeats the plain verifier (every recompute flows through the stuck slot,
+so the budget is exhausted without converging), while the supervisor
+quarantines the sticky fault, repacks the suspect lines from the original
+operands, and verifies — with the winning strategy named in the report.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import FTGemmConfig
+from repro.core.ftgemm import FTGemm
+from repro.core.parallel import ParallelFTGemm
+from repro.core.supervisor import (
+    STRATEGIES,
+    RecoveryReport,
+    RecoveryRound,
+    _merge_counters,
+)
+from repro.faults.injector import FaultInjector, InjectionPlan
+from repro.faults.models import StuckBit
+from repro.simcpu.counters import Counters
+from repro.util.errors import UncorrectableError
+
+
+def _stuckbit_case(site, seed):
+    """Operands + plan where the StuckBit strike is non-silent (the struck
+    bit was low) and the plain verifier provably cannot converge."""
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((24, 16))
+    b = rng.standard_normal((16, 18))
+    plan = InjectionPlan(schedule={site: (1,)}, model=StuckBit(), seed=seed)
+    return a, b, plan
+
+
+CASES = [("pack_a", 1), ("pack_b", 4)]
+
+
+# --------------------------------------------------------- the regression
+@pytest.mark.parametrize("site,seed", CASES)
+def test_stuckbit_defeats_plain_verifier_nonstrict(site, seed):
+    """Without the supervisor the sticky fault exhausts the recompute
+    budget: the run ends unverified and no recovery report exists."""
+    a, b, plan = _stuckbit_case(site, seed)
+    cfg = FTGemmConfig.small(strict=False, enable_supervisor=False)
+    result = FTGemm(cfg).gemm(a, b, injector=FaultInjector(plan))
+    assert not result.verified
+    assert result.recovery is None
+    # the budget was really spent: max_recompute_attempts rounds + final
+    assert len(result.reports) == cfg.max_recompute_attempts + 1
+    assert any(r.recomputed_rows or r.recomputed_cols for r in result.reports)
+
+
+@pytest.mark.parametrize("site,seed", CASES)
+def test_stuckbit_defeats_plain_verifier_strict(site, seed):
+    a, b, plan = _stuckbit_case(site, seed)
+    cfg = FTGemmConfig.small(strict=True, enable_supervisor=False)
+    with pytest.raises(UncorrectableError):
+        FTGemm(cfg).gemm(a, b, injector=FaultInjector(plan))
+
+
+@pytest.mark.parametrize("site,seed", CASES)
+def test_supervisor_quarantines_and_repacks(site, seed):
+    """Same fault, supervisor on: quarantine + repack-recompute wins, even
+    under strict config, and the report names the strategy."""
+    a, b, plan = _stuckbit_case(site, seed)
+    injector = FaultInjector(plan)
+    result = FTGemm(FTGemmConfig.small(strict=True)).gemm(
+        a, b, injector=injector
+    )
+    assert result.verified
+    np.testing.assert_allclose(result.c, a @ b, rtol=1e-9, atol=1e-9)
+    recovery = result.recovery
+    assert recovery is not None
+    assert recovery.succeeded
+    assert recovery.succeeded_strategy == "repack_recompute"
+    assert recovery.escalated
+    assert recovery.quarantined and recovery.quarantined[0][0] == site
+    assert "persistent-fault" in recovery.diagnosis
+    assert not injector.has_persistent  # the sticky registry was drained
+
+
+def test_supervisor_summary_is_in_result_summary():
+    a, b, plan = _stuckbit_case("pack_a", 1)
+    result = FTGemm(FTGemmConfig.small()).gemm(a, b, injector=FaultInjector(plan))
+    assert "repack_recompute" in result.recovery.summary()
+    assert "repack_recompute" in result.summary()
+
+
+def test_supervisor_marks_injector_records():
+    """The per-site outcome accounting sees the escalated correction."""
+    a, b, plan = _stuckbit_case("pack_a", 1)
+    injector = FaultInjector(plan)
+    result = FTGemm(FTGemmConfig.small()).gemm(a, b, injector=injector)
+    assert result.verified
+    outcomes = injector.site_outcomes()
+    assert outcomes["pack_a"]["detected"] == 1
+    assert outcomes["pack_a"]["corrected"] == 1
+    assert outcomes["pack_a"]["uncorrected"] == 0
+
+
+# ------------------------------------------------------------- clean path
+def test_fault_free_run_has_no_recovery_report(small_config, rng):
+    a = rng.standard_normal((21, 14))
+    b = rng.standard_normal((14, 19))
+    result = FTGemm(small_config).gemm(a, b)
+    assert result.verified
+    assert result.recovery is None
+
+
+def test_fault_free_parallel_run_has_no_recovery_report(small_config, rng):
+    a = rng.standard_normal((21, 14))
+    b = rng.standard_normal((14, 19))
+    result = ParallelFTGemm(small_config, n_threads=3).gemm(a, b)
+    assert result.verified
+    assert result.recovery is None
+
+
+def test_supervisor_does_not_change_clean_results(small_config, rng):
+    """Bit-identical C with the supervisor on or off — it only watches."""
+    a = rng.standard_normal((25, 17))
+    b = rng.standard_normal((17, 23))
+    on = FTGemm(small_config).gemm(a, b)
+    off = FTGemm(small_config.with_(enable_supervisor=False)).gemm(a, b)
+    np.testing.assert_array_equal(on.c, off.c)
+    assert on.counters.fma_flops == off.counters.fma_flops
+    assert on.counters.checksum_flops == off.counters.checksum_flops
+
+
+def test_transient_fault_does_not_escalate(small_config, rng):
+    """A plain transient strike is absorbed by the verifier's own ladder —
+    the report exists but never goes past the cheap strategies."""
+    a = rng.standard_normal((24, 16))
+    b = rng.standard_normal((16, 18))
+    injector = FaultInjector(InjectionPlan.single("microkernel", 3))
+    result = FTGemm(small_config).gemm(a, b, injector=injector)
+    assert result.verified
+    assert result.recovery is not None
+    assert not result.recovery.escalated
+    assert result.recovery.succeeded_strategy in (
+        "abft_correct", "checksum_rederive", "targeted_recompute"
+    )
+
+
+# ------------------------------------------------- report/merge machinery
+def test_recovery_report_properties():
+    report = RecoveryReport(
+        rounds=[
+            RecoveryRound(0, "targeted_recompute", "multi", False),
+            RecoveryRound(1, "repack_recompute", "multi", True),
+        ],
+        quarantined=(("pack_a", 7),),
+        diagnosis="persistent-fault: test",
+        thread_deaths=((1, 3),),
+    )
+    assert report.attempts == 2
+    assert report.succeeded
+    assert report.succeeded_strategy == "repack_recompute"
+    assert report.escalated
+    text = report.summary()
+    assert "targeted_recompute -> repack_recompute" in text
+    assert "winner: repack_recompute" in text
+    assert "t1@b3" in text
+
+
+def test_recovery_report_failed_summary():
+    report = RecoveryReport(rounds=[RecoveryRound(0, "dmr_recompute", "multi", False)])
+    assert not report.succeeded
+    assert report.succeeded_strategy is None
+    assert "FAILED" in report.summary()
+    assert RecoveryReport().summary().startswith("recovery: none")
+
+
+def test_strategies_ladder_is_ordered_cheapest_first():
+    assert STRATEGIES.index("abft_correct") < STRATEGIES.index("repack_recompute")
+    assert STRATEGIES[-1] == "dmr_recompute"
+    assert "thread_recovery" in STRATEGIES
+
+
+def test_merge_counters_accumulates_ints_only():
+    dst, src = Counters(), Counters()
+    src.fma_flops = 100
+    src.checksum_flops = 7
+    dst.fma_flops = 11
+    _merge_counters(dst, src)
+    assert dst.fma_flops == 111
+    assert dst.checksum_flops == 7
+    # idempotent on the non-int fields (e.g. cache dicts) — no type blowup
+    _merge_counters(dst, Counters())
+    assert dst.fma_flops == 111

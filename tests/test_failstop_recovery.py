@@ -1,0 +1,192 @@
+"""Fail-stop thread recovery: the recovery epoch of the parallel scheme.
+
+A ``FailStop`` fault kills one simulated/OS thread on arrival at a chosen
+barrier. The acceptance grid: for *every* barrier of the schedule and every
+victim thread, with 2 and 4 threads, on both team backends, the survivors
+must re-execute the dead thread's row slice, recompute the shared-B̃ columns
+the dead thread left stale, rebuild the checksum ledger, and end verified
+allclose to the oracle.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import FTGemmConfig
+from repro.core.parallel import ParallelFTGemm
+from repro.faults.injector import FaultInjector, InjectionPlan
+from repro.faults.models import FailStop
+from repro.gemm.blocking import BlockingConfig, iter_blocks
+from repro.util.errors import UncorrectableError
+
+M, N, K = 20, 24, 16
+
+
+@pytest.fixture
+def abc(rng):
+    a = rng.standard_normal((M, K))
+    b = rng.standard_normal((K, N))
+    return a, b
+
+
+def _config(**kwargs):
+    return FTGemmConfig(blocking=BlockingConfig.small(), **kwargs)
+
+
+def _n_barriers(cfg):
+    """Prologue barrier + (pack, macro) barrier pair per (p, j) block."""
+    n_p = len(list(iter_blocks(K, cfg.blocking.kc)))
+    n_j = len(list(iter_blocks(N, cfg.blocking.nc)))
+    return 1 + 2 * n_p * n_j
+
+
+def _kill(tid, barrier, seed=0):
+    return FaultInjector(
+        InjectionPlan(
+            schedule={}, seed=seed, fail_stops=(FailStop(thread=tid, barrier=barrier),)
+        )
+    )
+
+
+# ----------------------------------------------------- the acceptance grid
+@pytest.mark.parametrize("backend", ["simulated", "threads"])
+@pytest.mark.parametrize("n_threads", [2, 4])
+def test_every_barrier_every_victim_recovers(abc, backend, n_threads):
+    a, b = abc
+    cfg = _config()
+    expected = a @ b
+    barriers = _n_barriers(cfg)
+    assert barriers == 9  # 2 K-blocks x 2 j-blocks under small blocking
+    for barrier in range(barriers):
+        for tid in range(n_threads):
+            driver = ParallelFTGemm(cfg, n_threads=n_threads, backend=backend)
+            result = driver.gemm(a, b, injector=_kill(tid, barrier))
+            context = f"backend={backend} T={n_threads} tid={tid} b={barrier}"
+            assert result.verified, context
+            np.testing.assert_allclose(
+                result.c, expected, rtol=1e-9, atol=1e-9, err_msg=context
+            )
+            recovery = result.recovery
+            assert recovery is not None, context
+            assert recovery.thread_deaths == ((tid, barrier),), context
+            assert any(
+                r.strategy == "thread_recovery" for r in recovery.rounds
+            ), context
+            assert recovery.succeeded, context
+
+
+def test_death_before_prologue_recovers_everything(abc):
+    """Barrier 0 death: nothing of the victim's slice survives, and every
+    shared-B̃ chunk it owed is stale — all of it must be reconstructed."""
+    a, b = abc
+    result = ParallelFTGemm(_config(), n_threads=2).gemm(a, b, injector=_kill(1, 0))
+    assert result.verified
+    recovery = result.recovery
+    (row_start, row_len), = recovery.recovered_rows
+    assert row_len == M // 2  # the whole dead slice was re-executed
+    assert recovery.recovered_cols  # stale shared-B̃ columns were recomputed
+    np.testing.assert_allclose(result.c, a @ b, rtol=1e-9, atol=1e-9)
+
+
+def test_death_at_last_barrier_leaves_no_stale_columns(abc):
+    """Dying on arrival at the final barrier means every shared-B̃ chunk was
+    already packed — only the victim's own rows need re-execution (they are
+    re-run conservatively: partial K-accumulation is not attributable)."""
+    a, b = abc
+    cfg = _config()
+    last = _n_barriers(cfg) - 1
+    result = ParallelFTGemm(cfg, n_threads=2).gemm(a, b, injector=_kill(0, last))
+    assert result.verified
+    assert result.recovery.recovered_rows  # conservative slice re-execution
+    assert result.recovery.recovered_cols == ()
+    np.testing.assert_allclose(result.c, a @ b, rtol=1e-9, atol=1e-9)
+
+
+@pytest.mark.parametrize("backend", ["simulated", "threads"])
+def test_two_simultaneous_deaths(abc, backend):
+    a, b = abc
+    injector = FaultInjector(
+        InjectionPlan(
+            schedule={},
+            fail_stops=(FailStop(thread=1, barrier=2), FailStop(thread=3, barrier=5)),
+        )
+    )
+    result = ParallelFTGemm(_config(), n_threads=4, backend=backend).gemm(
+        a, b, injector=injector
+    )
+    assert result.verified
+    assert {t for t, _ in result.recovery.thread_deaths} == {1, 3}
+    np.testing.assert_allclose(result.c, a @ b, rtol=1e-9, atol=1e-9)
+
+
+@pytest.mark.parametrize("backend", ["simulated", "threads"])
+def test_all_threads_dead_is_uncorrectable(abc, backend):
+    a, b = abc
+    injector = FaultInjector(
+        InjectionPlan(
+            schedule={},
+            fail_stops=(FailStop(thread=0, barrier=1), FailStop(thread=1, barrier=1)),
+        )
+    )
+    with pytest.raises(UncorrectableError, match="fail-stop"):
+        ParallelFTGemm(_config(), n_threads=2, backend=backend).gemm(
+            a, b, injector=injector
+        )
+
+
+def test_beta_recovery_uses_preserved_c(abc, rng):
+    a, b = abc
+    c0 = rng.standard_normal((M, N))
+    result = ParallelFTGemm(_config(), n_threads=2).gemm(
+        a, b, c0.copy(), alpha=1.5, beta=0.5, injector=_kill(0, 3)
+    )
+    assert result.verified
+    np.testing.assert_allclose(
+        result.c, 1.5 * (a @ b) + 0.5 * c0, rtol=1e-9, atol=1e-9
+    )
+
+
+def test_beta_recovery_without_preserved_c_is_uncorrectable(abc, rng):
+    a, b = abc
+    c0 = rng.standard_normal((M, N))
+    cfg = _config(keep_original_c=False)
+    with pytest.raises(UncorrectableError, match="preserved"):
+        ParallelFTGemm(cfg, n_threads=2).gemm(
+            a, b, c0, beta=1.0, injector=_kill(0, 3)
+        )
+
+
+def test_unprotected_run_still_recovers_rows(abc):
+    """Fail-stop recovery is a scheduler property, not a checksum property:
+    it must work with FT disabled too (no ledger to rebuild)."""
+    a, b = abc
+    cfg = _config(enable_ft=False)
+    result = ParallelFTGemm(cfg, n_threads=2).gemm(a, b, injector=_kill(1, 1))
+    assert result.recovery is not None
+    assert result.recovery.thread_deaths == ((1, 1),)
+    np.testing.assert_allclose(result.c, a @ b, rtol=1e-9, atol=1e-9)
+
+
+def test_failstop_plus_transient_fault_both_recovered(abc):
+    """A thread dies *and* a transient strike lands in a survivor's work —
+    the recovery epoch and the verifier must compose."""
+    a, b = abc
+    injector = FaultInjector(
+        InjectionPlan(
+            schedule={"microkernel": (0,)},
+            fail_stops=(FailStop(thread=1, barrier=4),),
+        )
+    )
+    result = ParallelFTGemm(_config(), n_threads=2).gemm(a, b, injector=injector)
+    assert result.verified
+    assert result.recovery.thread_deaths == ((1, 4),)
+    np.testing.assert_allclose(result.c, a @ b, rtol=1e-9, atol=1e-9)
+
+
+def test_failstop_counters_account_recovery_work(abc):
+    """Recovered rows re-run through the packed driver — the flop count of
+    a run with a death must exceed the fault-free run's."""
+    a, b = abc
+    clean = ParallelFTGemm(_config(), n_threads=2).gemm(a, b)
+    dead = ParallelFTGemm(_config(), n_threads=2).gemm(a, b, injector=_kill(1, 0))
+    assert dead.counters.fma_flops > clean.counters.fma_flops
+    assert dead.counters.blocks_recomputed > 0

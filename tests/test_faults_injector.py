@@ -3,9 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.faults.injector import FaultInjector, InjectionPlan
-from repro.faults.models import Additive
-from repro.util.errors import ConfigError
+from repro.faults.injector import _REPLAY_PERIOD, FaultInjector, InjectionPlan
+from repro.faults.models import Additive, FailStop, RowBurst, StuckBit
+from repro.util.errors import ConfigError, SimulationError
 
 
 def test_plan_validation():
@@ -137,3 +137,165 @@ def test_unknown_site_rejected():
     inj = FaultInjector(InjectionPlan.empty())
     with pytest.raises(ValueError):
         inj.visit("bogus", np.zeros(1))
+
+
+# --------------------------------------------------------- plan extensions
+
+
+def test_plan_fail_stops_validated():
+    plan = InjectionPlan(schedule={}, fail_stops=(FailStop(thread=1, barrier=2),))
+    assert plan.fail_stops[0].thread == 1
+    with pytest.raises(ConfigError):
+        InjectionPlan(schedule={}, fail_stops=("t1@b2",))
+
+
+def test_burst_strike_records_all_elements():
+    plan = InjectionPlan.single("microkernel", 0, model=RowBurst(width=3), seed=1)
+    inj = FaultInjector(plan)
+    arr = np.ones((4, 9))
+    inj.visit("microkernel", arr)
+    (rec,) = inj.records
+    assert rec.n_elements == 3  # seed 1 lands mid-row: the full run fits
+    assert not rec.persistent
+    assert np.count_nonzero(arr != 1.0) == rec.n_elements
+
+
+# ------------------------------------------------------- sticky persistence
+
+
+def test_persistent_strike_enters_sticky_registry():
+    inj = FaultInjector(InjectionPlan.single("pack_a", 0, model=StuckBit()))
+    arr = np.ones(16)
+    inj.visit("pack_a", arr)
+    (rec,) = inj.records
+    assert rec.persistent
+    assert inj.has_persistent
+
+
+def test_sticky_reapplies_on_every_later_visit():
+    inj = FaultInjector(InjectionPlan.single("pack_a", 0, model=StuckBit(stuck_at=0)))
+    inj.visit("pack_a", np.ones(16))
+    before = inj.sticky_reapplied
+    fresh = np.ones(16)
+    inj.visit("pack_a", fresh)  # unscheduled visit: still re-poisoned
+    assert inj.sticky_reapplied == before + 1
+    assert np.count_nonzero(fresh != 1.0) == 1
+
+
+def test_sticky_does_not_leak_across_sites():
+    inj = FaultInjector(InjectionPlan.single("pack_a", 0, model=StuckBit(stuck_at=0)))
+    inj.visit("pack_a", np.ones(16))
+    clean = np.ones(16)
+    inj.visit("pack_b", clean)
+    np.testing.assert_array_equal(clean, np.ones(16))
+
+
+def test_reapply_sticky_kernel_site_poisons_once_per_panel():
+    """A recomputed line flows through the stuck slot once per packed
+    panel: one corruption every _REPLAY_PERIOD elements, so the plain
+    verifier's recompute can never converge."""
+    inj = FaultInjector(InjectionPlan.single("pack_a", 0, model=StuckBit(stuck_at=0)))
+    inj.visit("pack_a", np.ones(16))
+    line = np.ones(4 * _REPLAY_PERIOD)
+    n = inj.reapply_sticky(line)
+    assert n == 4
+    assert np.count_nonzero(line != 1.0) == 4
+
+
+def test_reapply_sticky_respects_site_filter():
+    inj = FaultInjector(InjectionPlan.single("pack_a", 0, model=StuckBit(stuck_at=0)))
+    inj.visit("pack_a", np.ones(16))
+    line = np.ones(32)
+    assert inj.reapply_sticky(line, sites=("pack_b",)) == 0
+    np.testing.assert_array_equal(line, np.ones(32))
+    assert inj.reapply_sticky(line, sites=("pack_a",)) > 0
+
+
+def test_quarantine_retires_sticky_faults():
+    inj = FaultInjector(InjectionPlan.single("pack_b", 0, model=StuckBit()))
+    inj.visit("pack_b", np.ones(16))
+    retired = inj.quarantine()
+    assert len(retired) == 1 and retired[0][0] == "pack_b"
+    assert not inj.has_persistent
+    assert inj.reapply_sticky(np.ones(16)) == 0
+    assert inj.quarantine() == ()  # idempotent
+
+
+def test_mark_corrected_first_n():
+    plan = InjectionPlan(
+        schedule={"microkernel": (0, 1, 2)}, model=Additive(magnitude=1.0)
+    )
+    inj = FaultInjector(plan)
+    arr = np.zeros(5)
+    for _ in range(3):
+        inj.visit("microkernel", arr)
+    inj.mark_corrected(2)
+    assert [r.corrected for r in inj.records] == [True, True, False]
+
+
+def test_site_outcomes_table():
+    plan = InjectionPlan(
+        schedule={"microkernel": (0, 1), "pack_a": (0,)},
+        model=Additive(magnitude=1.0),
+    )
+    inj = FaultInjector(plan)
+    arr = np.zeros(4)
+    inj.visit("microkernel", arr)
+    inj.visit("microkernel", arr)
+    inj.visit("pack_a", arr)
+    inj.mark_detected(3)
+    inj.mark_corrected(2)
+    outcomes = inj.site_outcomes()
+    assert outcomes["microkernel"] == {
+        "injected": 2, "detected": 2, "corrected": 2, "uncorrected": 0
+    }
+    assert outcomes["pack_a"]["uncorrected"] == 1
+
+
+# ------------------------------------------------------------- thread maps
+
+
+def test_bound_thread_map_renumbers_visits():
+    """With a map bound, a visit is numbered by its canonical lane position,
+    not by global arrival order — tid 1 visiting first still gets its own
+    canonical indices."""
+    plan = InjectionPlan.single("microkernel", 2, model=Additive(magnitude=1.0))
+    inj = FaultInjector(plan)
+    inj.bind_thread_map({"microkernel": [[0, 1], [2, 3]]})
+    arr = np.zeros(4)
+    assert inj.visit("microkernel", arr, tid=1)  # tid 1's first visit -> canonical 2
+    assert not inj.visit("microkernel", arr, tid=0)
+    (rec,) = inj.records
+    assert rec.invocation == 2 and rec.tid == 1
+
+
+def test_thread_map_overrun_is_a_simulation_error():
+    inj = FaultInjector(InjectionPlan.empty())
+    inj.bind_thread_map({"microkernel": [[0]]})
+    arr = np.zeros(2)
+    inj.visit("microkernel", arr, tid=0)
+    with pytest.raises(SimulationError, match="different call shape"):
+        inj.visit("microkernel", arr, tid=0)
+
+
+def test_canonical_records_sorted_by_site_and_invocation():
+    plan = InjectionPlan(
+        schedule={"microkernel": (0, 1), "pack_a": (0,)},
+        model=Additive(magnitude=1.0),
+    )
+    inj = FaultInjector(plan)
+    inj.bind_thread_map({"microkernel": [[1], [0]], "pack_a": [[0], []]})
+    arr = np.zeros(4)
+    inj.visit("microkernel", arr, tid=0)   # canonical 1
+    inj.visit("pack_a", arr, tid=0)        # canonical 0
+    inj.visit("microkernel", arr, tid=1)   # canonical 0
+    keys = [(r.site, r.invocation) for r in inj.canonical_records]
+    assert keys == [("microkernel", 0), ("microkernel", 1), ("pack_a", 0)]
+
+
+def test_targets_site():
+    inj = FaultInjector(InjectionPlan.single("checksum", 0))
+    assert inj.targets_site("checksum")
+    assert not inj.targets_site("microkernel")
+    with pytest.raises(ValueError):
+        inj.targets_site("bogus")

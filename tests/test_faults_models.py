@@ -3,7 +3,17 @@
 import numpy as np
 import pytest
 
-from repro.faults.models import Additive, BitFlip, Scaling, StuckValue, default_model
+from repro.faults.models import (
+    Additive,
+    BitFlip,
+    ColBurst,
+    FailStop,
+    RowBurst,
+    Scaling,
+    StuckBit,
+    StuckValue,
+    default_model,
+)
 from repro.util.errors import ConfigError
 
 
@@ -86,3 +96,112 @@ def test_default_model_is_high_impact_bitflip():
 def test_describe():
     assert BitFlip().describe() == "bitflip"
     assert Additive(magnitude=1.0).describe() == "additive"
+
+
+# ------------------------------------------------------- persistent models
+
+
+def test_stuckbit_is_persistent_and_idempotent(rng):
+    model = StuckBit(bit=52, stuck_at=0)
+    assert model.persistent
+    x = 1.5  # exponent 0x3FF: bit 52 is set
+    y = model.apply(x, rng)
+    assert y != x
+    # a stuck bit is idempotent, not an involution: re-applying changes nothing
+    assert model.apply(y, rng) == y
+    assert model.reapply(y) == y
+    assert model.reapply(x) == y
+
+
+def test_stuckbit_stuck_at_level_respected(rng):
+    x = 1.5
+    raw = np.float64(x).view(np.uint64)
+    forced_1 = StuckBit(bit=54, stuck_at=1).apply(x, rng)
+    forced_0 = StuckBit(bit=54, stuck_at=0).apply(x, rng)
+    assert np.float64(forced_1).view(np.uint64) & np.uint64(1 << 54)
+    assert not np.float64(forced_0).view(np.uint64) & np.uint64(1 << 54)
+    # exactly one of the two levels matches the original value's bit
+    assert (forced_1 == x) != (forced_0 == x)
+    assert raw in (
+        np.float64(forced_1).view(np.uint64),
+        np.float64(forced_0).view(np.uint64),
+    )
+
+
+def test_stuckbit_validation():
+    with pytest.raises(ConfigError):
+        StuckBit(bit=64)
+    with pytest.raises(ConfigError):
+        StuckBit(stuck_at=2)
+
+
+def test_transient_models_are_not_persistent():
+    for model in (BitFlip(), Additive(magnitude=1.0), StuckValue(value=0.0)):
+        assert not model.persistent
+
+
+# ------------------------------------------------------------ burst models
+
+
+def test_rowburst_strikes_a_run_along_the_row(rng):
+    array = np.ones((6, 10))
+    touched = RowBurst(width=4).strike(array, (2, 3), rng)
+    assert [idx for idx, _, _ in touched] == [(2, 3), (2, 4), (2, 5), (2, 6)]
+    assert all(new != old for _, old, new in touched)
+    # untouched elements stay exactly 1.0
+    mask = np.ones_like(array, dtype=bool)
+    mask[2, 3:7] = False
+    assert np.all(array[mask] == 1.0)
+
+
+def test_colburst_strikes_a_run_down_the_column(rng):
+    array = np.ones((8, 5))
+    touched = ColBurst(width=3).strike(array, (1, 4), rng)
+    assert [idx for idx, _, _ in touched] == [(1, 4), (2, 4), (3, 4)]
+
+
+def test_burst_clips_at_the_array_edge(rng):
+    array = np.ones((4, 6))
+    touched = RowBurst(width=4).strike(array, (0, 4), rng)
+    assert len(touched) == 2  # columns 4, 5 only
+
+
+def test_burst_on_1d_array_follows_the_flat_axis(rng):
+    array = np.ones(12)
+    for model in (RowBurst(width=3), ColBurst(width=3)):
+        work = array.copy()
+        touched = model.strike(work, (5,), rng)
+        assert [idx for idx, _, _ in touched] == [(5,), (6,), (7,)]
+
+
+def test_burst_bits_are_independent(rng):
+    """Each element of the run takes its own flip — a burst is not one
+    pattern stamped ``width`` times."""
+    array = np.full(16, 1.0)
+    touched = RowBurst(width=8).strike(array, (0,), rng)
+    deltas = {new - old for _, old, new in touched}
+    assert len(deltas) > 1
+
+
+def test_burst_validation():
+    with pytest.raises(ConfigError):
+        RowBurst(width=1)
+    with pytest.raises(ConfigError):
+        ColBurst(bit_range=(10, 99))
+
+
+# -------------------------------------------------------------- fail-stop
+
+
+def test_failstop_is_pure_schedule_metadata(rng):
+    stop = FailStop(thread=1, barrier=3)
+    assert stop.apply(7.25, rng) == 7.25  # no data corruption
+    assert not stop.persistent
+    assert stop.describe() == "failstop"
+
+
+def test_failstop_validation():
+    with pytest.raises(ConfigError):
+        FailStop(thread=-1)
+    with pytest.raises(ConfigError):
+        FailStop(barrier=-2)

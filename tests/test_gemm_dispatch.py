@@ -223,6 +223,62 @@ def test_injector_forces_tile_and_detection_is_unchanged(rng, dispatch):
     assert results[dispatch].corrected == results["tile"].corrected
 
 
+@pytest.mark.parametrize("dispatch", ["auto", "batched"])
+def test_checksum_site_injection_keeps_batching(rng, dispatch):
+    """A strike on the checksum buffer never touches kernel state, so the
+    fast path stays batched: the checksum is re-derived and C is bit-for-bit
+    the clean result."""
+    m = n = k = 24
+    a = rng.standard_normal((m, k))
+    b = rng.standard_normal((k, n))
+    config = FTGemmConfig(blocking=BlockingConfig.small(dispatch=dispatch))
+    clean_driver = FTGemm(config)
+    clean = clean_driver.gemm(a, b)
+    assert clean_driver.last_mode == "batched"
+    plan = plan_for_gemm(
+        m, n, k, config.blocking, 2, seed=5, sites=("checksum",)
+    )
+    injector = FaultInjector(plan)
+    driver = FTGemm(config)
+    result = driver.gemm(a, b, injector=injector)
+    assert driver.last_mode == "batched"  # checksum-only plans keep the fast path
+    assert injector.n_injected == 2
+    assert result.verified
+    np.testing.assert_array_equal(result.c, clean.c)  # C was never modified
+
+
+def test_checksum_site_injection_keeps_batching_parallel(rng):
+    m, n, k = 22, 24, 16
+    a = rng.standard_normal((m, k))
+    b = rng.standard_normal((k, n))
+    config = FTGemmConfig(blocking=BlockingConfig.small())
+    driver = ParallelFTGemm(config, n_threads=2)
+    clean = driver.gemm(a, b)
+    assert driver.last_mode == "batched"
+    plan = plan_for_gemm(
+        m, n, k, config.blocking, 2, seed=5, sites=("checksum",)
+    )
+    result = driver.gemm(a, b, injector=FaultInjector(plan))
+    assert driver.last_mode == "batched"
+    assert result.verified
+    np.testing.assert_array_equal(result.c, clean.c)
+
+
+def test_kernel_site_injection_still_degrades_parallel(rng):
+    """The counterpart guard: any kernel-site strike must still force the
+    parallel scheme down to per-tile execution."""
+    m, n, k = 22, 24, 16
+    a = rng.standard_normal((m, k))
+    b = rng.standard_normal((k, n))
+    config = FTGemmConfig(blocking=BlockingConfig.small())
+    driver = ParallelFTGemm(config, n_threads=2)
+    plan = plan_for_gemm(m, n, k, config.blocking, 1, seed=5, sites=("pack_b",))
+    result = driver.gemm(a, b, injector=FaultInjector(plan))
+    assert driver.last_mode == "tile"
+    assert result.verified
+    np.testing.assert_allclose(result.c, a @ b, rtol=1e-9, atol=1e-9)
+
+
 def test_clean_call_after_injected_call_batches_again(rng):
     config = FTGemmConfig(blocking=BlockingConfig.small())
     driver = FTGemm(config)

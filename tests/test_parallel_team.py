@@ -5,6 +5,7 @@ import time
 
 import pytest
 
+from repro.faults.models import FailStop
 from repro.parallel.team import SimulatedTeam, Team, ThreadTeam, make_team
 from repro.util.errors import ConfigError, SimulationError
 
@@ -129,3 +130,100 @@ def test_single_thread_team_works():
 
     SimulatedTeam(1).run(worker)
     assert hits == [0, 0]
+
+
+# --------------------------------------------------------------- fail-stop
+
+
+def _three_phase_worker(log, lock=None):
+    def worker(tid):
+        for phase in range(3):
+            if lock is not None:
+                with lock:
+                    log.append((phase, tid))
+            else:
+                log.append((phase, tid))
+            yield
+
+    return worker
+
+
+def test_make_team_forwards_fail_stops_and_order():
+    team = make_team(
+        3, "simulated", fail_stops=(FailStop(thread=1, barrier=0),), order=[2, 1, 0]
+    )
+    assert team.order == [2, 1, 0]
+    team = make_team(2, "threads", fail_stops=(FailStop(thread=0, barrier=1),))
+    assert isinstance(team, ThreadTeam)
+
+
+def test_fail_stop_targeting_missing_thread_rejected():
+    with pytest.raises(ConfigError, match="targets thread"):
+        SimulatedTeam(2, fail_stops=(FailStop(thread=5, barrier=0),))
+
+
+def test_simulated_fail_stop_kills_on_arrival():
+    """The victim's work *before* the kill barrier completes; it executes
+    nothing afterwards, and survivors run the whole program."""
+    log = []
+    team = SimulatedTeam(3, fail_stops=(FailStop(thread=1, barrier=1),))
+    team.run(_three_phase_worker(log))
+    assert (0, 1) in log and (1, 1) in log  # phases up to the barrier ran
+    assert (2, 1) not in log                # nothing after the death
+    assert [d for d in log if d[1] != 1] == [
+        (p, t) for p in range(3) for t in (0, 2)
+    ]
+    (death,) = team.deaths
+    assert (death.tid, death.barrier) == (1, 1)
+    assert team.dead_tids == {1}
+
+
+def test_thread_team_fail_stop_detected_by_survivors():
+    log = []
+    lock = threading.Lock()
+    team = ThreadTeam(3, timeout=10, fail_stops=(FailStop(thread=2, barrier=0),))
+    team.run(_three_phase_worker(log, lock))
+    assert (0, 2) in log and (1, 2) not in log
+    (death,) = team.deaths
+    assert (death.tid, death.barrier) == (2, 0)
+    # survivors completed all three phases despite the shrunken barrier
+    assert sum(1 for p, t in log if p == 2) == 2
+
+
+def test_earliest_kill_barrier_wins():
+    log = []
+    team = SimulatedTeam(
+        2,
+        fail_stops=(FailStop(thread=0, barrier=2), FailStop(thread=0, barrier=1)),
+    )
+    team.run(_three_phase_worker(log))
+    (death,) = team.deaths
+    assert death.barrier == 1
+
+
+@pytest.mark.parametrize("backend", ["simulated", "threads"])
+def test_all_threads_dead_is_recorded_not_deadlocked(backend):
+    """Every thread dying in the same round leaves nobody to detect the
+    deaths mid-run — the post-join sweep must still account for them."""
+    log = []
+    lock = threading.Lock() if backend == "threads" else None
+    team = make_team(
+        2,
+        backend,
+        fail_stops=(FailStop(thread=0, barrier=1), FailStop(thread=1, barrier=1)),
+    )
+    team.run(_three_phase_worker(log, lock))
+    assert team.dead_tids == {0, 1}
+    assert all(d.barrier == 1 for d in team.deaths)
+
+
+def test_deaths_reset_between_runs():
+    team = SimulatedTeam(2, fail_stops=(FailStop(thread=0, barrier=0),))
+
+    def worker(tid):
+        yield
+
+    team.run(worker)
+    assert len(team.deaths) == 1
+    team.run(worker)
+    assert len(team.deaths) == 1  # not accumulated across runs
