@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Markdown link checker — zero dependencies, offline.
+
+Walks every ``*.md`` file in the repository and verifies that
+
+- relative links resolve to an existing file or directory,
+- ``#anchor`` fragments (same-file or cross-file) match a heading in the
+  target, using GitHub's slug rules,
+
+while skipping external ``http(s)``/``mailto`` links (no network in CI)
+and anything inside fenced code blocks or inline code spans.
+
+Exit status 1 lists every broken link; 0 means clean. Used by the CI
+docs job and ``tests/test_docs_links.py``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+SKIP_DIRS = {".git", ".github", "__pycache__", ".pytest_cache", "node_modules"}
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+_FENCE = re.compile(r"^(```|~~~)")
+_INLINE_CODE = re.compile(r"`[^`]*`")
+# [text](target) / ![alt](target), optional "title" after the target
+_LINK = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)<>\s]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+_HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+
+
+def _strip_code(text: str) -> str:
+    """Blank out fenced code blocks and inline code spans."""
+    out_lines = []
+    in_fence = False
+    for line in text.splitlines():
+        if _FENCE.match(line.strip()):
+            in_fence = not in_fence
+            out_lines.append("")
+            continue
+        out_lines.append("" if in_fence else _INLINE_CODE.sub("", line))
+    return "\n".join(out_lines)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's heading-to-anchor slug: lowercase, drop punctuation,
+    spaces to hyphens."""
+    # drop inline markdown emphasis/code markers first
+    heading = re.sub(r"[`*_]", "", heading)
+    # resolve links in headings to their text
+    heading = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug, flags=re.UNICODE)
+    return slug.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set[str]:
+    anchors: set[str] = set()
+    counts: dict[str, int] = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group(2))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    problems: list[str] = []
+    text = _strip_code(path.read_text(encoding="utf-8"))
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(SKIP_SCHEMES):
+            continue
+        target, _, fragment = target.partition("#")
+        if target:
+            resolved = (path.parent / target).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{path.relative_to(root)}: broken link -> {target}"
+                )
+                continue
+        else:
+            resolved = path
+        if fragment and resolved.suffix == ".md" and resolved.is_file():
+            if fragment.lower() not in anchors_of(resolved):
+                problems.append(
+                    f"{path.relative_to(root)}: missing anchor -> "
+                    f"{target or path.name}#{fragment}"
+                )
+    return problems
+
+
+def check_tree(root: Path) -> list[str]:
+    problems: list[str] = []
+    for path in sorted(root.rglob("*.md")):
+        if any(part in SKIP_DIRS for part in path.parts):
+            continue
+        problems.extend(check_file(path, root))
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    root = Path(argv[0]) if argv else Path(__file__).resolve().parent.parent
+    problems = check_tree(root.resolve())
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"{len(problems)} broken markdown link(s)")
+        return 1
+    print("markdown links OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,7 +8,13 @@ Subcommands:
 - ``tune``     — derive blocking parameters for the (or a scaled) machine;
 - ``validate`` — diff a real run's counters against the analytic accounting;
 - ``storm``    — a quick reliability campaign at a physical error rate;
-- ``dispatch`` — time the tile vs batched macro-kernel paths on one DGEMM.
+- ``dispatch`` — time the tile vs batched macro-kernel paths on one DGEMM;
+- ``trace``    — run one (optionally parallel, optionally faulted) FT-GEMM
+  with structured tracing on and write a Chrome/Perfetto trace plus a
+  measured-vs-predicted phase table.
+
+``inject``, ``validate`` and ``dispatch`` additionally accept
+``--trace PATH`` to capture the run they already perform.
 """
 
 from __future__ import annotations
@@ -65,6 +71,15 @@ def _parse_fail_stops(specs):
     return tuple(stops)
 
 
+def _write_trace(tracer, path, *, breakdown=None) -> None:
+    """Export ``tracer`` as a Chrome trace and print the phase table."""
+    from repro.obs import phase_report, write_chrome_trace
+
+    write_chrome_trace(path, tracer)
+    print(f"trace    : {len(tracer.events)} events -> {path}")
+    print(phase_report(tracer.events, breakdown=breakdown).to_table())
+
+
 def _cmd_inject(args) -> int:
     from dataclasses import replace
 
@@ -91,16 +106,22 @@ def _cmd_inject(args) -> int:
     n = args.size
     a = rng.standard_normal((n, n))
     b = rng.standard_normal((n, n))
+    tracer = None
+    if args.trace:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
     counts = None
     if args.threads > 1:
         driver = ParallelFTGemm(
-            config, n_threads=args.threads, backend=args.backend
+            config, n_threads=args.threads, backend=args.backend,
+            tracer=tracer,
         )
         counts = site_invocation_counts_parallel(
             n, n, n, config.blocking, args.threads
         )
     else:
-        driver = FTGemm(config)
+        driver = FTGemm(config, tracer=tracer)
     sites = tuple(args.sites.split(",")) if args.sites else None
     plan_kwargs = {"sites": sites} if sites else {}
     plan = plan_for_gemm(
@@ -145,6 +166,8 @@ def _cmd_inject(args) -> int:
     if result.recovery is not None:
         print(f"recovery : {result.recovery.summary()}")
     print(f"max |error| vs oracle: {err:.3e}")
+    if tracer is not None:
+        _write_trace(tracer, args.trace)
     if not result.verified:
         return 2
     return 0 if err < 1e-8 else 1
@@ -182,15 +205,30 @@ def _cmd_tune(args) -> int:
 def _cmd_validate(args) -> int:
     from repro.core.config import FTGemmConfig
     from repro.gemm.blocking import BlockingConfig
-    from repro.perfmodel.validate import validate_run
+    from repro.perfmodel.validate import validate_parallel_run, validate_run
 
     config = FTGemmConfig(
         blocking=BlockingConfig.small(dispatch=args.mode),
         checksum_scheme=args.scheme,
     )
-    report = validate_run(args.size, args.size, args.size, config, beta=args.beta)
+    tracer = None
+    if args.trace:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+    n = args.size
+    if args.threads > 1:
+        report = validate_parallel_run(
+            n, n, n, config,
+            n_threads=args.threads, backend=args.backend,
+            beta=args.beta, tracer=tracer,
+        )
+    else:
+        report = validate_run(n, n, n, config, beta=args.beta, tracer=tracer)
     print(report)
     print("counters", "MATCH" if report.ok else "MISMATCH")
+    if tracer is not None:
+        _write_trace(tracer, args.trace)
     return 0 if report.ok else 1
 
 
@@ -225,7 +263,92 @@ def _cmd_dispatch(args) -> int:
     print(f"speedup  : {speedup:.2f}x (batched over tile)")
     print(f"results  : {'allclose' if same else 'DIVERGED'}, "
           f"counters {'MATCH' if totals['tile'] == totals['batched'] else 'MISMATCH'}")
+    if args.trace:
+        # one extra instrumented pass of the batched path — the timed
+        # repeats above stay untraced so the speedup numbers are honest
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        blocking = BlockingConfig(mr=8, nr=6, mc=96, kc=96, nc=96,
+                                  dispatch="batched")
+        FTGemm(FTGemmConfig(blocking=blocking, enable_ft=args.ft),
+               tracer=tracer).gemm(a, b)
+        _write_trace(tracer, args.trace)
     return 0 if same and totals["tile"] == totals["batched"] else 1
+
+
+def _cmd_trace(args) -> int:
+    from dataclasses import replace
+
+    from repro.core.config import FTGemmConfig
+    from repro.core.ftgemm import FTGemm
+    from repro.core.parallel import ParallelFTGemm
+    from repro.faults.campaign import (
+        plan_for_gemm,
+        site_invocation_counts_parallel,
+    )
+    from repro.faults.injector import FaultInjector
+    from repro.gemm.blocking import BlockingConfig
+    from repro.obs import Tracer
+    from repro.perfmodel import GemmPerfModel
+
+    fail_stops = _parse_fail_stops(args.fail_stop)
+    if fail_stops and args.threads < 2:
+        print("fail-stop faults need --threads >= 2 (a thread team to kill)")
+        return 2
+    config = FTGemmConfig(
+        blocking=BlockingConfig.small(mr=8, nr=6, dispatch=args.mode),
+        checksum_scheme=args.scheme,
+        enable_ft=args.ft,
+    )
+    rng = np.random.default_rng(args.seed)
+    n = args.size
+    a = rng.standard_normal((n, n))
+    b = rng.standard_normal((n, n))
+    tracer = Tracer()
+    if args.threads > 1:
+        driver = ParallelFTGemm(
+            config, n_threads=args.threads, backend=args.backend,
+            tracer=tracer,
+        )
+    else:
+        driver = FTGemm(config, tracer=tracer)
+    injector = None
+    if args.errors or fail_stops:
+        counts = None
+        if args.threads > 1:
+            counts = site_invocation_counts_parallel(
+                n, n, n, config.blocking, args.threads
+            )
+        plan = plan_for_gemm(
+            n, n, n, config.blocking, args.errors, seed=args.seed,
+            counts=counts,
+        )
+        if fail_stops:
+            plan = replace(plan, fail_stops=fail_stops)
+        injector = FaultInjector(plan)
+    result = driver.gemm(a, b, injector=injector)
+    err = float(np.abs(result.c - a @ b).max())
+    print(
+        f"matrix {n}x{n}x{n}, scheme={args.scheme}, threads={args.threads}, "
+        f"ft={args.ft}"
+    )
+    if injector is not None:
+        print(f"injected : {injector.n_injected} faults "
+              f"({injector.summary()})")
+    if result.recovery is not None:
+        print(f"recovery : {result.recovery.summary()}")
+    print(f"verified : {result.verified}")
+    print(f"max |error| vs oracle: {err:.3e}")
+    breakdown = GemmPerfModel(
+        blocking=config.blocking,
+        mode="ft" if args.ft else "ori",
+        threads=args.threads,
+    ).breakdown(n, beta_nonzero=False)
+    _write_trace(tracer, args.out, breakdown=breakdown)
+    if not result.verified:
+        return 2
+    return 0 if err < 1e-8 else 1
 
 
 def _cmd_storm(args) -> int:
@@ -280,6 +403,8 @@ def main(argv: list[str] | None = None) -> int:
                    default=False,
                    help="raise on unverifiable results instead of exiting 2")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="write a Chrome/Perfetto trace of the run to PATH")
     p.set_defaults(fn=_cmd_inject)
 
     p = sub.add_parser("tune", help="derive blocking parameters")
@@ -290,9 +415,16 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("validate", help="counters vs analytic accounting")
     p.add_argument("--size", type=int, default=32)
     p.add_argument("--beta", type=float, default=0.0)
+    p.add_argument("--threads", type=int, default=1,
+                   help="validate the parallel driver when > 1")
+    p.add_argument("--backend", choices=("simulated", "threads"),
+                   default="simulated",
+                   help="team backend when --threads > 1")
     p.add_argument("--scheme", choices=("dual", "weighted"), default="dual")
     p.add_argument("--mode", choices=DISPATCH_MODES, default="auto",
                    help="macro-kernel dispatch mode to validate")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="write a Chrome/Perfetto trace of the run to PATH")
     p.set_defaults(fn=_cmd_validate)
 
     p = sub.add_parser("dispatch", help="time tile vs batched macro kernels")
@@ -300,7 +432,35 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--repeats", type=int, default=3)
     p.add_argument("--ft", action=argparse.BooleanOptionalAction, default=True)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="write a trace of one extra batched run to PATH "
+                        "(the timed repeats stay untraced)")
     p.set_defaults(fn=_cmd_dispatch)
+
+    p = sub.add_parser(
+        "trace",
+        help="run one traced FT-GEMM and write a Chrome/Perfetto trace",
+    )
+    p.add_argument("--size", type=int, default=160)
+    p.add_argument("--threads", type=int, default=1)
+    p.add_argument("--backend", choices=("simulated", "threads"),
+                   default="simulated",
+                   help="team backend when --threads > 1")
+    p.add_argument("--scheme", choices=("dual", "weighted"), default="dual")
+    p.add_argument("--mode", choices=DISPATCH_MODES, default="auto",
+                   help="macro-kernel dispatch mode")
+    p.add_argument("--ft", action=argparse.BooleanOptionalAction, default=True,
+                   help="protect the run with ABFT checksums")
+    p.add_argument("--errors", type=int, default=0,
+                   help="transient faults to inject during the run")
+    p.add_argument("--fail-stop", action="append", default=None,
+                   metavar="TID:BARRIER",
+                   help="kill thread TID at barrier BARRIER (repeatable; "
+                        "needs --threads >= 2)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default="trace.json", metavar="PATH",
+                   help="trace output path (default: trace.json)")
+    p.set_defaults(fn=_cmd_trace)
 
     p = sub.add_parser("storm", help="reliability campaign at physical rates")
     p.add_argument("--rate", type=float, action="append",

@@ -57,6 +57,12 @@ class FTGemmConfig:
     #: signatures, quarantine sticky faults, and escalate past the plain
     #: verifier's recompute budget (repack-and-recompute, then DMR).
     enable_supervisor: bool = True
+    #: collect a structured trace of the run (:mod:`repro.obs`): phase
+    #: spans, barrier-wait histograms, fault/verdict events. Off by default
+    #: — the drivers then use the no-op tracer and the hot path stays
+    #: within noise. Drivers also accept an explicit ``tracer=`` argument,
+    #: which wins over this flag.
+    trace: bool = False
 
     def __post_init__(self) -> None:
         check_in(self.verify_mode, "verify_mode", ("final", "eager"))

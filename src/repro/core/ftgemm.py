@@ -43,6 +43,7 @@ from repro.core.verification import ChecksumLedger, Verifier
 from repro.gemm.driver import BlockedGemm, MemorySink
 from repro.gemm.macrokernel import TileHook, macro_kernel, macro_kernel_batched
 from repro.gemm.packing import PackedPanels
+from repro.obs.tracer import NULL_SPAN, Tracer
 from repro.simcpu.counters import Counters
 
 
@@ -77,9 +78,12 @@ class FTGemm(BlockedGemm):
         config: FTGemmConfig | None = None,
         *,
         sink: MemorySink | None = None,
+        tracer=None,
     ):
         self.ft_config = config or FTGemmConfig()
-        super().__init__(self.ft_config.blocking, sink=sink)
+        if tracer is None and self.ft_config.trace:
+            tracer = Tracer()
+        super().__init__(self.ft_config.blocking, sink=sink, tracer=tracer)
         # per-call state
         self._ledger: ChecksumLedger | None = None
         self._injector = _NULL_INJECTOR
@@ -137,7 +141,44 @@ class FTGemm(BlockedGemm):
         self.counters = Counters()
         self._injector = injector if injector is not None else _NULL_INJECTOR
         self._eager_reports = []
+        tr = self._tr = self.tracer if self.tracer.enabled else None
+        if tr is not None:
+            try:
+                # injectors publish fault.injected events through the tracer
+                self._injector.tracer = tr
+            except AttributeError:
+                pass
         hook = self._make_tile_hook(on_tile)
+        if tr is not None and not self._root_active:
+            # the FT root span covers verification and recovery too, so
+            # open it here rather than letting BlockedGemm.gemm own it
+            self._root_active = True
+            args = {"ft": self.ft}
+            ashape, bshape = np.shape(a), np.shape(b)
+            if len(ashape) == 2 and len(bshape) == 2:
+                args.update(m=int(ashape[0]), k=int(ashape[1]),
+                            n=int(bshape[1]))
+            try:
+                with tr.span("gemm", cat="driver", args=args):
+                    result = self._protected_call(a, b, c, alpha, beta, hook)
+            finally:
+                self._root_active = False
+            result.trace = self.tracer
+        else:
+            result = self._protected_call(a, b, c, alpha, beta, hook)
+        self._release_call_state()
+        return result
+
+    def _protected_call(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        c: np.ndarray | None,
+        alpha: float,
+        beta: float,
+        hook: TileHook | None,
+    ) -> FTGemmResult:
+        """The protected loop nest plus the verification epilogue."""
         out = super().gemm(a, b, c, alpha=alpha, beta=beta, on_tile=hook)
         reports: list[VerificationReport] = list(self._eager_reports)
         verified = True
@@ -156,6 +197,7 @@ class FTGemm(BlockedGemm):
                     config=self.ft_config,
                     counters=self.counters,
                     injector=live_injector,
+                    tracer=self._tr,
                 )
                 try:
                     final_reports, verified, recovery = supervisor.finalize(
@@ -179,6 +221,7 @@ class FTGemm(BlockedGemm):
                     config=self.ft_config,
                     counters=self.counters,
                     injector=live_injector,
+                    tracer=self._tr,
                 )
                 try:
                     final_reports, verified = verifier.finalize(out, self._ledger)
@@ -188,7 +231,7 @@ class FTGemm(BlockedGemm):
                     if mark_corrected is not None:
                         mark_corrected(self.counters.errors_corrected)
                 reports.extend(final_reports)
-        result = FTGemmResult(
+        return FTGemmResult(
             c=out,
             counters=self.counters,
             reports=reports,
@@ -196,8 +239,6 @@ class FTGemm(BlockedGemm):
             ft_enabled=self.ft,
             recovery=recovery,
         )
-        self._release_call_state()
-        return result
 
     _KERNEL_SITES = ("microkernel", "pack_a", "pack_b")
 
@@ -265,20 +306,23 @@ class FTGemm(BlockedGemm):
         self._c0 = None
         if not self.ft:
             return
-        weighted = self.ft_config.weighted
-        self._ledger = ChecksumLedger.zeros(m, n, weighted=weighted)
-        # the one upfront sweep of A: A^r = e^T(alpha*A), plus its envelope
-        self._a_row = alpha * a.sum(axis=0)
-        self._abs_a_row = abs(alpha) * np.abs(a).sum(axis=0)
-        self.counters.checksum_flops += 2 * m * k
-        if weighted:
-            self._w_m = np.arange(1.0, m + 1.0)
-            self._w_n = np.arange(1.0, n + 1.0)
-            self._a_row_w = alpha * (self._w_m @ a)
+        tr = self._tr
+        with (tr.span("prologue", cat="checksum", args={"m": m, "k": k})
+              if tr is not None else NULL_SPAN):
+            weighted = self.ft_config.weighted
+            self._ledger = ChecksumLedger.zeros(m, n, weighted=weighted)
+            # the one upfront sweep of A: A^r = e^T(alpha*A), + its envelope
+            self._a_row = alpha * a.sum(axis=0)
+            self._abs_a_row = abs(alpha) * np.abs(a).sum(axis=0)
             self.counters.checksum_flops += 2 * m * k
-        self._injector.visit("checksum", self._a_row)
-        if beta != 0.0 and self.ft_config.keep_original_c:
-            self._c0 = c.copy()
+            if weighted:
+                self._w_m = np.arange(1.0, m + 1.0)
+                self._w_n = np.arange(1.0, n + 1.0)
+                self._a_row_w = alpha * (self._w_m @ a)
+                self.counters.checksum_flops += 2 * m * k
+            self._injector.visit("checksum", self._a_row)
+            if beta != 0.0 and self.ft_config.keep_original_c:
+                self._c0 = c.copy()
 
     def _scale_c(self, c: np.ndarray, beta: float) -> None:
         if not self.ft:
@@ -314,48 +358,62 @@ class FTGemm(BlockedGemm):
     def _pack_b_block(self, b, p0, plen, j0, jlen) -> PackedPanels:
         packed = super()._pack_b_block(b, p0, plen, j0, jlen)
         if self.ft:
-            ledger = self._ledger
-            b_blk = b[p0 : p0 + plen, j0 : j0 + jlen]
-            abs_b_blk = np.abs(b_blk)
-            # each loaded B element is reused three times: pack, B^c, C^r
-            self._bc_partial = b_blk.sum(axis=1)
-            self._abs_bc_partial = abs_b_blk.sum(axis=1)
-            ledger.row_pred[j0 : j0 + jlen] += self._a_row[p0 : p0 + plen] @ b_blk
-            ledger.env_row[j0 : j0 + jlen] += (
-                self._abs_a_row[p0 : p0 + plen] @ abs_b_blk
-            )
-            self.counters.checksum_flops += 5 * plen * jlen
-            if ledger.weighted:
-                ledger.row_pred_w[j0 : j0 + jlen] += (
-                    self._a_row_w[p0 : p0 + plen] @ b_blk
+            tr = self._tr
+            cm = (tr.span("checksum_update", cat="checksum",
+                          args={"site": "pack_b", "p0": p0, "j0": j0})
+                  if tr is not None else NULL_SPAN)
+            with cm:
+                ledger = self._ledger
+                b_blk = b[p0 : p0 + plen, j0 : j0 + jlen]
+                abs_b_blk = np.abs(b_blk)
+                # each loaded B element is reused 3 times: pack, B^c, C^r
+                self._bc_partial = b_blk.sum(axis=1)
+                self._abs_bc_partial = abs_b_blk.sum(axis=1)
+                ledger.row_pred[j0 : j0 + jlen] += (
+                    self._a_row[p0 : p0 + plen] @ b_blk
                 )
-                self._bc_partial_w = b_blk @ self._w_n[j0 : j0 + jlen]
-                self.counters.checksum_flops += 4 * plen * jlen
-            self._injector.visit(
-                "checksum", ledger.row_pred[j0 : j0 + jlen]
-            )
+                ledger.env_row[j0 : j0 + jlen] += (
+                    self._abs_a_row[p0 : p0 + plen] @ abs_b_blk
+                )
+                self.counters.checksum_flops += 5 * plen * jlen
+                if ledger.weighted:
+                    ledger.row_pred_w[j0 : j0 + jlen] += (
+                        self._a_row_w[p0 : p0 + plen] @ b_blk
+                    )
+                    self._bc_partial_w = b_blk @ self._w_n[j0 : j0 + jlen]
+                    self.counters.checksum_flops += 4 * plen * jlen
+                self._injector.visit(
+                    "checksum", ledger.row_pred[j0 : j0 + jlen]
+                )
         self._injector.visit("pack_b", packed.data)
         return packed
 
     def _pack_a_block(self, a, i0, ilen, p0, plen, alpha, *, first_j) -> PackedPanels:
         packed = super()._pack_a_block(a, i0, ilen, p0, plen, alpha, first_j=first_j)
         if self.ft:
-            ledger = self._ledger
-            a_blk = a[i0 : i0 + ilen, p0 : p0 + plen]
-            # reuse the loaded A elements for the predicted column checksum
-            ledger.col_pred[i0 : i0 + ilen] += alpha * (a_blk @ self._bc_partial)
-            ledger.env_col[i0 : i0 + ilen] += abs(alpha) * (
-                np.abs(a_blk) @ self._abs_bc_partial
-            )
-            self.counters.checksum_flops += 4 * ilen * plen
-            if ledger.weighted:
-                ledger.col_pred_w[i0 : i0 + ilen] += alpha * (
-                    a_blk @ self._bc_partial_w
+            tr = self._tr
+            cm = (tr.span("checksum_update", cat="checksum",
+                          args={"site": "pack_a", "i0": i0, "p0": p0})
+                  if tr is not None else NULL_SPAN)
+            with cm:
+                ledger = self._ledger
+                a_blk = a[i0 : i0 + ilen, p0 : p0 + plen]
+                # reuse the loaded A elements for the predicted col checksum
+                ledger.col_pred[i0 : i0 + ilen] += alpha * (
+                    a_blk @ self._bc_partial
                 )
-                self.counters.checksum_flops += 2 * ilen * plen
-            self._injector.visit(
-                "checksum", ledger.col_pred[i0 : i0 + ilen]
-            )
+                ledger.env_col[i0 : i0 + ilen] += abs(alpha) * (
+                    np.abs(a_blk) @ self._abs_bc_partial
+                )
+                self.counters.checksum_flops += 4 * ilen * plen
+                if ledger.weighted:
+                    ledger.col_pred_w[i0 : i0 + ilen] += alpha * (
+                        a_blk @ self._bc_partial_w
+                    )
+                    self.counters.checksum_flops += 2 * ilen * plen
+                self._injector.visit(
+                    "checksum", ledger.col_pred[i0 : i0 + ilen]
+                )
         self._injector.visit("pack_a", packed.data)
         return packed
 
@@ -367,14 +425,19 @@ class FTGemm(BlockedGemm):
         fast path (no injector), so no sites are visited."""
         if not self.ft:
             return
-        ledger = self._ledger
-        rows = packed.rows()[:ilen]
-        ledger.col_pred[i0 : i0 + ilen] += rows @ self._bc_partial
-        ledger.env_col[i0 : i0 + ilen] += np.abs(rows) @ self._abs_bc_partial
-        self.counters.checksum_flops += 4 * ilen * plen
-        if ledger.weighted:
-            ledger.col_pred_w[i0 : i0 + ilen] += rows @ self._bc_partial_w
-            self.counters.checksum_flops += 2 * ilen * plen
+        tr = self._tr
+        cm = (tr.span("checksum_update", cat="checksum",
+                      args={"site": "reuse_a", "i0": i0, "p0": p0})
+              if tr is not None else NULL_SPAN)
+        with cm:
+            ledger = self._ledger
+            rows = packed.rows()[:ilen]
+            ledger.col_pred[i0 : i0 + ilen] += rows @ self._bc_partial
+            ledger.env_col[i0 : i0 + ilen] += np.abs(rows) @ self._abs_bc_partial
+            self.counters.checksum_flops += 4 * ilen * plen
+            if ledger.weighted:
+                ledger.col_pred_w[i0 : i0 + ilen] += rows @ self._bc_partial_w
+                self.counters.checksum_flops += 2 * ilen * plen
 
     def _run_macro(self, packed_a, packed_b, c_block, *, i0, j0, last_p, on_tile) -> None:
         if self.ft and last_p:
@@ -388,10 +451,14 @@ class FTGemm(BlockedGemm):
                     row_weights=self._w_m[i0 : i0 + ilen],
                     col_weights=self._w_n[j0 : j0 + jlen],
                 )
+            tr = self._tr
             ref_kwargs = dict(
                 row_ref=ledger.row_ref[j0 : j0 + jlen],
                 col_ref=ledger.col_ref[i0 : i0 + ilen],
                 counters=self.counters,
+                tracer=tr,
+                trace_args=({"i0": i0, "j0": j0, "refs": True}
+                            if tr is not None else None),
                 **weighted_kwargs,
             )
             if self._mode == "batched":

@@ -47,6 +47,7 @@ from repro.gemm.blocking import iter_blocks
 from repro.gemm.driver import BlockedGemm
 from repro.gemm.macrokernel import TileHook, macro_kernel, macro_kernel_batched
 from repro.gemm.packing import PackedPanels, pack_a, pack_b
+from repro.obs.tracer import NULL_SPAN, NULL_TRACER, Tracer
 from repro.parallel.partition import partition_panels, partition_rows
 from repro.parallel.team import Team, make_team
 from repro.simcpu.counters import Counters
@@ -117,8 +118,14 @@ class ParallelFTGemm:
         n_threads: int = 4,
         backend: str = "simulated",
         order: list[int] | None = None,
+        tracer=None,
     ):
         self.config = config or FTGemmConfig()
+        if tracer is None and self.config.trace:
+            tracer = Tracer()
+        #: structured tracer (:mod:`repro.obs`); NULL_TRACER when disabled
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._tr = self.tracer if self.tracer.enabled else None
         #: alias so campaign code can treat serial and parallel drivers alike
         self.ft_config = self.config
         if self.config.verify_mode == "eager":
@@ -154,6 +161,39 @@ class ParallelFTGemm:
         on_tile: TileHook | None = None,
     ) -> FTGemmResult:
         """Protected parallel ``C = alpha*A@B + beta*C``."""
+        tr = self._tr = self.tracer if self.tracer.enabled else None
+        if tr is None:
+            return self._gemm_impl(a, b, c, alpha=alpha, beta=beta,
+                                   injector=injector, on_tile=on_tile)
+        if injector is not None:
+            try:
+                injector.tracer = tr
+            except AttributeError:
+                pass
+        args = {"threads": self.n_threads, "backend": self.backend,
+                "ft": self.ft}
+        ashape, bshape = np.shape(a), np.shape(b)
+        if len(ashape) == 2 and len(bshape) == 2:
+            args.update(m=int(ashape[0]), k=int(ashape[1]),
+                        n=int(bshape[1]))
+        with tr.span("gemm", cat="driver", args=args):
+            result = self._gemm_impl(a, b, c, alpha=alpha, beta=beta,
+                                     injector=injector, on_tile=on_tile)
+        result.trace = self.tracer
+        return result
+
+    def _gemm_impl(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        c: np.ndarray | None = None,
+        *,
+        alpha: float = 1.0,
+        beta: float = 0.0,
+        injector=None,
+        on_tile: TileHook | None = None,
+    ) -> FTGemmResult:
+        tr = self._tr
         a = as_2d_float64(a, "A")
         b = as_2d_float64(b, "B")
         if c is None:
@@ -254,65 +294,82 @@ class ParallelFTGemm:
             # ---- prologue: A^r partial + DMR scaling fused with C encoding
             if mlen:
                 if ft:
-                    a_slice = a[ms : ms + mlen]
-                    a_row_parts[tid] = alpha * a_slice.sum(axis=0)
-                    abs_a_row_parts[tid] = abs(alpha) * np.abs(a_slice).sum(axis=0)
-                    counters.checksum_flops += 2 * mlen * k
-                    if weighted:
-                        a_row_w_parts[tid] = alpha * (
-                            w_m[ms : ms + mlen] @ a_slice
+                    cm = (tr.span("prologue", cat="checksum", tid=tid,
+                                  args={"rows": mlen})
+                          if tr is not None else NULL_SPAN)
+                    with cm:
+                        a_slice = a[ms : ms + mlen]
+                        a_row_parts[tid] = alpha * a_slice.sum(axis=0)
+                        abs_a_row_parts[tid] = (
+                            abs(alpha) * np.abs(a_slice).sum(axis=0)
                         )
                         counters.checksum_flops += 2 * mlen * k
-                    injector.visit("checksum", a_row_parts[tid], tid=tid)
-                    if beta != 0.0:
-                        abs_c = np.abs(c_slice)
-                        ledger.c0_abs_row = abs_c.sum(axis=0)
-                        ledger.c0_abs_col = np.zeros(m)
-                        ledger.c0_abs_col[ms : ms + mlen] = abs_c.sum(axis=1)
-                        counters.checksum_flops += 2 * c_slice.size
-                    if config.dmr_protect_scale:
-                        dmr_scale(
-                            c_slice,
-                            beta,
-                            counters=counters,
-                            visit=lambda site, arr: injector.visit(
-                                site, arr, tid=tid
-                            ),
+                        if weighted:
+                            a_row_w_parts[tid] = alpha * (
+                                w_m[ms : ms + mlen] @ a_slice
+                            )
+                            counters.checksum_flops += 2 * mlen * k
+                        injector.visit("checksum", a_row_parts[tid], tid=tid)
+                    cm = (tr.span("scale_c", cat="scale", tid=tid,
+                                  args={"beta": beta})
+                          if tr is not None else NULL_SPAN)
+                    with cm:
+                        if beta != 0.0:
+                            abs_c = np.abs(c_slice)
+                            ledger.c0_abs_row = abs_c.sum(axis=0)
+                            ledger.c0_abs_col = np.zeros(m)
+                            ledger.c0_abs_col[ms : ms + mlen] = abs_c.sum(axis=1)
+                            counters.checksum_flops += 2 * c_slice.size
+                        if config.dmr_protect_scale:
+                            dmr_scale(
+                                c_slice,
+                                beta,
+                                counters=counters,
+                                visit=lambda site, arr: injector.visit(
+                                    site, arr, tid=tid
+                                ),
+                            )
+                        else:
+                            if beta == 0.0:
+                                c_slice[:] = 0.0
+                            elif beta != 1.0:
+                                c_slice *= beta
+                            injector.visit("scale", c_slice, tid=tid)
+                        if beta != 0.0:
+                            ledger.row_pred += c_slice.sum(axis=0)
+                            ledger.col_pred[ms : ms + mlen] += c_slice.sum(axis=1)
+                            counters.checksum_flops += 2 * c_slice.size
+                            if weighted:
+                                ledger.row_pred_w += w_m[ms : ms + mlen] @ c_slice
+                                ledger.col_pred_w[ms : ms + mlen] += c_slice @ w_n
+                                counters.checksum_flops += 4 * c_slice.size
+                        injector.visit(
+                            "checksum", ledger.col_pred[ms : ms + mlen], tid=tid
                         )
-                    else:
+                else:
+                    cm = (tr.span("scale_c", cat="scale", tid=tid,
+                                  args={"beta": beta})
+                          if tr is not None else NULL_SPAN)
+                    with cm:
                         if beta == 0.0:
                             c_slice[:] = 0.0
                         elif beta != 1.0:
                             c_slice *= beta
                         injector.visit("scale", c_slice, tid=tid)
-                    if beta != 0.0:
-                        ledger.row_pred += c_slice.sum(axis=0)
-                        ledger.col_pred[ms : ms + mlen] += c_slice.sum(axis=1)
-                        counters.checksum_flops += 2 * c_slice.size
-                        if weighted:
-                            ledger.row_pred_w += w_m[ms : ms + mlen] @ c_slice
-                            ledger.col_pred_w[ms : ms + mlen] += c_slice @ w_n
-                            counters.checksum_flops += 4 * c_slice.size
-                    injector.visit(
-                        "checksum", ledger.col_pred[ms : ms + mlen], tid=tid
-                    )
-                else:
-                    if beta == 0.0:
-                        c_slice[:] = 0.0
-                    elif beta != 1.0:
-                        c_slice *= beta
-                    injector.visit("scale", c_slice, tid=tid)
             yield  # barrier: A^r partials complete, C scaled
             counters.barriers += 1
 
             # duplicated reduction of the global A^r (no second barrier)
             if ft:
-                a_row = a_row_parts.sum(axis=0)
-                abs_a_row = abs_a_row_parts.sum(axis=0)
-                counters.checksum_flops += 2 * self.n_threads * k
-                if weighted:
-                    a_row_w = a_row_w_parts.sum(axis=0)
-                    counters.checksum_flops += self.n_threads * k
+                cm = (tr.span("reduce_a_row", cat="checksum", tid=tid)
+                      if tr is not None else NULL_SPAN)
+                with cm:
+                    a_row = a_row_parts.sum(axis=0)
+                    abs_a_row = abs_a_row_parts.sum(axis=0)
+                    counters.checksum_flops += 2 * self.n_threads * k
+                    if weighted:
+                        a_row_w = a_row_w_parts.sum(axis=0)
+                        counters.checksum_flops += self.n_threads * k
 
             n_p = len(p_blocks)
             for p_idx, (p0, plen) in enumerate(p_blocks):
@@ -326,39 +383,50 @@ class ParallelFTGemm:
                     # ---- cooperative packing of the shared B̃ (N-partition)
                     if width > 0:
                         b_chunk = b[p0 : p0 + plen, col0 : col0 + width]
-                        pack_b(
-                            b_chunk,
-                            cfg.nr,
-                            out=btilde[f0 : f0 + cnt, :plen, :],
-                        )
-                        counters.loads_bytes += b_chunk.nbytes
-                        counters.pack_b_bytes += cnt * plen * cfg.nr * 8
-                        counters.stores_bytes += cnt * plen * cfg.nr * 8
+                        cm = (tr.span("pack_b", cat="pack", tid=tid,
+                                      args={"p0": p0, "j0": j0,
+                                            "bytes": cnt * plen * cfg.nr * 8})
+                              if tr is not None else NULL_SPAN)
+                        with cm:
+                            pack_b(
+                                b_chunk,
+                                cfg.nr,
+                                out=btilde[f0 : f0 + cnt, :plen, :],
+                            )
+                            counters.loads_bytes += b_chunk.nbytes
+                            counters.pack_b_bytes += cnt * plen * cfg.nr * 8
+                            counters.stores_bytes += cnt * plen * cfg.nr * 8
                         if ft:
-                            abs_chunk = np.abs(b_chunk)
-                            # three uses per loaded B element: pack, B^c, C^r
-                            bc_share[tid, :plen] = b_chunk.sum(axis=1)
-                            abs_bc_share[tid, :plen] = abs_chunk.sum(axis=1)
-                            ledger.row_pred[col0 : col0 + width] += (
-                                a_row[p0 : p0 + plen] @ b_chunk
-                            )
-                            ledger.env_row[col0 : col0 + width] += (
-                                abs_a_row[p0 : p0 + plen] @ abs_chunk
-                            )
-                            counters.checksum_flops += 5 * plen * width
-                            if weighted:
-                                ledger.row_pred_w[col0 : col0 + width] += (
-                                    a_row_w[p0 : p0 + plen] @ b_chunk
+                            cm = (tr.span("checksum_update", cat="checksum",
+                                          tid=tid,
+                                          args={"site": "pack_b",
+                                                "p0": p0, "j0": j0})
+                                  if tr is not None else NULL_SPAN)
+                            with cm:
+                                abs_chunk = np.abs(b_chunk)
+                                # three uses per loaded B element: pack, B^c, C^r
+                                bc_share[tid, :plen] = b_chunk.sum(axis=1)
+                                abs_bc_share[tid, :plen] = abs_chunk.sum(axis=1)
+                                ledger.row_pred[col0 : col0 + width] += (
+                                    a_row[p0 : p0 + plen] @ b_chunk
                                 )
-                                bc_share_w[tid, :plen] = (
-                                    b_chunk @ w_n[col0 : col0 + width]
+                                ledger.env_row[col0 : col0 + width] += (
+                                    abs_a_row[p0 : p0 + plen] @ abs_chunk
                                 )
-                                counters.checksum_flops += 4 * plen * width
-                            injector.visit(
-                                "checksum",
-                                ledger.row_pred[col0 : col0 + width],
-                                tid=tid,
-                            )
+                                counters.checksum_flops += 5 * plen * width
+                                if weighted:
+                                    ledger.row_pred_w[col0 : col0 + width] += (
+                                        a_row_w[p0 : p0 + plen] @ b_chunk
+                                    )
+                                    bc_share_w[tid, :plen] = (
+                                        b_chunk @ w_n[col0 : col0 + width]
+                                    )
+                                    counters.checksum_flops += 4 * plen * width
+                                injector.visit(
+                                    "checksum",
+                                    ledger.row_pred[col0 : col0 + width],
+                                    tid=tid,
+                                )
                         injector.visit(
                             "pack_b", btilde[f0 : f0 + cnt, :plen, :], tid=tid
                         )
@@ -372,12 +440,16 @@ class ParallelFTGemm:
 
                     # duplicated reduction of B^c for this (p, j) block
                     if ft:
-                        bc = bc_share[:, :plen].sum(axis=0)
-                        abs_bc = abs_bc_share[:, :plen].sum(axis=0)
-                        counters.checksum_flops += 2 * self.n_threads * plen
-                        if weighted:
-                            bc_w = bc_share_w[:, :plen].sum(axis=0)
-                            counters.checksum_flops += self.n_threads * plen
+                        cm = (tr.span("reduce_bc", cat="checksum", tid=tid,
+                                      args={"p0": p0, "j0": j0})
+                              if tr is not None else NULL_SPAN)
+                        with cm:
+                            bc = bc_share[:, :plen].sum(axis=0)
+                            abs_bc = abs_bc_share[:, :plen].sum(axis=0)
+                            counters.checksum_flops += 2 * self.n_threads * plen
+                            if weighted:
+                                bc_w = bc_share_w[:, :plen].sum(axis=0)
+                                counters.checksum_flops += self.n_threads * plen
 
                     packed_b_full = PackedPanels(
                         data=btilde[:n_panels_j, :plen, :], valid=jlen
@@ -388,27 +460,41 @@ class ParallelFTGemm:
                         i0 = ms + ioff
                         a_blk = a[i0 : i0 + ilen, p0 : p0 + plen]
                         a_out = atilde[: cfg.micro_panels_m(ilen), :plen, :]
-                        packed_a = pack_a(a_blk, cfg.mr, out=a_out)
-                        if alpha != 1.0:
-                            a_out *= alpha  # fold alpha in place, no temp
-                        counters.loads_bytes += a_blk.nbytes
-                        counters.pack_a_bytes += packed_a.nbytes
-                        counters.stores_bytes += packed_a.nbytes
+                        cm = (tr.span("pack_a", cat="pack", tid=tid,
+                                      args={"i0": i0, "p0": p0})
+                              if tr is not None else NULL_SPAN)
+                        with cm:
+                            packed_a = pack_a(a_blk, cfg.mr, out=a_out)
+                            if alpha != 1.0:
+                                a_out *= alpha  # fold alpha in place, no temp
+                            counters.loads_bytes += a_blk.nbytes
+                            counters.pack_a_bytes += packed_a.nbytes
+                            counters.stores_bytes += packed_a.nbytes
                         if ft:
-                            # reuse the loaded A block for the C^c prediction
-                            ledger.col_pred[i0 : i0 + ilen] += alpha * (a_blk @ bc)
-                            ledger.env_col[i0 : i0 + ilen] += abs(alpha) * (
-                                np.abs(a_blk) @ abs_bc
-                            )
-                            counters.checksum_flops += 4 * ilen * plen
-                            if weighted:
-                                ledger.col_pred_w[i0 : i0 + ilen] += alpha * (
-                                    a_blk @ bc_w
+                            cm = (tr.span("checksum_update", cat="checksum",
+                                          tid=tid,
+                                          args={"site": "pack_a",
+                                                "i0": i0, "p0": p0})
+                                  if tr is not None else NULL_SPAN)
+                            with cm:
+                                # reuse the loaded A block for the C^c prediction
+                                ledger.col_pred[i0 : i0 + ilen] += alpha * (
+                                    a_blk @ bc
                                 )
-                                counters.checksum_flops += 2 * ilen * plen
-                            injector.visit(
-                                "checksum", ledger.col_pred[i0 : i0 + ilen], tid=tid
-                            )
+                                ledger.env_col[i0 : i0 + ilen] += abs(alpha) * (
+                                    np.abs(a_blk) @ abs_bc
+                                )
+                                counters.checksum_flops += 4 * ilen * plen
+                                if weighted:
+                                    ledger.col_pred_w[i0 : i0 + ilen] += alpha * (
+                                        a_blk @ bc_w
+                                    )
+                                    counters.checksum_flops += 2 * ilen * plen
+                                injector.visit(
+                                    "checksum",
+                                    ledger.col_pred[i0 : i0 + ilen],
+                                    tid=tid,
+                                )
                         injector.visit("pack_a", packed_a.data, tid=tid)
                         c_block = c[i0 : i0 + ilen, j0 : j0 + jlen]
 
@@ -430,12 +516,19 @@ class ParallelFTGemm:
                                     row_weights=w_m[i0 : i0 + ilen],
                                     col_weights=w_n[j0 : j0 + jlen],
                                 )
+                        trace_args = (
+                            {"tid": tid, "i0": i0, "j0": j0}
+                            if tr is not None
+                            else None
+                        )
                         if use_batched:
                             macro_kernel_batched(
                                 packed_a,
                                 packed_b_full,
                                 c_block,
                                 counters=counters,
+                                tracer=tr,
+                                trace_args=trace_args,
                                 **ref_kwargs,
                             )
                         else:
@@ -445,6 +538,8 @@ class ParallelFTGemm:
                                 c_block,
                                 on_tile=hook,
                                 counters=counters,
+                                tracer=tr,
+                                trace_args=trace_args,
                                 **ref_kwargs,
                             )
                         counters.loads_bytes += (
@@ -462,9 +557,10 @@ class ParallelFTGemm:
                 self.backend,
                 fail_stops=fail_stops,
                 order=self.order,
+                tracer=tr,
             )
         else:
-            team = make_team(self.n_threads, self.backend)
+            team = make_team(self.n_threads, self.backend, tracer=tr)
         team.run(worker)
 
         # ---- serial epilogue: reduce counters, recover from deaths, verify
@@ -474,6 +570,7 @@ class ParallelFTGemm:
 
         recovery: RecoveryReport | None = None
         if team.deaths:
+            t0 = tr.now_us() if tr is not None else 0.0
             recovery = self._recover_from_deaths(
                 team,
                 a,
@@ -487,6 +584,16 @@ class ParallelFTGemm:
                 j_blocks=j_blocks,
                 counters=total,
             )
+            if tr is not None:
+                tr.complete(
+                    "recover.thread_recovery",
+                    cat="recover",
+                    t0_us=t0,
+                    args={
+                        "deaths": sorted(d.tid for d in team.deaths),
+                        "rounds": len(recovery.rounds),
+                    },
+                )
 
         self.counters = total
         reports = []
@@ -496,6 +603,7 @@ class ParallelFTGemm:
                 # survivor ledgers are polluted by stale shared-B̃ reads and
                 # the dead thread's ledger is partial: rebuild the whole
                 # checksum state from first principles over the recovered C
+                t0 = tr.now_us() if tr is not None else 0.0
                 ledger = ledger_from_state(
                     a,
                     b,
@@ -506,6 +614,12 @@ class ParallelFTGemm:
                     weighted=weighted,
                     counters=total,
                 )
+                if tr is not None:
+                    tr.complete(
+                        "recover.ledger_rebuild",
+                        cat="recover",
+                        t0_us=t0,
+                    )
             else:
                 ledger = ledgers[0]
                 for other in ledgers[1:]:
@@ -520,6 +634,7 @@ class ParallelFTGemm:
                     config=self.config,
                     counters=total,
                     injector=raw_injector,
+                    tracer=tr,
                 )
                 try:
                     reports, verified, recovery = supervisor.finalize(
@@ -542,6 +657,7 @@ class ParallelFTGemm:
                     config=self.config,
                     counters=total,
                     injector=raw_injector,
+                    tracer=tr,
                 )
                 try:
                     reports, verified = verifier.finalize(c, ledger)

@@ -57,6 +57,9 @@ class FTGemmResult:
     #: :class:`repro.core.supervisor.RecoveryReport` when the run needed
     #: recovery beyond a clean first verification (None on the clean path)
     recovery: object | None = None
+    #: :class:`repro.obs.tracer.Tracer` carrying the run's spans/metrics
+    #: when tracing was enabled (None otherwise)
+    trace: object | None = None
 
     @property
     def detected(self) -> int:

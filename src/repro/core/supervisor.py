@@ -154,6 +154,7 @@ class EscalationSupervisor:
         config: FTGemmConfig,
         counters: Counters,
         injector=None,
+        tracer=None,
     ):
         self.a = a
         self.b = b
@@ -163,6 +164,9 @@ class EscalationSupervisor:
         self.config = config
         self.counters = counters
         self.injector = injector
+        #: a live Tracer or None; every escalation rung becomes one
+        #: ``recover.*`` span plus an "escalation" instant event
+        self.tracer = tracer
         self.verifier = Verifier(
             a,
             b,
@@ -172,6 +176,7 @@ class EscalationSupervisor:
             config=config.with_(strict=False) if config.strict else config,
             counters=counters,
             injector=injector,
+            tracer=tracer,
         )
 
     # -------------------------------------------------------------- main API
@@ -201,8 +206,21 @@ class EscalationSupervisor:
         if quarantine is not None:
             report.quarantined = report.quarantined + tuple(quarantine())
         rows, cols = self._suspect_lines(reports)
+        tr = self.tracer
         if rows or cols:
+            if tr is not None:
+                tr.event("escalation", cat="recover",
+                         args={"strategy": "repack_recompute",
+                               "rows": len(rows), "cols": len(cols)})
+                # strategy work only: the re-verification after the leg
+                # traces itself as verify_round spans (sibling category)
+                t0 = tr.now_us()
             acted = self._repack_recompute(c, ledger, rows, cols)
+            if tr is not None:
+                tr.complete("recover.repack_recompute", cat="recover",
+                            t0_us=t0, args={"acted": acted,
+                                            "rows": len(rows),
+                                            "cols": len(cols)})
             if acted:
                 more, verified = self.verifier.finalize(c, ledger)
                 reports.extend(more)
@@ -224,7 +242,14 @@ class EscalationSupervisor:
                 return reports, True, report
 
         # ---- escalation 2: DMR-verified recompute of the whole result
+        if tr is not None:
+            tr.event("escalation", cat="recover",
+                     args={"strategy": "dmr_recompute"})
+            t0 = tr.now_us()
         acted = self._dmr_recompute(c, ledger)
+        if tr is not None:
+            tr.complete("recover.dmr_recompute", cat="recover", t0_us=t0,
+                        args={"acted": acted})
         if acted:
             more, verified = self.verifier.finalize(c, ledger)
             reports.extend(more)

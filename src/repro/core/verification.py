@@ -131,6 +131,7 @@ class Verifier:
         config: FTGemmConfig,
         counters: Counters,
         injector=None,
+        tracer=None,
     ):
         self.a = a
         self.b = b
@@ -140,6 +141,28 @@ class Verifier:
         self.config = config
         self.counters = counters
         self.injector = injector
+        #: a live Tracer or None (callers pass their already-gated ``_tr``);
+        #: each verification round becomes one retroactive "verify_round"
+        #: span, the outcome one "verdict" instant event
+        self.tracer = tracer
+
+    def _push(self, reports: list[VerificationReport],
+              report: VerificationReport, t0: float) -> None:
+        """Append a round report and close its trace span (if tracing)."""
+        reports.append(report)
+        tr = self.tracer
+        if tr is not None:
+            tr.complete(
+                "verify_round", cat="verify", t0_us=t0,
+                args={
+                    "round": report.round_index,
+                    "pattern": report.pattern_kind,
+                    "rederived": report.checksum_rederived,
+                    "corrected": len(report.corrected),
+                    "recomputed": (len(report.recomputed_rows)
+                                   + len(report.recomputed_cols)),
+                },
+            )
 
     def _poison(self, array: np.ndarray, sites: tuple[str, ...]) -> int:
         """Sticky re-application hook; 0 when no live persistent faults."""
@@ -179,7 +202,9 @@ class Verifier:
         recompute_rounds = 0
         last_signature: tuple | None = None
         max_rounds = self.config.max_recompute_attempts + 4
+        tr = self.tracer
         while len(reports) < max_rounds:
+            t0 = tr.now_us() if tr is not None else 0.0
             self.counters.verifications += 1
             pattern = locate(
                 ledger.row_ref - ledger.row_pred,
@@ -188,9 +213,11 @@ class Verifier:
                 tol_cols,
             )
             if pattern.kind == "clean":
-                reports.append(
-                    VerificationReport(len(reports), "clean")
-                )
+                self._push(reports, VerificationReport(len(reports), "clean"),
+                           t0)
+                if tr is not None:
+                    tr.event("verdict", cat="verify",
+                             args={"verified": True, "rounds": len(reports)})
                 return reports, True
 
             self.counters.errors_detected += max(pattern.n_rows, pattern.n_cols)
@@ -205,14 +232,16 @@ class Verifier:
                 self._rederive(c, ledger)
                 rederived = True
                 self._refresh_refs(c, ledger)
-                reports.append(
+                self._push(
+                    reports,
                     VerificationReport(
                         len(reports),
                         pattern.kind,
                         flagged_rows=tuple(int(i) for i in pattern.rows),
                         flagged_cols=tuple(int(j) for j in pattern.cols),
                         checksum_rederived=True,
-                    )
+                    ),
+                    t0,
                 )
                 continue
             last_signature = signature
@@ -226,7 +255,8 @@ class Verifier:
                     ):
                         return self._fail(reports)
                     recompute_rounds += 1
-                    reports.append(
+                    self._push(
+                        reports,
                         VerificationReport(
                             len(reports),
                             pattern.kind,
@@ -234,26 +264,29 @@ class Verifier:
                             flagged_cols=tuple(int(j) for j in pattern.cols),
                             recomputed_rows=tuple(int(i) for i in pattern.rows),
                             recomputed_cols=tuple(int(j) for j in pattern.cols),
-                        )
+                        ),
+                        t0,
                     )
                 else:
                     self._rederive(c, ledger)
                     rederived = True
-                    reports.append(
+                    self._push(
+                        reports,
                         VerificationReport(
                             len(reports),
                             pattern.kind,
                             flagged_rows=tuple(int(i) for i in pattern.rows),
                             flagged_cols=tuple(int(j) for j in pattern.cols),
                             checksum_rederived=True,
-                        )
+                        ),
+                        t0,
                     )
                 self._refresh_refs(c, ledger)
                 continue
 
             if ledger.weighted and pattern.kind == "multi":
                 updated_rounds = self._weighted_round(
-                    c, ledger, pattern, reports, recompute_rounds
+                    c, ledger, pattern, reports, recompute_rounds, t0
                 )
                 if updated_rounds is None:
                     return self._fail(reports)
@@ -273,11 +306,14 @@ class Verifier:
                         c, outcome.recompute_rows, outcome.recompute_cols
                     )
                 ):
-                    reports.append(self._report_from(len(reports), pattern, outcome))
+                    self._push(reports,
+                               self._report_from(len(reports), pattern, outcome),
+                               t0)
                     return self._fail(reports)
                 recompute_rounds += 1
                 self._refresh_refs(c, ledger)
-            reports.append(self._report_from(len(reports), pattern, outcome))
+            self._push(reports, self._report_from(len(reports), pattern, outcome),
+                       t0)
         return self._fail(reports)
 
     # --------------------------------------------------------------- helpers
@@ -288,6 +324,7 @@ class Verifier:
         pattern,
         reports: list[VerificationReport],
         recompute_rounds: int,
+        t0: float = 0.0,
     ) -> int | None:
         """Weighted-scheme multi-error round: per-row ratio localization.
 
@@ -322,7 +359,8 @@ class Verifier:
                 ledger.col_ref[i] -= delta
                 ledger.row_ref_w[j] -= w_m[i] * delta
                 ledger.col_ref_w[i] -= w_n[j] * delta
-        reports.append(
+        self._push(
+            reports,
             VerificationReport(
                 len(reports),
                 pattern.kind,
@@ -330,7 +368,8 @@ class Verifier:
                 flagged_cols=tuple(int(j) for j in pattern.cols),
                 corrected=tuple(resolution.corrections),
                 recomputed_rows=tuple(resolution.recompute_rows),
-            )
+            ),
+            t0,
         )
         if resolution.recompute_rows:
             if (
@@ -355,6 +394,9 @@ class Verifier:
         )
 
     def _fail(self, reports: list[VerificationReport]) -> tuple[list[VerificationReport], bool]:
+        if self.tracer is not None:
+            self.tracer.event("verdict", cat="verify",
+                              args={"verified": False, "rounds": len(reports)})
         if self.config.strict:
             raise UncorrectableError(
                 "checksum verification failed beyond the correction/recompute "

@@ -148,6 +148,9 @@ class FaultInjector:
         self._quarantined: list[_StickyFault] = []
         #: total sticky re-applications performed (all sites)
         self.sticky_reapplied = 0
+        #: attachment point for :mod:`repro.obs`: the traced drivers set a
+        #: live Tracer here so every strike emits a ``fault.injected`` event
+        self.tracer = None
 
     # ------------------------------------------------------------ thread map
     def bind_thread_map(self, thread_map: dict[str, list[list[int]]]) -> None:
@@ -231,6 +234,20 @@ class FaultInjector:
                             model=self.plan.model,
                         )
                     )
+            tracer = self.tracer
+            if tracer is not None:
+                tracer.event(
+                    "fault.injected", cat="fault", tid=tid or 0,
+                    args={
+                        "site": site,
+                        "invocation": invocation,
+                        "model": self.plan.model.describe(),
+                        "index": [int(i) for i in first_index],
+                        "elements": len(touched),
+                        "persistent": self.plan.model.persistent,
+                    },
+                )
+                tracer.metrics.inc("faults.injected")
             struck = True
         if self._sticky:
             self._reapply_site(site, array)

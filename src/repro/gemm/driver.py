@@ -25,6 +25,7 @@ from repro.gemm.blocking import BlockingConfig, iter_blocks
 from repro.gemm.macrokernel import TileHook, macro_kernel, macro_kernel_batched
 from repro.gemm.packing import PackedPanels, pack_a, pack_b
 from repro.gemm.workspace import Workspace
+from repro.obs.tracer import NULL_SPAN, NULL_TRACER
 from repro.simcpu.counters import Counters
 from repro.simcpu.trace import MemoryAccess
 from repro.util.errors import ShapeError
@@ -89,10 +90,20 @@ class BlockedGemm:
         *,
         counters: Counters | None = None,
         sink: MemorySink | None = None,
+        tracer=None,
     ):
         self.config = config or BlockingConfig()
         self.counters = counters if counters is not None else Counters()
         self.sink = sink
+        #: structured tracer (:mod:`repro.obs`); the NULL_TRACER default
+        #: keeps every instrumented site a no-op
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        # hot-path alias: the live Tracer when enabled, else None — call
+        # sites test `self._tr is not None` before building span arguments
+        self._tr = self.tracer if self.tracer.enabled else None
+        # guards against nested root spans (FTGemm opens the root itself
+        # so verification/recovery fall inside it)
+        self._root_active = False
         self.layout: AddressLayout | None = None
         # strides (bytes per row) of the live operands, set per call
         self._row_bytes: dict[str, int] = {}
@@ -135,9 +146,41 @@ class BlockedGemm:
         self._reuse_a = self._fast_path()
         self._mode = self._resolve_mode(on_tile)
         self.last_mode = self._mode
+        tr = self._tr = self.tracer if self.tracer.enabled else None
 
+        if tr is not None and not self._root_active:
+            self._root_active = True
+            try:
+                with tr.span("gemm", cat="driver",
+                             args={"m": m, "n": n, "k": k,
+                                   "mode": self._mode,
+                                   "reuse_a": self._reuse_a}):
+                    self._run_loops(a, b, c, alpha, beta, m, n, k, on_tile)
+            finally:
+                self._root_active = False
+        else:
+            self._run_loops(a, b, c, alpha, beta, m, n, k, on_tile)
+        return c
+
+    def _run_loops(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        c: np.ndarray,
+        alpha: float,
+        beta: float,
+        m: int,
+        n: int,
+        k: int,
+        on_tile: TileHook | None,
+    ) -> None:
+        """The Figure-1 loop nest (factored out so the root span wraps it)."""
+        cfg = self.config
+        tr = self._tr
         self._begin(m, n, k, a, b, c, alpha, beta)
-        self._scale_c(c, beta)
+        with (tr.span("scale_c", cat="scale", args={"beta": beta})
+              if tr is not None else NULL_SPAN):
+            self._scale_c(c, beta)
 
         n_pblocks = len(list(iter_blocks(k, cfg.kc)))
         for p_idx, (p0, plen) in enumerate(iter_blocks(k, cfg.kc)):
@@ -163,7 +206,6 @@ class BlockedGemm:
             self._after_p(p_idx, last_p, c)
         self._a_cache.clear()
         self._finish(c)
-        return c
 
     # -------------------------------------------------------- dispatch layer
     def _fast_path(self) -> bool:
@@ -251,14 +293,22 @@ class BlockedGemm:
         self, b: np.ndarray, p0: int, plen: int, j0: int, jlen: int
     ) -> PackedPanels:
         """Pack ``B(p0:p0+plen, j0:j0+jlen)`` into B̃ panels."""
-        block = b[p0 : p0 + plen, j0 : j0 + jlen]
-        out = self.workspace.b_view(self.config.micro_panels_n(jlen), plen)
-        packed = pack_b(block, self.config.nr, out=out)
-        self.counters.loads_bytes += block.nbytes
-        self.counters.pack_b_bytes += packed.nbytes
-        self.counters.stores_bytes += packed.nbytes
-        self._emit("B", p0, j0, plen, jlen, write=False)
-        self._emit_packed("Btilde", packed, write=True)
+        tr = self._tr
+        cm = (tr.span(
+            "pack_b", cat="pack",
+            args={"p0": p0, "j0": j0,
+                  "bytes": self.config.micro_panels_n(jlen)
+                  * self.config.nr * plen * DOUBLE},
+        ) if tr is not None else NULL_SPAN)
+        with cm:
+            block = b[p0 : p0 + plen, j0 : j0 + jlen]
+            out = self.workspace.b_view(self.config.micro_panels_n(jlen), plen)
+            packed = pack_b(block, self.config.nr, out=out)
+            self.counters.loads_bytes += block.nbytes
+            self.counters.pack_b_bytes += packed.nbytes
+            self.counters.stores_bytes += packed.nbytes
+            self._emit("B", p0, j0, plen, jlen, write=False)
+            self._emit_packed("Btilde", packed, write=True)
         return packed
 
     def _pack_a_block(
@@ -282,18 +332,26 @@ class BlockedGemm:
         every j block, per Figure 1's loop order — subclasses fusing
         per-(p, i) work can key off this flag).
         """
-        block = a[i0 : i0 + ilen, p0 : p0 + plen]
-        out = self.workspace.a_view(i0, self.config.micro_panels_m(ilen), plen)
-        packed = pack_a(block, self.config.mr, out=out)
-        if alpha != 1.0:
-            # fold alpha into Ã in place (padding rows are zero, so scaling
-            # the whole buffer is safe) — no per-block temporary
-            out *= alpha
-        self.counters.loads_bytes += block.nbytes
-        self.counters.pack_a_bytes += packed.nbytes
-        self.counters.stores_bytes += packed.nbytes
-        self._emit("A", i0, p0, ilen, plen, write=False)
-        self._emit_packed("Atilde", packed, write=True)
+        tr = self._tr
+        cm = (tr.span(
+            "pack_a", cat="pack",
+            args={"i0": i0, "p0": p0,
+                  "bytes": self.config.micro_panels_m(ilen)
+                  * self.config.mr * plen * DOUBLE},
+        ) if tr is not None else NULL_SPAN)
+        with cm:
+            block = a[i0 : i0 + ilen, p0 : p0 + plen]
+            out = self.workspace.a_view(i0, self.config.micro_panels_m(ilen), plen)
+            packed = pack_a(block, self.config.mr, out=out)
+            if alpha != 1.0:
+                # fold alpha into Ã in place (padding rows are zero, so
+                # scaling the whole buffer is safe) — no per-block temporary
+                out *= alpha
+            self.counters.loads_bytes += block.nbytes
+            self.counters.pack_a_bytes += packed.nbytes
+            self.counters.stores_bytes += packed.nbytes
+            self._emit("A", i0, p0, ilen, plen, write=False)
+            self._emit_packed("Atilde", packed, write=True)
         return packed
 
     def _reuse_a_block(
@@ -323,12 +381,16 @@ class BlockedGemm:
         on_tile: TileHook | None,
     ) -> None:
         """One macro-kernel invocation; FTGemm adds checksum-ref collection."""
+        tr = self._tr
+        targs = {"i0": i0, "j0": j0} if tr is not None else None
         if self._mode == "batched":
             macro_kernel_batched(
                 packed_a,
                 packed_b,
                 c_block,
                 counters=self.counters,
+                tracer=tr,
+                trace_args=targs,
             )
         else:
             macro_kernel(
@@ -337,6 +399,8 @@ class BlockedGemm:
                 c_block,
                 on_tile=on_tile,
                 counters=self.counters,
+                tracer=tr,
+                trace_args=targs,
             )
         self._emit_macro_traffic(packed_a, packed_b, c_block, i0, j0)
 

@@ -36,10 +36,25 @@ import numpy as np
 
 from repro.gemm.microkernel import microkernel, tile_flops
 from repro.gemm.packing import PackedPanels
+from repro.obs.tracer import NULL_SPAN
 from repro.simcpu.counters import Counters
 from repro.util.errors import ShapeError
 
 TileHook = Callable[[np.ndarray, int, int], None]
+
+
+def _trace_span(tracer, name: str, trace_args: dict | None):
+    """A compute-phase span for one macro-kernel sweep, or the no-op span.
+
+    ``trace_args`` may carry a ``"tid"`` key (the logical team thread, set
+    by the parallel driver) — it becomes the span's thread row rather than
+    a payload argument.
+    """
+    if tracer is None:
+        return NULL_SPAN
+    args = dict(trace_args) if trace_args else {}
+    tid = args.pop("tid", 0)
+    return tracer.span(name, cat="compute", tid=tid, args=args or None)
 
 
 def _check_macro_args(
@@ -107,6 +122,8 @@ def macro_kernel(
     col_weights: np.ndarray | None = None,
     on_tile: TileHook | None = None,
     counters: Counters | None = None,
+    tracer=None,
+    trace_args: dict | None = None,
 ) -> None:
     """Compute ``c_block += Ã · B̃`` in register tiles, in place.
 
@@ -133,7 +150,8 @@ def macro_kernel(
     # fail-continue semantics: corrupted operands (inf/NaN from injected
     # faults) must flow through the kernel silently, as they would through
     # hardware FMAs — detection is the checksum layer's job
-    with np.errstate(invalid="ignore", over="ignore"):
+    with _trace_span(tracer, "macro_kernel", trace_args), \
+            np.errstate(invalid="ignore", over="ignore"):
         for ia in range(packed_a.n_panels):
             i0 = ia * mr
             tm = packed_a.panel_extent(ia)
@@ -174,6 +192,8 @@ def macro_kernel_batched(
     row_weights: np.ndarray | None = None,
     col_weights: np.ndarray | None = None,
     counters: Counters | None = None,
+    tracer=None,
+    trace_args: dict | None = None,
 ) -> None:
     """Compute ``c_block += Ã · B̃`` as one block-level contraction.
 
@@ -192,7 +212,8 @@ def macro_kernel_batched(
         row_ref, col_ref, row_ref_w, col_ref_w, row_weights, col_weights,
     )
     depth = packed_a.depth
-    with np.errstate(invalid="ignore", over="ignore"):
+    with _trace_span(tracer, "macro_kernel_batched", trace_args), \
+            np.errstate(invalid="ignore", over="ignore"):
         # (padded_m, depth) @ (depth, padded_n): one BLAS call for the block;
         # the padded rows/columns fall away in the slice-accumulate
         update = packed_a.rows() @ packed_b.cols()

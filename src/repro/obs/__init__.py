@@ -1,0 +1,54 @@
+"""Zero-dependency observability layer: tracing, metrics, exporters.
+
+The package has four pieces:
+
+- :mod:`repro.obs.tracer` — :class:`Tracer` producing nested spans
+  (monotonic clock, per-logical-thread) and instant events, with a no-op
+  :class:`NullTracer` singleton (:data:`NULL_TRACER`) so the fault-free hot
+  path stays within noise when tracing is off;
+- :mod:`repro.obs.metrics` — a thread-safe :class:`MetricsRegistry` of
+  counters, gauges and histograms (barrier wait times live here);
+- :mod:`repro.obs.export` — JSONL and Chrome ``chrome://tracing`` /
+  Perfetto trace-event exporters plus a schema validator;
+- :mod:`repro.obs.report` — joins measured span totals against the
+  :mod:`repro.perfmodel` phase predictions (the measured-vs-predicted
+  table and per-phase overhead breakdown).
+"""
+
+from repro.obs.export import (
+    TraceSchemaError,
+    load_jsonl,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import NULL_METRICS, Histogram, MetricsRegistry
+from repro.obs.report import PhaseReport, phase_report, phase_totals
+from repro.obs.tracer import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullTracer,
+    TraceEvent,
+    Tracer,
+)
+
+__all__ = [
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "NullTracer",
+    "PhaseReport",
+    "TraceEvent",
+    "TraceSchemaError",
+    "Tracer",
+    "load_jsonl",
+    "phase_report",
+    "phase_totals",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]

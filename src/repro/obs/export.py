@@ -1,0 +1,229 @@
+"""Trace exporters: JSONL and Chrome ``chrome://tracing`` / Perfetto.
+
+Two on-disk formats, one in-memory model (:class:`~repro.obs.tracer.
+TraceEvent` lists plus a metrics snapshot):
+
+- **JSONL** — one JSON object per line; span/event lines carry a ``"type":
+  "event"`` tag, a single trailing line carries ``"type": "metrics"``.
+  This is the lossless round-trippable format (:func:`write_jsonl` /
+  :func:`load_jsonl`).
+- **Chrome trace-event JSON** — the object format understood by
+  ``chrome://tracing`` and https://ui.perfetto.dev: ``{"traceEvents":
+  [...], "displayTimeUnit": "ms", "otherData": {...}}``. Process/thread
+  name metadata events are synthesised so Perfetto labels the rows; the
+  metrics snapshot travels in ``otherData.metrics``.
+
+:func:`validate_chrome_trace` checks the structural contract (required
+keys, known phases, non-negative complete-event durations, per-tid span
+containment) and raises :class:`TraceSchemaError` with every violation —
+it is what the CI smoke step and the round-trip tests call.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.obs.tracer import TraceEvent, Tracer
+
+__all__ = [
+    "TraceSchemaError",
+    "load_jsonl",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]
+
+#: Chrome phases this layer emits or accepts. ``M`` is metadata
+#: (process/thread names), ``I`` is the legacy spelling of instant.
+KNOWN_PHASES = ("X", "i", "I", "C", "M")
+
+
+class TraceSchemaError(ValueError):
+    """The trace violates the trace-event structural contract."""
+
+    def __init__(self, problems: list[str]):
+        self.problems = problems
+        preview = "; ".join(problems[:5])
+        more = f" (+{len(problems) - 5} more)" if len(problems) > 5 else ""
+        super().__init__(f"invalid trace: {preview}{more}")
+
+
+# --------------------------------------------------------------------- JSONL
+def write_jsonl(path, events: Iterable[TraceEvent],
+                metrics: dict | None = None) -> None:
+    """Write events (and an optional metrics snapshot) as JSON lines."""
+    with open(path, "w", encoding="utf-8") as fh:
+        for e in events:
+            record = {
+                "type": "event",
+                "name": e.name,
+                "cat": e.cat,
+                "ph": e.ph,
+                "ts_us": e.ts_us,
+                "tid": e.tid,
+            }
+            if e.dur_us is not None:
+                record["dur_us"] = e.dur_us
+            if e.args is not None:
+                record["args"] = e.args
+            fh.write(json.dumps(record) + "\n")
+        if metrics is not None:
+            fh.write(json.dumps({"type": "metrics", "metrics": metrics}) + "\n")
+
+
+def load_jsonl(path) -> tuple[list[TraceEvent], dict]:
+    """Load a JSONL trace back into events + metrics snapshot."""
+    events: list[TraceEvent] = []
+    metrics: dict = {}
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.get("type")
+            if kind == "metrics":
+                metrics = record.get("metrics", {})
+            elif kind == "event":
+                events.append(
+                    TraceEvent(
+                        name=record["name"],
+                        cat=record.get("cat", ""),
+                        ph=record["ph"],
+                        ts_us=float(record["ts_us"]),
+                        tid=int(record.get("tid", 0)),
+                        dur_us=(float(record["dur_us"])
+                                if "dur_us" in record else None),
+                        args=record.get("args"),
+                    )
+                )
+            else:
+                raise TraceSchemaError(
+                    [f"line {lineno}: unknown record type {kind!r}"]
+                )
+    return events, metrics
+
+
+# -------------------------------------------------------------- Chrome trace
+def to_chrome_trace(events: Iterable[TraceEvent],
+                    metrics: dict | None = None,
+                    meta: dict | None = None) -> dict:
+    """Convert events to the Chrome trace-event object format."""
+    trace_events: list[dict] = []
+    tids = sorted({e.tid for e in events if isinstance(e, TraceEvent)} | {0})
+    trace_events.append({
+        "name": "process_name", "ph": "M", "pid": 0, "tid": 0, "ts": 0,
+        "args": {"name": "ft-gemm"},
+    })
+    for tid in tids:
+        trace_events.append({
+            "name": "thread_name", "ph": "M", "pid": 0, "tid": tid, "ts": 0,
+            "args": {"name": "main" if tid == 0 else f"worker-{tid}"},
+        })
+    for e in events:
+        trace_events.append(e.to_chrome())
+    trace: dict = {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+    other: dict = {}
+    if metrics is not None:
+        other["metrics"] = metrics
+    if meta is not None:
+        other.update(meta)
+    if other:
+        trace["otherData"] = other
+    return trace
+
+
+def write_chrome_trace(path, source, metrics: dict | None = None,
+                       meta: dict | None = None) -> dict:
+    """Write a Chrome-trace JSON file; accepts a Tracer or an event list.
+
+    Returns the trace object that was written (handy for tests/validation).
+    """
+    if isinstance(source, Tracer):
+        events = source.events
+        if metrics is None:
+            metrics = source.metrics.snapshot()
+    else:
+        events = list(source)
+    trace = to_chrome_trace(events, metrics=metrics, meta=meta)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(trace, fh)
+    return trace
+
+
+# ---------------------------------------------------------------- validation
+def validate_chrome_trace(trace) -> int:
+    """Validate a Chrome-trace object, JSON string, or file path.
+
+    Returns the number of ``traceEvents`` on success; raises
+    :class:`TraceSchemaError` listing every structural problem otherwise.
+    """
+    if isinstance(trace, (str, bytes)) and not str(trace).lstrip().startswith("{"):
+        with open(trace, encoding="utf-8") as fh:
+            trace = json.load(fh)
+    elif isinstance(trace, (str, bytes)):
+        trace = json.loads(trace)
+
+    problems: list[str] = []
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        raise TraceSchemaError(["top level must be an object with traceEvents"])
+    events = trace["traceEvents"]
+    if not isinstance(events, list):
+        raise TraceSchemaError(["traceEvents must be a list"])
+
+    # spans per tid, for the containment check below
+    spans_by_tid: dict[int, list[tuple[float, float, str]]] = {}
+    for idx, e in enumerate(events):
+        where = f"traceEvents[{idx}]"
+        if not isinstance(e, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in e:
+                problems.append(f"{where}: missing {key!r}")
+        ph = e.get("ph")
+        if ph not in KNOWN_PHASES:
+            problems.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if ph == "M":
+            continue
+        if "ts" not in e:
+            problems.append(f"{where}: missing 'ts'")
+            continue
+        ts = e["ts"]
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: bad ts {ts!r}")
+            continue
+        if ph == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: complete event with bad dur {dur!r}")
+                continue
+            spans_by_tid.setdefault(int(e.get("tid", 0)), []).append(
+                (float(ts), float(ts) + float(dur), str(e.get("name")))
+            )
+        if ph == "C" and "args" not in e:
+            problems.append(f"{where}: counter event without args")
+
+    # Per-tid containment: any two spans on one logical thread must either
+    # nest or be disjoint — overlap means broken begin/end pairing (e.g. a
+    # dead thread's span left open and closed across another's).
+    eps = 1e-3  # µs slack for float round-trips
+    for tid, spans in spans_by_tid.items():
+        spans.sort(key=lambda s: (s[0], -s[1]))
+        stack: list[tuple[float, float, str]] = []
+        for begin, end, name in spans:
+            while stack and begin >= stack[-1][1] - eps:
+                stack.pop()
+            if stack and end > stack[-1][1] + eps:
+                problems.append(
+                    f"tid {tid}: span {name!r} [{begin:.1f}, {end:.1f}] "
+                    f"overlaps {stack[-1][2]!r} ending at {stack[-1][1]:.1f}"
+                )
+            stack.append((begin, end, name))
+
+    if problems:
+        raise TraceSchemaError(problems)
+    return len(events)

@@ -1,0 +1,121 @@
+"""Thread-safe metrics: counters, gauges and histograms.
+
+The registry is deliberately tiny — names are plain strings (convention:
+``dotted.name`` with a ``.t<tid>`` suffix for per-thread series, e.g.
+``barrier.wait_us.t2``), values are floats, and histograms use fixed
+power-of-two bucket boundaries so merging and rendering need no
+configuration. Everything is guarded by one lock; metrics are only written
+on traced runs, so contention is irrelevant next to the work being traced.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_right
+
+__all__ = ["Histogram", "MetricsRegistry", "NULL_METRICS", "NullMetrics"]
+
+#: default histogram bucket upper bounds (power-of-two ladder); a final
+#: implicit +inf bucket catches the rest. Units are the caller's choice —
+#: the barrier instrumentation records microseconds.
+DEFAULT_BOUNDS = tuple(float(2**i) for i in range(0, 21))  # 1us .. ~1s
+
+
+class Histogram:
+    """Fixed-bucket histogram tracking count/sum/min/max."""
+
+    __slots__ = ("bounds", "buckets", "count", "total", "min", "max")
+
+    def __init__(self, bounds: tuple[float, ...] = DEFAULT_BOUNDS):
+        self.bounds = bounds
+        self.buckets = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.buckets[bisect_right(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+            "bounds": list(self.bounds),
+            "buckets": list(self.buckets),
+        }
+
+
+class MetricsRegistry:
+    """Counters (monotonic), gauges (last value) and histograms by name."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    enabled = True
+
+    def inc(self, name: str, value: float = 1.0) -> None:
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        with self._lock:
+            hist = self.histograms.get(name)
+            if hist is None:
+                hist = self.histograms[name] = Histogram()
+            hist.observe(value)
+
+    def snapshot(self) -> dict:
+        """A JSON-serialisable view of everything recorded so far."""
+        with self._lock:
+            return {
+                "counters": dict(self.counters),
+                "gauges": dict(self.gauges),
+                "histograms": {
+                    name: hist.snapshot()
+                    for name, hist in self.histograms.items()
+                },
+            }
+
+
+class NullMetrics:
+    """Disabled registry: no-ops with the same surface."""
+
+    enabled = False
+
+    __slots__ = ()
+
+    def inc(self, name, value=1.0):
+        return None
+
+    def set_gauge(self, name, value):
+        return None
+
+    def observe(self, name, value):
+        return None
+
+    def snapshot(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+NULL_METRICS = NullMetrics()

@@ -69,11 +69,17 @@ def _kill_schedule(fail_stops: Iterable) -> dict[int, int]:
 class Team:
     """Common interface: ``run(worker)`` executes one parallel region."""
 
-    def __init__(self, n_threads: int, fail_stops: Iterable = ()):
+    def __init__(self, n_threads: int, fail_stops: Iterable = (),
+                 tracer=None):
         if n_threads <= 0:
             raise ConfigError(f"n_threads must be positive, got {n_threads}")
         self.n_threads = n_threads
         self.barriers_executed = 0
+        #: a live Tracer or None. When set, every barrier produces one
+        #: per-thread "barrier_wait" span (arrival → release) plus a
+        #: ``barrier.wait_us.t<tid>`` histogram sample, and every detected
+        #: fail-stop death one "fault.failstop" instant event.
+        self.tracer = tracer
         self._kills = _kill_schedule(fail_stops)
         for tid in self._kills:
             if tid >= n_threads:
@@ -107,8 +113,9 @@ class SimulatedTeam(Team):
         n_threads: int,
         order: list[int] | None = None,
         fail_stops: Iterable = (),
+        tracer=None,
     ):
-        super().__init__(n_threads, fail_stops)
+        super().__init__(n_threads, fail_stops, tracer=tracer)
         if order is None:
             order = list(range(n_threads))
         if sorted(order) != list(range(n_threads)):
@@ -119,12 +126,16 @@ class SimulatedTeam(Team):
 
     def run(self, worker: Worker) -> None:
         self.deaths = []
+        tr = self.tracer
         gens = {tid: worker(tid) for tid in range(self.n_threads)}
         live: dict[int, Iterator[None]] = dict(gens)
         barrier_counts = {tid: 0 for tid in gens}
         while live:
             finished: list[int] = []
             died: list[int] = []
+            # per-round arrival timestamps: a thread "waits" from the moment
+            # its step returns until the round's last arrival releases all
+            arrivals: dict[int, float] = {}
             for tid in self.order:
                 if tid not in live:
                     continue
@@ -140,7 +151,13 @@ class SimulatedTeam(Team):
                     self.deaths.append(
                         ThreadDeath(tid, barrier=arrived_at, detected_at=arrived_at)
                     )
+                    if tr is not None:
+                        tr.event("fault.failstop", cat="fault", tid=tid,
+                                 args={"barrier": arrived_at,
+                                       "detected_at": arrived_at})
                     continue
+                if tr is not None:
+                    arrivals[tid] = tr.now_us()
                 barrier_counts[tid] += 1
             for tid in finished + died:
                 del live[tid]
@@ -151,6 +168,15 @@ class SimulatedTeam(Team):
                 )
             if not finished:
                 self.barriers_executed += 1
+                if tr is not None and arrivals:
+                    release = tr.now_us()
+                    barrier_idx = self.barriers_executed - 1
+                    for tid, t_arr in arrivals.items():
+                        tr.complete("barrier_wait", cat="sync", tid=tid,
+                                    t0_us=t_arr,
+                                    args={"barrier": barrier_idx})
+                        tr.metrics.observe(f"barrier.wait_us.t{tid}",
+                                           release - t_arr)
 
 
 class _MonitoredBarrier:
@@ -227,12 +253,14 @@ class ThreadTeam(Team):
         n_threads: int,
         timeout: float | None = 60.0,
         fail_stops: Iterable = (),
+        tracer=None,
     ):
-        super().__init__(n_threads, fail_stops)
+        super().__init__(n_threads, fail_stops, tracer=tracer)
         self.timeout = timeout
 
     def run(self, worker: Worker) -> None:
         self.deaths = []
+        tr = self.tracer
         n = self.n_threads
         barrier = _MonitoredBarrier(n, timeout=self.timeout or 60.0)
         errors: list[BaseException] = []
@@ -259,6 +287,10 @@ class ThreadTeam(Team):
                                 detected_at=generation,
                             )
                         )
+                        if tr is not None:
+                            tr.event("fault.failstop", cat="fault", tid=tid,
+                                     args={"barrier": current_barrier[tid],
+                                           "detected_at": generation})
                         removed += 1
             return removed
 
@@ -272,7 +304,14 @@ class ThreadTeam(Team):
                     if self._kills.get(tid) == passed:
                         gen.close()
                         return  # fail-stop: vanish without reaching the barrier
+                    if tr is not None:
+                        t_arr = tr.now_us()
                     barrier.wait(on_stall)
+                    if tr is not None:
+                        tr.complete("barrier_wait", cat="sync", tid=tid,
+                                    t0_us=t_arr, args={"barrier": passed})
+                        tr.metrics.observe(f"barrier.wait_us.t{tid}",
+                                           tr.now_us() - t_arr)
                     passed += 1
                     barrier_counts[tid] = passed
                 with state_lock:
@@ -310,6 +349,10 @@ class ThreadTeam(Team):
                         detected_at=current_barrier[tid],
                     )
                 )
+                if tr is not None:
+                    tr.event("fault.failstop", cat="fault", tid=tid,
+                             args={"barrier": current_barrier[tid],
+                                   "detected_at": current_barrier[tid]})
         survivor_counts = {
             barrier_counts[tid] for tid in range(n) if tid not in self.dead_tids
         }
@@ -327,10 +370,12 @@ def make_team(
     *,
     fail_stops: Iterable = (),
     order: list[int] | None = None,
+    tracer=None,
 ) -> Team:
     """Factory: ``"simulated"`` (deterministic) or ``"threads"`` (real)."""
     if backend == "simulated":
-        return SimulatedTeam(n_threads, order=order, fail_stops=fail_stops)
+        return SimulatedTeam(n_threads, order=order, fail_stops=fail_stops,
+                             tracer=tracer)
     if backend == "threads":
-        return ThreadTeam(n_threads, fail_stops=fail_stops)
+        return ThreadTeam(n_threads, fail_stops=fail_stops, tracer=tracer)
     raise ConfigError(f"unknown team backend {backend!r}")

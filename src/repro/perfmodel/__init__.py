@@ -37,6 +37,8 @@ from repro.perfmodel.roofline import (
 from repro.perfmodel.validate import (
     ValidationReport,
     expected_counters,
+    expected_counters_parallel,
+    validate_parallel_run,
     validate_run,
 )
 
@@ -56,5 +58,7 @@ __all__ = [
     "ridge_point",
     "ValidationReport",
     "expected_counters",
+    "expected_counters_parallel",
+    "validate_parallel_run",
     "validate_run",
 ]

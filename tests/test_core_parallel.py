@@ -85,7 +85,9 @@ def test_schedule_independence(small_config, rng):
         import repro.core.parallel as mod
 
         original = mod.make_team
-        mod.make_team = lambda n, backend: SimulatedTeam(n, order=list(order))
+        mod.make_team = lambda n, backend, **kw: SimulatedTeam(
+            n, order=list(order)
+        )
         try:
             outs.append(driver.gemm(a, b).c)
         finally:

@@ -1,0 +1,71 @@
+"""The documentation link checker (scripts/check_markdown_links.py):
+unit behavior on synthetic trees, and the real repository staying clean."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+_SPEC = importlib.util.spec_from_file_location(
+    "check_markdown_links",
+    REPO_ROOT / "scripts" / "check_markdown_links.py",
+)
+linkcheck = importlib.util.module_from_spec(_SPEC)
+sys.modules.setdefault("check_markdown_links", linkcheck)
+_SPEC.loader.exec_module(linkcheck)
+
+
+def test_repository_markdown_links_are_clean(capsys):
+    assert linkcheck.main([str(REPO_ROOT)]) == 0
+    assert "markdown links OK" in capsys.readouterr().out
+
+
+def test_detects_broken_relative_link(tmp_path):
+    (tmp_path / "a.md").write_text("see [other](missing.md) for more\n")
+    problems = linkcheck.check_tree(tmp_path)
+    assert len(problems) == 1
+    assert "missing.md" in problems[0]
+
+
+def test_resolves_existing_links_and_anchors(tmp_path):
+    (tmp_path / "target.md").write_text("# Top\n\n## 2. Some Section!\n")
+    (tmp_path / "a.md").write_text(
+        "[ok](target.md) and [sec](target.md#2-some-section) "
+        "and [ext](https://example.com/nope) and [mail](mailto:x@y.z)\n"
+    )
+    assert linkcheck.check_tree(tmp_path) == []
+
+
+def test_detects_missing_anchor(tmp_path):
+    (tmp_path / "target.md").write_text("# Only Heading\n")
+    (tmp_path / "a.md").write_text("[bad](target.md#no-such-section)\n")
+    (problem,) = linkcheck.check_tree(tmp_path)
+    assert "missing anchor" in problem and "no-such-section" in problem
+
+
+def test_same_file_anchor(tmp_path):
+    (tmp_path / "a.md").write_text("# Intro\n\n[up](#intro) [down](#nope)\n")
+    (problem,) = linkcheck.check_tree(tmp_path)
+    assert "#nope" in problem
+
+
+def test_ignores_links_inside_code(tmp_path):
+    (tmp_path / "a.md").write_text(
+        "```\n[fake](not_a_file.md)\n```\n"
+        "and inline `[also fake](gone.md)` too\n"
+    )
+    assert linkcheck.check_tree(tmp_path) == []
+
+
+def test_duplicate_headings_get_numbered_slugs(tmp_path):
+    (tmp_path / "t.md").write_text("## Setup\n\n## Setup\n")
+    assert linkcheck.anchors_of(tmp_path / "t.md") == {"setup", "setup-1"}
+
+
+def test_github_slug_rules():
+    assert linkcheck.github_slug("1. What the paper builds") == \
+        "1-what-the-paper-builds"
+    assert linkcheck.github_slug(
+        "4. Experiments index (every table/figure)"
+    ) == "4-experiments-index-every-tablefigure"
+    assert linkcheck.github_slug("`code` and *emph*") == "code-and-emph"

@@ -1,0 +1,141 @@
+"""Trace exporters: JSONL round-trip, Chrome trace emission and the
+structural validator (schema + per-tid span containment)."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    TraceEvent,
+    Tracer,
+    TraceSchemaError,
+    load_jsonl,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+def _traced_run() -> Tracer:
+    tr = Tracer()
+    with tr.span("gemm", cat="driver", args={"m": 8}):
+        with tr.span("pack_b", cat="pack", tid=1, args={"bytes": 64}):
+            pass
+        tr.event("fault.injected", cat="fault", tid=1, args={"site": "pack_b"})
+        with tr.span("macro_kernel", cat="compute"):
+            pass
+    tr.counter("flops", 128.0)
+    tr.metrics.inc("faults.injected")
+    tr.metrics.observe("barrier.wait_us.t0", 3.0)
+    return tr
+
+
+def test_jsonl_round_trip(tmp_path):
+    tr = _traced_run()
+    path = tmp_path / "trace.jsonl"
+    write_jsonl(path, tr.events, metrics=tr.metrics.snapshot())
+    events, metrics = load_jsonl(path)
+    assert len(events) == len(tr.events)
+    for orig, loaded in zip(tr.events, events):
+        assert loaded == orig
+    assert metrics["counters"]["faults.injected"] == 1
+    assert metrics["histograms"]["barrier.wait_us.t0"]["count"] == 1
+
+
+def test_jsonl_rejects_unknown_record(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"type": "mystery"}\n')
+    with pytest.raises(TraceSchemaError, match="unknown record type"):
+        load_jsonl(path)
+
+
+def test_loaded_jsonl_validates_as_chrome_trace(tmp_path):
+    """The full emit -> JSONL -> load -> Chrome-format pipeline."""
+    tr = _traced_run()
+    path = tmp_path / "trace.jsonl"
+    write_jsonl(path, tr.events, metrics=tr.metrics.snapshot())
+    events, metrics = load_jsonl(path)
+    trace = to_chrome_trace(events, metrics=metrics)
+    assert validate_chrome_trace(trace) == len(events) + 3  # +M name events
+
+
+def test_chrome_trace_structure(tmp_path):
+    tr = _traced_run()
+    path = tmp_path / "trace.json"
+    trace = write_chrome_trace(path, tr)
+    assert trace["displayTimeUnit"] == "ms"
+    assert trace["otherData"]["metrics"]["counters"]["faults.injected"] == 1
+    names = {e["name"] for e in trace["traceEvents"]}
+    assert {"process_name", "thread_name", "gemm", "pack_b"} <= names
+    tids = {e["tid"] for e in trace["traceEvents"]
+            if e["name"] == "thread_name"}
+    assert tids == {0, 1}
+    # the file on disk parses and validates standalone (path form)
+    assert validate_chrome_trace(str(path)) == len(trace["traceEvents"])
+    # and the JSON-string form
+    assert validate_chrome_trace(path.read_text()) == len(trace["traceEvents"])
+
+
+def test_validator_rejects_bad_top_level():
+    with pytest.raises(TraceSchemaError, match="traceEvents"):
+        validate_chrome_trace({"foo": []})
+    with pytest.raises(TraceSchemaError, match="must be a list"):
+        validate_chrome_trace({"traceEvents": {}})
+
+
+def test_validator_rejects_unknown_phase_and_negative_dur():
+    events = [
+        {"name": "a", "cat": "x", "ph": "Z", "pid": 0, "tid": 0, "ts": 0},
+        {"name": "b", "cat": "x", "ph": "X", "pid": 0, "tid": 0, "ts": 1,
+         "dur": -5},
+    ]
+    with pytest.raises(TraceSchemaError) as err:
+        validate_chrome_trace({"traceEvents": events})
+    problems = "\n".join(err.value.problems)
+    assert "unknown phase" in problems
+    assert "bad dur" in problems
+
+
+def test_validator_rejects_counter_without_args():
+    events = [{"name": "c", "cat": "x", "ph": "C", "pid": 0, "tid": 0,
+               "ts": 0}]
+    with pytest.raises(TraceSchemaError, match="counter event without args"):
+        validate_chrome_trace({"traceEvents": events})
+
+
+def test_validator_rejects_overlapping_spans_on_one_tid():
+    """Partial overlap on one logical thread = broken begin/end pairing."""
+    events = [
+        {"name": "a", "cat": "x", "ph": "X", "pid": 0, "tid": 1,
+         "ts": 0.0, "dur": 10.0},
+        {"name": "b", "cat": "x", "ph": "X", "pid": 0, "tid": 1,
+         "ts": 5.0, "dur": 10.0},
+    ]
+    with pytest.raises(TraceSchemaError, match="overlaps"):
+        validate_chrome_trace({"traceEvents": events})
+    # the same two spans on different tids are fine
+    events[1]["tid"] = 2
+    assert validate_chrome_trace({"traceEvents": events}) == 2
+
+
+def test_validator_accepts_nested_and_disjoint_spans():
+    events = [
+        {"name": "outer", "cat": "x", "ph": "X", "pid": 0, "tid": 0,
+         "ts": 0.0, "dur": 10.0},
+        {"name": "inner", "cat": "x", "ph": "X", "pid": 0, "tid": 0,
+         "ts": 2.0, "dur": 3.0},
+        {"name": "later", "cat": "x", "ph": "X", "pid": 0, "tid": 0,
+         "ts": 20.0, "dur": 1.0},
+    ]
+    assert validate_chrome_trace({"traceEvents": events}) == 3
+
+
+def test_event_equality_survives_json(tmp_path):
+    event = TraceEvent(name="x", cat="pack", ph="X", ts_us=1.5, tid=2,
+                       dur_us=0.25, args={"k": 1})
+    path = tmp_path / "one.jsonl"
+    write_jsonl(path, [event])
+    (loaded,), _ = load_jsonl(path)
+    assert loaded == event
+    assert json.loads(json.dumps(loaded.to_chrome()))["dur"] == 0.25

@@ -1,0 +1,135 @@
+"""Tracer and metrics primitives: spans, instants, retroactive completes,
+the no-op singletons, and registry thread-safety."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    NULL_SPAN,
+    NULL_TRACER,
+    Histogram,
+    MetricsRegistry,
+    Tracer,
+)
+
+
+def test_span_records_complete_event():
+    tr = Tracer()
+    with tr.span("pack_b", cat="pack", tid=3, args={"p0": 0}):
+        pass
+    (event,) = tr.events
+    assert event.name == "pack_b"
+    assert event.cat == "pack"
+    assert event.ph == "X"
+    assert event.tid == 3
+    assert event.dur_us is not None and event.dur_us >= 0.0
+    assert event.args == {"p0": 0}
+
+
+def test_spans_nest_and_filter():
+    tr = Tracer()
+    with tr.span("gemm", cat="driver"):
+        with tr.span("pack_a", cat="pack"):
+            pass
+        with tr.span("pack_b", cat="pack"):
+            pass
+    # inner spans close first, so they appear before the root
+    assert [e.name for e in tr.events] == ["pack_a", "pack_b", "gemm"]
+    assert len(tr.spans(cat="pack")) == 2
+    assert len(tr.spans("gemm")) == 1
+    root = tr.spans("gemm")[0]
+    inner = tr.spans("pack_a")[0]
+    assert root.ts_us <= inner.ts_us
+    assert root.ts_us + root.dur_us >= inner.ts_us + inner.dur_us
+
+
+def test_instant_and_counter_events():
+    tr = Tracer()
+    tr.event("fault.injected", cat="fault", tid=1, args={"site": "pack_a"})
+    tr.counter("bytes_packed", 4096.0)
+    instant, counter = tr.events
+    assert instant.ph == "i" and instant.args["site"] == "pack_a"
+    assert counter.ph == "C" and counter.args == {"value": 4096.0}
+    assert len(tr.instants("fault.injected")) == 1
+
+
+def test_complete_records_retroactive_span():
+    tr = Tracer()
+    t0 = tr.now_us()
+    tr.complete("verify_round", cat="verify", t0_us=t0, args={"round": 0})
+    (event,) = tr.events
+    assert event.ph == "X"
+    assert event.ts_us == t0
+    assert event.dur_us >= 0.0
+
+
+def test_clock_is_monotonic_and_relative():
+    tr = Tracer()
+    a = tr.now_us()
+    b = tr.now_us()
+    assert 0.0 <= a <= b
+
+
+def test_null_tracer_is_inert():
+    assert not NULL_TRACER.enabled
+    assert NULL_TRACER.span("x") is NULL_SPAN
+    with NULL_TRACER.span("x", cat="pack", tid=2, args={"a": 1}):
+        pass
+    NULL_TRACER.event("e")
+    NULL_TRACER.counter("c", 1.0)
+    NULL_TRACER.complete("p", t0_us=0.0)
+    assert NULL_TRACER.now_us() == 0.0
+    # the null metrics registry swallows everything too
+    NULL_TRACER.metrics.inc("n")
+    NULL_TRACER.metrics.observe("h", 1.0)
+    assert not NULL_TRACER.metrics.enabled
+
+
+def test_null_span_is_reentrant():
+    with NULL_SPAN:
+        with NULL_SPAN:
+            pass
+
+
+def test_tracer_appends_are_thread_safe():
+    tr = Tracer()
+
+    def spam():
+        for i in range(200):
+            tr.event("tick", args={"i": i})
+
+    threads = [threading.Thread(target=spam) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(tr.events) == 800
+
+
+def test_metrics_registry_counters_gauges_histograms():
+    m = MetricsRegistry()
+    m.inc("faults.injected")
+    m.inc("faults.injected", 2)
+    m.set_gauge("threads", 4)
+    m.observe("barrier.wait_us.t0", 10.0)
+    m.observe("barrier.wait_us.t0", 30.0)
+    snap = m.snapshot()
+    assert snap["counters"]["faults.injected"] == 3
+    assert snap["gauges"]["threads"] == 4
+    hist = snap["histograms"]["barrier.wait_us.t0"]
+    assert hist["count"] == 2
+    assert hist["sum"] == pytest.approx(40.0)
+    assert hist["mean"] == pytest.approx(20.0)
+    assert hist["min"] == 10.0 and hist["max"] == 30.0
+    assert sum(hist["buckets"]) == 2
+
+
+def test_histogram_bucket_boundaries():
+    h = Histogram()
+    h.observe(0.5)     # below the first bound
+    h.observe(1e9)     # beyond the last bound -> overflow bucket
+    snap = h.snapshot()
+    assert snap["buckets"][0] == 1
+    assert snap["buckets"][-1] == 1
+    assert snap["count"] == 2

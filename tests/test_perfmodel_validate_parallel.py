@@ -1,0 +1,121 @@
+"""Parallel counter validation: :func:`expected_counters_parallel` mirrors
+the Figure-1 parallel worker's accounting exactly, field by field — the
+regression net for drift between the drivers and the analytic model."""
+
+import pytest
+
+from repro.core.config import FTGemmConfig
+from repro.gemm.blocking import BlockingConfig
+from repro.perfmodel.validate import (
+    expected_counters,
+    expected_counters_parallel,
+    validate_parallel_run,
+    validate_run,
+)
+from repro.util.errors import ConfigError
+
+
+@pytest.fixture
+def cfg():
+    return FTGemmConfig(blocking=BlockingConfig.small(mr=4, nr=4))
+
+
+@pytest.mark.parametrize(
+    "m,n,k,threads",
+    [
+        (48, 40, 36, 4),
+        (37, 29, 23, 3),
+        (64, 64, 64, 2),
+        (16, 16, 16, 5),  # ragged: more threads than even row chunks
+    ],
+)
+def test_parallel_ft_counters_match_exactly(cfg, m, n, k, threads):
+    report = validate_parallel_run(m, n, k, cfg, n_threads=threads)
+    assert report.ok, f"mismatched fields: {report.mismatches()}\n{report}"
+
+
+@pytest.mark.parametrize("m,n,k,threads", [(48, 40, 36, 4), (33, 27, 21, 3)])
+def test_parallel_ft_counters_with_beta(cfg, m, n, k, threads):
+    report = validate_parallel_run(m, n, k, cfg, n_threads=threads, beta=0.5)
+    assert report.ok, f"{report}"
+
+
+def test_parallel_weighted_counters_match(cfg):
+    report = validate_parallel_run(
+        40, 36, 28, cfg.with_(checksum_scheme="weighted"), n_threads=3
+    )
+    assert report.ok, f"{report}"
+
+
+def test_parallel_weighted_counters_with_beta(cfg):
+    report = validate_parallel_run(
+        33, 29, 25, cfg.with_(checksum_scheme="weighted"),
+        n_threads=4, beta=-1.5,
+    )
+    assert report.ok, f"{report}"
+
+
+def test_parallel_unprotected_counters_match(cfg):
+    report = validate_parallel_run(
+        48, 40, 36, cfg.with_(enable_ft=False), n_threads=4
+    )
+    assert report.ok, f"{report}"
+
+
+def test_parallel_dmr_off_counters_match(cfg):
+    for beta in (0.0, 0.5):
+        report = validate_parallel_run(
+            40, 32, 24, cfg.with_(dmr_protect_scale=False),
+            n_threads=3, beta=beta,
+        )
+        assert report.ok, f"beta={beta}\n{report}"
+
+
+def test_parallel_threads_backend_counters_match(cfg):
+    report = validate_parallel_run(
+        40, 32, 24, cfg, n_threads=2, backend="threads", beta=0.5
+    )
+    assert report.ok, f"{report}"
+
+
+def test_parallel_counters_pin_barriers(cfg):
+    report = validate_parallel_run(48, 40, 36, cfg, n_threads=4)
+    assert "barriers" in report.matches
+    assert report.observed["barriers"] == report.expected["barriers"] > 0
+
+
+def test_parallel_expected_differs_from_serial_by_reuse(cfg):
+    """The parallel worker repacks Ã every j-block while the serial driver
+    reuses it — the models must disagree on pack-A traffic whenever there
+    is more than one j-block."""
+    m = n = k = 48  # nc small() is below 48, so several j-blocks
+    serial = expected_counters(m, n, k, cfg)
+    parallel = expected_counters_parallel(m, n, k, cfg, n_threads=1)
+    assert parallel.pack_a_bytes > serial.pack_a_bytes
+    assert parallel.fma_flops == serial.fma_flops
+
+
+def test_parallel_single_thread_matches_run(cfg):
+    report = validate_parallel_run(24, 24, 24, cfg, n_threads=1)
+    assert report.ok, f"{report}"
+
+
+def test_parallel_expected_counters_invalid_args(cfg):
+    with pytest.raises(ConfigError):
+        expected_counters_parallel(0, 8, 8, cfg)
+    with pytest.raises(ConfigError):
+        expected_counters_parallel(8, 8, 8, cfg, n_threads=0)
+
+
+def test_serial_and_parallel_validation_agree_on_verified_work(cfg):
+    """When the row partition aligns with the blocking (no padded edge
+    panels), both models and both drivers agree on the schedule-independent
+    work: FMA flops and micro-kernel call counts. (With ragged partitions
+    the parallel schedule legitimately pads extra panels.)"""
+    m, n, k = 32, 32, 24  # m / threads = 8 = mc: clean per-thread blocks
+    serial = validate_run(m, n, k, cfg)
+    parallel = validate_parallel_run(m, n, k, cfg, n_threads=4)
+    assert serial.ok and parallel.ok
+    assert serial.observed["fma_flops"] == parallel.observed["fma_flops"]
+    assert (serial.observed["microkernel_calls"]
+            == parallel.observed["microkernel_calls"])
