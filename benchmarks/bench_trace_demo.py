@@ -152,7 +152,7 @@ def test_trace_overhead_vs_dispatch_baseline():
     timings = {}
     for mode in ("tile", "batched"):
         cfg = BlockingConfig(mr=8, nr=6, mc=96, kc=96, nc=96, dispatch=mode)
-        driver = FTGemm(FTGemmConfig(blocking=cfg, enable_ft=False))
+        driver = FTGemm(FTGemmConfig(blocking=cfg).with_(enable_ft=False))
         best = float("inf")
         for _ in range(3):
             t0 = time.perf_counter()

@@ -71,13 +71,14 @@ def _parse_fail_stops(specs):
     return tuple(stops)
 
 
-def _write_trace(tracer, path, *, breakdown=None) -> None:
+def _write_trace(tracer, path, *, breakdown=None, phases=True) -> None:
     """Export ``tracer`` as a Chrome trace and print the phase table."""
     from repro.obs import phase_report, write_chrome_trace
 
     write_chrome_trace(path, tracer)
     print(f"trace    : {len(tracer.events)} events -> {path}")
-    print(phase_report(tracer.events, breakdown=breakdown).to_table())
+    if phases:
+        print(phase_report(tracer.events, breakdown=breakdown).to_table())
 
 
 def _cmd_inject(args) -> int:
@@ -248,7 +249,7 @@ def _cmd_dispatch(args) -> int:
     totals: dict[str, int] = {}
     for mode in ("tile", "batched"):
         blocking = BlockingConfig(mr=8, nr=6, mc=96, kc=96, nc=96, dispatch=mode)
-        driver = FTGemm(FTGemmConfig(blocking=blocking, enable_ft=args.ft))
+        driver = FTGemm(FTGemmConfig(blocking=blocking).with_(enable_ft=args.ft))
         best = float("inf")
         for _ in range(args.repeats):
             t0 = time.perf_counter()
@@ -271,7 +272,7 @@ def _cmd_dispatch(args) -> int:
         tracer = Tracer()
         blocking = BlockingConfig(mr=8, nr=6, mc=96, kc=96, nc=96,
                                   dispatch="batched")
-        FTGemm(FTGemmConfig(blocking=blocking, enable_ft=args.ft),
+        FTGemm(FTGemmConfig(blocking=blocking).with_(enable_ft=args.ft),
                tracer=tracer).gemm(a, b)
         _write_trace(tracer, args.trace)
     return 0 if same and totals["tile"] == totals["batched"] else 1
@@ -299,8 +300,7 @@ def _cmd_trace(args) -> int:
     config = FTGemmConfig(
         blocking=BlockingConfig.small(mr=8, nr=6, dispatch=args.mode),
         checksum_scheme=args.scheme,
-        enable_ft=args.ft,
-    )
+    ).with_(enable_ft=args.ft)
     rng = np.random.default_rng(args.seed)
     n = args.size
     a = rng.standard_normal((n, n))
@@ -349,6 +349,72 @@ def _cmd_trace(args) -> int:
     if not result.verified:
         return 2
     return 0 if err < 1e-8 else 1
+
+
+def _cmd_serve(args) -> int:
+    import json
+
+    from repro.core.config import FTGemmConfig
+    from repro.gemm.blocking import BlockingConfig
+    from repro.serve import (
+        GemmService,
+        ServiceConfig,
+        WorkloadConfig,
+        make_injector_factory,
+        run_workload,
+    )
+
+    service_config = ServiceConfig(
+        workers=args.workers,
+        capacity=args.capacity,
+        policy=args.policy,
+        max_batch=args.max_batch,
+        window_s=args.window_ms / 1e3,
+        gemm_threads=args.gemm_threads,
+        degraded_depth=args.degraded_depth,
+        ft=FTGemmConfig(
+            blocking=BlockingConfig.small(),
+            checksum_scheme=args.scheme,
+        ),
+        trace=args.trace is not None,
+    )
+    workload = WorkloadConfig(
+        duration_s=args.duration,
+        arrival_rate=args.arrival_rate,
+        fault_rate=args.fault_rate,
+        seed=args.seed,
+        deadline_s=None if args.deadline_ms is None else args.deadline_ms / 1e3,
+    )
+    service = GemmService(
+        service_config, injector_factory=make_injector_factory(workload)
+    )
+    service.start()
+    report = run_workload(service, workload)
+    print(report.summary())
+    sched = report.scheduler
+    print(
+        f"batches  : {sched.get('batches', 0)} total, "
+        f"{sched.get('coalesced_batches', 0)} coalesced covering "
+        f"{sched.get('coalesced_requests', 0)} requests, "
+        f"{sched.get('singleton_batches', 0)} singleton"
+    )
+    rec = report.recovery
+    print(
+        f"recovery : {rec.get('retries', 0)} retries, "
+        f"{rec.get('quarantined', 0)} workers quarantined, "
+        f"{rec.get('degraded_batches', 0)} degraded batches; "
+        f"shed={rec.get('shed', 0)} rejected={rec.get('rejected', 0)} "
+        f"expired={rec.get('expired', 0)}"
+    )
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+        print(f"report   : {args.json}")
+    if args.trace and service.tracer is not None:
+        # serve traces carry request/batch lanes, not driver phase spans
+        # (workers run untraced drivers) — a phase table would be all zeros
+        _write_trace(service.tracer, args.trace, phases=False)
+    return 0 if report.ok else 1
 
 
 def _cmd_storm(args) -> int:
@@ -461,6 +527,39 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--out", default="trace.json", metavar="PATH",
                    help="trace output path (default: trace.json)")
     p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser(
+        "serve",
+        help="open-loop workload against the serving subsystem",
+    )
+    p.add_argument("--duration", type=float, default=2.0,
+                   help="workload duration in seconds")
+    p.add_argument("--arrival-rate", type=float, default=50.0,
+                   help="mean request arrivals per second (open loop)")
+    p.add_argument("--fault-rate", type=float, default=0.0,
+                   help="fraction of executions receiving injected faults")
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--gemm-threads", type=int, default=1,
+                   help="intra-request GEMM threads per worker")
+    p.add_argument("--capacity", type=int, default=256,
+                   help="admission queue capacity")
+    p.add_argument("--policy", choices=("block", "reject", "shed-lowest"),
+                   default="block", help="backpressure policy")
+    p.add_argument("--max-batch", type=int, default=16,
+                   help="coalescing limit (requests per batch)")
+    p.add_argument("--window-ms", type=float, default=2.0,
+                   help="batching window in milliseconds")
+    p.add_argument("--deadline-ms", type=float, default=None,
+                   help="per-request queue deadline in milliseconds")
+    p.add_argument("--degraded-depth", type=int, default=None,
+                   help="queue depth that flips checksum-only degraded mode")
+    p.add_argument("--scheme", choices=("dual", "weighted"), default="dual")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the workload report as JSON to PATH")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="write a Chrome/Perfetto trace of the run to PATH")
+    p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser("storm", help="reliability campaign at physical rates")
     p.add_argument("--rate", type=float, action="append",

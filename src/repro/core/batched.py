@@ -75,7 +75,7 @@ def ft_gemm_batched(
     batch (``"auto"``/``"tile"``/``"batched"``); injected batches fall back
     to tile mode regardless, per the dispatch rules.
     """
-    config = config or FTGemmConfig()
+    config = (config or FTGemmConfig()).validate()
     if dispatch is not None:
         config = config.with_(blocking=config.blocking.with_(dispatch=dispatch))
     a_list = _split(a_batch, "A")

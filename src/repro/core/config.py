@@ -77,8 +77,54 @@ class FTGemmConfig:
     def weighted(self) -> bool:
         return self.checksum_scheme == "weighted"
 
+    def validate(self, *, n_threads: int | None = None) -> "FTGemmConfig":
+        """Reject inconsistent combinations early, with actionable messages.
+
+        Field-local constraints live in ``__post_init__``; this checks
+        *cross-field* consistency that only a driver can judge, so the
+        drivers call it on construction (pass ``n_threads`` from parallel
+        drivers). Returns ``self`` so call sites can chain it.
+        """
+        problems: list[str] = []
+        if self.enable_supervisor and not self.enable_ft:
+            problems.append(
+                "enable_supervisor=True requires enable_ft=True — the "
+                "supervisor escalates verification, and an unprotected run "
+                "never verifies (use FTGemmConfig.unprotected(), which "
+                "disables both, or set enable_supervisor=False)"
+            )
+        if self.verify_mode == "eager" and not self.enable_ft:
+            problems.append(
+                "verify_mode='eager' requires enable_ft=True — eager probes "
+                "compare running checksums, which an unprotected run does "
+                "not maintain"
+            )
+        if n_threads is not None:
+            if n_threads <= 0:
+                problems.append(
+                    f"n_threads must be positive, got {n_threads}"
+                )
+            if self.verify_mode == "eager":
+                problems.append(
+                    "eager verification is a serial debug mode; the "
+                    "parallel driver verifies once after the loops (the "
+                    "paper's scheme)"
+                )
+        if problems:
+            raise ConfigError(
+                "inconsistent FTGemmConfig: " + "; ".join(problems)
+            )
+        return self
+
     def with_(self, **kwargs) -> "FTGemmConfig":
-        """A modified copy; nested configs replace wholesale."""
+        """A modified copy; nested configs replace wholesale.
+
+        Disabling FT without explicitly choosing a supervisor setting also
+        disables the supervisor: it wraps verification, and keeping it on
+        an unprotected config is rejected by :meth:`validate`.
+        """
+        if kwargs.get("enable_ft") is False and "enable_supervisor" not in kwargs:
+            kwargs["enable_supervisor"] = False
         return replace(self, **kwargs)
 
     @staticmethod
@@ -88,5 +134,11 @@ class FTGemmConfig:
 
     @staticmethod
     def unprotected(**kwargs) -> "FTGemmConfig":
-        """The 'Ori' baseline: same loop nest, no fault tolerance."""
+        """The 'Ori' baseline: same loop nest, no fault tolerance.
+
+        The supervisor is disabled too — it wraps verification, which an
+        unprotected run never performs (:meth:`validate` rejects the
+        combination).
+        """
+        kwargs.setdefault("enable_supervisor", False)
         return FTGemmConfig(enable_ft=False, **kwargs)

@@ -80,7 +80,7 @@ class FTGemm(BlockedGemm):
         sink: MemorySink | None = None,
         tracer=None,
     ):
-        self.ft_config = config or FTGemmConfig()
+        self.ft_config = (config or FTGemmConfig()).validate()
         if tracer is None and self.ft_config.trace:
             tracer = Tracer()
         super().__init__(self.ft_config.blocking, sink=sink, tracer=tracer)
@@ -120,9 +120,14 @@ class FTGemm(BlockedGemm):
         trans_b: bool = False,
         injector=None,
         on_tile: TileHook | None = None,
+        request_id: str | None = None,
     ) -> FTGemmResult:
         """Protected ``C = alpha*op(A)@op(B) + beta*C``; returns
         :class:`FTGemmResult`.
+
+        ``request_id`` is an optional correlation id stamped onto the result
+        (and its recovery report) so callers that manage many concurrent
+        calls — the serving layer — can join results back to requests.
 
         ``trans_a``/``trans_b`` select ``op(X) = Xᵀ`` (the BLAS interface).
         The transposed operand is materialized contiguously before the
@@ -167,6 +172,10 @@ class FTGemm(BlockedGemm):
         else:
             result = self._protected_call(a, b, c, alpha, beta, hook)
         self._release_call_state()
+        if request_id is not None:
+            result.request_id = request_id
+            if result.recovery is not None:
+                result.recovery.request_id = request_id
         return result
 
     def _protected_call(

@@ -51,7 +51,7 @@ from repro.obs.tracer import NULL_SPAN, NULL_TRACER, Tracer
 from repro.parallel.partition import partition_panels, partition_rows
 from repro.parallel.team import Team, make_team
 from repro.simcpu.counters import Counters
-from repro.util.errors import ConfigError, UncorrectableError
+from repro.util.errors import UncorrectableError
 from repro.util.validation import as_2d_float64, check_gemm_operands
 
 _KERNEL_SITES = ("microkernel", "pack_a", "pack_b")
@@ -120,7 +120,7 @@ class ParallelFTGemm:
         order: list[int] | None = None,
         tracer=None,
     ):
-        self.config = config or FTGemmConfig()
+        self.config = (config or FTGemmConfig()).validate(n_threads=n_threads)
         if tracer is None and self.config.trace:
             tracer = Tracer()
         #: structured tracer (:mod:`repro.obs`); NULL_TRACER when disabled
@@ -128,13 +128,6 @@ class ParallelFTGemm:
         self._tr = self.tracer if self.tracer.enabled else None
         #: alias so campaign code can treat serial and parallel drivers alike
         self.ft_config = self.config
-        if self.config.verify_mode == "eager":
-            raise ConfigError(
-                "eager verification is a serial debug mode; the parallel "
-                "driver verifies once after the loops (the paper's scheme)"
-            )
-        if n_threads <= 0:
-            raise ConfigError(f"n_threads must be positive, got {n_threads}")
         self.n_threads = n_threads
         self.backend = backend
         #: within-round step order for the simulated backend (property tests
@@ -159,12 +152,20 @@ class ParallelFTGemm:
         beta: float = 0.0,
         injector=None,
         on_tile: TileHook | None = None,
+        request_id: str | None = None,
     ) -> FTGemmResult:
-        """Protected parallel ``C = alpha*A@B + beta*C``."""
+        """Protected parallel ``C = alpha*A@B + beta*C``.
+
+        ``request_id`` is an optional correlation id stamped onto the result
+        and recovery report (see :meth:`repro.core.ftgemm.FTGemm.gemm`).
+        """
         tr = self._tr = self.tracer if self.tracer.enabled else None
         if tr is None:
-            return self._gemm_impl(a, b, c, alpha=alpha, beta=beta,
-                                   injector=injector, on_tile=on_tile)
+            return self._stamp(
+                self._gemm_impl(a, b, c, alpha=alpha, beta=beta,
+                                injector=injector, on_tile=on_tile),
+                request_id,
+            )
         if injector is not None:
             try:
                 injector.tracer = tr
@@ -180,6 +181,14 @@ class ParallelFTGemm:
             result = self._gemm_impl(a, b, c, alpha=alpha, beta=beta,
                                      injector=injector, on_tile=on_tile)
         result.trace = self.tracer
+        return self._stamp(result, request_id)
+
+    @staticmethod
+    def _stamp(result: FTGemmResult, request_id: str | None) -> FTGemmResult:
+        if request_id is not None:
+            result.request_id = request_id
+            if result.recovery is not None:
+                result.recovery.request_id = request_id
         return result
 
     def _gemm_impl(

@@ -60,6 +60,10 @@ class FTGemmResult:
     #: :class:`repro.obs.tracer.Tracer` carrying the run's spans/metrics
     #: when tracing was enabled (None otherwise)
     trace: object | None = None
+    #: caller-supplied correlation id (the serving layer's request id);
+    #: None for anonymous library calls. Copied onto the recovery report so
+    #: traces, responses and recovery evidence join on one key.
+    request_id: str | None = None
 
     @property
     def detected(self) -> int:
@@ -80,8 +84,9 @@ class FTGemmResult:
 
     def summary(self) -> str:
         status = "verified" if self.verified else "UNVERIFIED"
+        tag = f"{self.request_id}: " if self.request_id else ""
         base = (
-            f"FTGemmResult({self.c.shape[0]}x{self.c.shape[1]}, {status}, "
+            f"FTGemmResult({tag}{self.c.shape[0]}x{self.c.shape[1]}, {status}, "
             f"detected={self.detected}, corrected={self.corrected}, "
             f"recomputed_lines={self.recomputed_blocks}, "
             f"verify_rounds={len(self.reports)})"

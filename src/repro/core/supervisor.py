@@ -13,6 +13,14 @@ escalation ladder, in increasing order of cost:
 
 1. **abft_correct / targeted_recompute / checksum_rederive** — the inner
    verifier's own strategies, absorbed into the report;
+1b. **sticky_audit** — a *clean* verdict reached while sticky faults were
+   still live is distrusted: repair recompute flows through the stuck
+   substrate, and the correlated errors replayed onto recomputed lines can
+   form sign-alternating rectangles that cancel in every row and column
+   sum — invisible to the checksums that blessed the result. The audit
+   quarantines the faults, recomputes every line a repair round touched
+   through the injector-free repack path, and re-verifies on a rebuilt
+   ledger;
 2. **repack_recompute** — the verifier gave up and the recurring signature
    says a region (not a value) is bad: quarantine the injector's sticky
    faults, gather the flagged rows/columns of A/B into *fresh* storage,
@@ -55,6 +63,7 @@ STRATEGIES = (
     "abft_correct",
     "checksum_rederive",
     "targeted_recompute",
+    "sticky_audit",
     "thread_recovery",
     "repack_recompute",
     "dmr_recompute",
@@ -89,6 +98,10 @@ class RecoveryReport:
     recovered_rows: tuple[tuple[int, int], ...] = ()
     #: columns recomputed because a dead thread's shared-B̃ chunk went stale
     recovered_cols: tuple[int, ...] = ()
+    #: correlation id of the request this recovery belongs to (mirrors
+    #: :attr:`repro.core.results.FTGemmResult.request_id`; None outside the
+    #: serving layer)
+    request_id: str | None = None
 
     @property
     def attempts(self) -> int:
@@ -195,9 +208,21 @@ class EscalationSupervisor:
         """
         report = report if report is not None else RecoveryReport()
         reports, verified = self.verifier.finalize(c, ledger)
-        self._absorb(reports, report, verified)
-        if verified:
-            return reports, True, report
+        if verified and self._sticky_hazard(reports):
+            # a clean verdict earned while sticky faults were live is not
+            # trustworthy: repair recompute flows through the stuck
+            # substrate, so the loop can converge to a self-consistent
+            # poisoned state — data and the incrementally maintained
+            # ledger agreeing with each other instead of with the true
+            # product. Audit before believing it.
+            self._absorb(reports, report, False)
+            verified = self._sticky_audit(c, ledger, reports, report)
+            if verified:
+                return reports, True, report
+        else:
+            self._absorb(reports, report, verified)
+            if verified:
+                return reports, True, report
 
         report.diagnosis = self._diagnose(reports)
 
@@ -345,6 +370,69 @@ class EscalationSupervisor:
         return sorted(rows), sorted(cols)
 
     # ------------------------------------------------------------ strategies
+    def _sticky_hazard(self, reports: list[VerificationReport]) -> bool:
+        """True when a clean verdict may be a lie: the injector still holds
+        live persistent faults and repair work happened, so the sticky
+        reapplication had material to poison."""
+        return bool(getattr(self.injector, "has_persistent", False)) and any(
+            not vr.clean for vr in reports
+        )
+
+    def _sticky_audit(
+        self,
+        c: np.ndarray,
+        ledger: ChecksumLedger,
+        reports: list[VerificationReport],
+        report: RecoveryReport,
+    ) -> bool:
+        """Confirm a suspect clean verdict. Re-verification alone cannot do
+        it: sticky replay poisons the *same* replay positions on every line
+        a repair recomputes, and such correlated errors can form rectangles
+        with alternating signs that cancel exactly in every row and column
+        sum — invisible to the checksums that just blessed them. Instead,
+        quarantine the faults and recompute every line any repair round
+        touched (the only places replay poisoning can live) through the
+        injector-free repack path, then rebuild the ledger and re-verify."""
+        quarantine = getattr(self.injector, "quarantine", None)
+        quarantined_now = tuple(quarantine()) if quarantine is not None else ()
+        report.quarantined = report.quarantined + quarantined_now
+        rows, cols = self._suspect_lines(reports)
+        tr = self.tracer
+        if tr is not None:
+            tr.event("escalation", cat="recover",
+                     args={"strategy": "sticky_audit",
+                           "quarantined": len(quarantined_now),
+                           "rows": len(rows), "cols": len(cols)})
+            t0 = tr.now_us()
+        acted = self._repack_recompute(c, ledger, rows, cols)
+        if acted:
+            more, verified = self.verifier.finalize(c, ledger)
+        else:
+            # beta != 0 without a preserved C0: nothing to recompute from —
+            # the suspect verdict stays unconfirmed and the ladder goes on
+            more, verified = [], False
+        reports.extend(more)
+        report.rounds.append(
+            RecoveryRound(
+                len(report.rounds),
+                "sticky_audit",
+                more[0].pattern_kind if more else "unknown",
+                False,
+                detail=(
+                    f"clean verdict under {len(quarantined_now)} live sticky "
+                    f"fault(s) distrusted: quarantined, {len(rows)} row(s) + "
+                    f"{len(cols)} col(s) recomputed clean, ledger rebuilt"
+                    if acted
+                    else "unavailable (beta != 0 without preserved C0)"
+                ),
+            )
+        )
+        self._absorb(more, report, verified)
+        if tr is not None:
+            tr.complete("recover.sticky_audit", cat="recover", t0_us=t0,
+                        args={"verified": verified, "acted": acted})
+        return verified
+
     def _repack_recompute(
         self,
         c: np.ndarray,

@@ -81,12 +81,14 @@ class Span:
 
     def __enter__(self) -> "Span":
         self._t0 = self._tracer.now_us()
+        self._tracer._register_open(self)
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         tracer = self._tracer
         t1 = tracer.now_us()
-        tracer._append(
+        tracer._finish_span(
+            self,
             TraceEvent(
                 name=self.name,
                 cat=self.cat,
@@ -95,7 +97,7 @@ class Span:
                 tid=self.tid,
                 dur_us=t1 - self._t0,
                 args=self.args,
-            )
+            ),
         )
 
 
@@ -165,6 +167,8 @@ class Tracer:
         self._t0 = time.perf_counter()
         self._lock = threading.Lock()
         self.events: list[TraceEvent] = []
+        # spans entered but not yet exited — what an export sees mid-run
+        self._open: list[Span] = []
 
     # ------------------------------------------------------------------ clock
     def now_us(self) -> float:
@@ -207,6 +211,54 @@ class Tracer:
     def _append(self, event: TraceEvent) -> None:
         with self._lock:
             self.events.append(event)
+
+    def _register_open(self, span: Span) -> None:
+        with self._lock:
+            self._open.append(span)
+
+    def _finish_span(self, span: Span, event: TraceEvent) -> None:
+        with self._lock:
+            try:
+                self._open.remove(span)
+            except ValueError:
+                pass  # already drained by a concurrent export
+            self.events.append(event)
+
+    # ---------------------------------------------------------------- export
+    def open_spans(self) -> list[Span]:
+        """Spans currently entered but not exited (other threads mid-work)."""
+        with self._lock:
+            return list(self._open)
+
+    def events_with_open(self) -> list[TraceEvent]:
+        """All events, plus retroactive completes for still-open spans.
+
+        An export can race live work — a service drains while a worker is
+        mid-batch, say — leaving spans entered but not exited. Dropping
+        them would hide in-flight work; exporting half-built records would
+        fail the structural validator. Instead each open span is emitted as
+        a complete event ending *now*, tagged ``"open_at_export": True``.
+        The span itself stays open: its eventual exit records the real
+        duration as usual.
+        """
+        now = self.now_us()
+        with self._lock:
+            events = list(self.events)
+            for span in self._open:
+                args = dict(span.args) if span.args else {}
+                args["open_at_export"] = True
+                events.append(
+                    TraceEvent(
+                        name=span.name,
+                        cat=span.cat,
+                        ph="X",
+                        ts_us=span._t0,
+                        tid=span.tid,
+                        dur_us=now - span._t0,
+                        args=args,
+                    )
+                )
+        return events
 
     # ------------------------------------------------------------- inspection
     def spans(self, name: str | None = None, *, cat: str | None = None):

@@ -1,0 +1,69 @@
+"""Fault-tolerant GEMM serving: queue, scheduler, worker pool, service.
+
+The serving subsystem turns the library's protected GEMM drivers into a
+long-running, multi-tenant service with an exactly-once response
+guarantee:
+
+- :mod:`repro.serve.request` — request/response types and the one-shot
+  :class:`ResponseFuture`;
+- :mod:`repro.serve.queue` — bounded admission with backpressure
+  (block / reject / shed-lowest) and deadline expiry;
+- :mod:`repro.serve.scheduler` — shape-coalescing batcher: compatible
+  requests execute as one stacked product;
+- :mod:`repro.serve.pool` — supervised workers with retries, quarantine
+  and a degraded checksum-only mode under pressure;
+- :mod:`repro.serve.service` — the :class:`GemmService` facade wiring it
+  together; :mod:`repro.serve.client` — the blocking convenience client;
+- :mod:`repro.serve.workload` — open-loop synthetic workloads with a
+  built-in exactly-once / correctness audit (the CLI and CI entry).
+"""
+
+from repro.serve.client import GemmClient
+from repro.serve.queue import Admission, AdmissionQueue, POLICIES
+from repro.serve.request import (
+    GemmRequest,
+    GemmResponse,
+    ResponseFuture,
+    SCHEMES,
+    TERMINAL_STATUSES,
+    Ticket,
+)
+from repro.serve.scheduler import Batch, BatchScheduler, SchedulerStats
+from repro.serve.pool import Worker, WorkerPool
+from repro.serve.service import GemmService, ServiceConfig
+from repro.serve.workload import (
+    DEFAULT_SHAPES,
+    ShapeSpec,
+    WorkloadConfig,
+    WorkloadReport,
+    make_injector_factory,
+    run_serve_workload,
+    run_workload,
+)
+
+__all__ = [
+    "Admission",
+    "AdmissionQueue",
+    "Batch",
+    "BatchScheduler",
+    "DEFAULT_SHAPES",
+    "GemmClient",
+    "GemmRequest",
+    "GemmResponse",
+    "GemmService",
+    "POLICIES",
+    "ResponseFuture",
+    "SCHEMES",
+    "SchedulerStats",
+    "ServiceConfig",
+    "ShapeSpec",
+    "TERMINAL_STATUSES",
+    "Ticket",
+    "Worker",
+    "WorkerPool",
+    "WorkloadConfig",
+    "WorkloadReport",
+    "make_injector_factory",
+    "run_serve_workload",
+    "run_workload",
+]

@@ -1,0 +1,80 @@
+"""Synchronous client for :class:`~repro.serve.service.GemmService`.
+
+The futures-based service API is what the workload driver and the tests
+use; the client is the ergonomic wrapper for callers that just want a
+protected product back — submit, block, unwrap, raise on anything that
+is not a verified ``ok``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.results import FTGemmResult
+from repro.serve.request import GemmRequest, GemmResponse
+from repro.serve.service import GemmService
+from repro.util.errors import ServeError
+
+
+class GemmClient:
+    """Blocking calls against a running service.
+
+    ::
+
+        with GemmService(config) as service:
+            client = GemmClient(service)
+            c = client.gemm(a, b)          # np.ndarray, verified
+    """
+
+    def __init__(self, service: GemmService, *,
+                 default_timeout: float | None = 30.0) -> None:
+        self.service = service
+        self.default_timeout = default_timeout
+
+    def submit(self, a, b, c0=None, *, alpha: float = 1.0, beta: float = 0.0,
+               priority: int = 0, deadline_s: float | None = None,
+               scheme: str = "dual"):
+        """Non-blocking submit; returns the service's Ticket."""
+        request = GemmRequest(
+            a, b, c0, alpha=alpha, beta=beta, priority=priority,
+            deadline_s=deadline_s, scheme=scheme,
+        )
+        return self.service.submit(request)
+
+    def call(self, a, b, c0=None, *, alpha: float = 1.0, beta: float = 0.0,
+             priority: int = 0, deadline_s: float | None = None,
+             scheme: str = "dual",
+             timeout: float | None = None) -> GemmResponse:
+        """Submit and block for the full response (any terminal status)."""
+        ticket = self.submit(
+            a, b, c0, alpha=alpha, beta=beta, priority=priority,
+            deadline_s=deadline_s, scheme=scheme,
+        )
+        return ticket.result(
+            self.default_timeout if timeout is None else timeout
+        )
+
+    def gemm(self, a, b, c0=None, *, alpha: float = 1.0, beta: float = 0.0,
+             priority: int = 0, deadline_s: float | None = None,
+             scheme: str = "dual",
+             timeout: float | None = None) -> np.ndarray:
+        """Submit, block, and unwrap: the verified product or ServeError."""
+        response = self.call(
+            a, b, c0, alpha=alpha, beta=beta, priority=priority,
+            deadline_s=deadline_s, scheme=scheme, timeout=timeout,
+        )
+        result = self.unwrap(response)
+        return result.c
+
+    @staticmethod
+    def unwrap(response: GemmResponse) -> FTGemmResult:
+        """The verified result, or :class:`ServeError` carrying the
+        response for callers that want the post-mortem."""
+        if response.ok and response.result is not None:
+            return response.result
+        detail = f": {response.error}" if response.error else ""
+        raise ServeError(
+            f"request {response.request_id} ended "
+            f"{response.status}{detail}",
+            response=response,
+        )

@@ -1,0 +1,386 @@
+"""Supervised worker pool: execution, retries, quarantine, degraded mode.
+
+Each worker is an OS thread owning its own driver instances (``FTGemm``,
+or ``ParallelFTGemm`` when the service config asks for intra-request
+threading) — drivers are reusable but not reentrant, so nothing is shared
+between workers. Every driver runs with the escalation supervisor enabled:
+in-call recovery (correction, targeted recompute, repack, DMR) is the
+first line of defence and comes for free from the core layer.
+
+The pool adds the *service-level* resilience on top:
+
+- **retries with exponential backoff** — a batch whose execution raises
+  (:class:`UncorrectableError`, or any unexpected exception from a faulty
+  substrate) or returns unverified is re-executed up to ``retry_budget``
+  times, with ``backoff_base_s * 2**attempt`` sleeps between attempts;
+  fresh attempts rebuild all driver state, so transient poisonings do not
+  survive;
+- **worker quarantine** — a worker whose batches keep failing
+  (``quarantine_after`` consecutive failures) is presumed to sit on bad
+  substrate (sticky faults the injector model makes persistent); it
+  retires itself and the pool spawns a replacement, mirroring how a fleet
+  rotates a bad host out of rotation;
+- **degraded mode** — when the admission queue is deeper than
+  ``degraded_depth``, batches execute with a cheaper checksum-only
+  config (no escalation supervisor, no recompute fallback): under
+  pressure the service trades per-call repair effort for throughput,
+  leaning on retries for the rare unverified result.
+
+Responses are delivered through the service's completion hook; the pool
+never answers a request twice (the future's one-shot guard is the final
+backstop, and the soak tests count duplicates).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from repro.core.ftgemm import FTGemm
+from repro.core.parallel import ParallelFTGemm
+from repro.core.results import FTGemmResult
+from repro.obs.metrics import NULL_METRICS
+from repro.serve.request import GemmRequest, GemmResponse
+from repro.serve.scheduler import Batch, BatchScheduler
+from repro.util.errors import ReproError
+
+
+class Worker:
+    """Per-thread execution state: cached drivers and a failure streak."""
+
+    def __init__(self, index: int, service_config) -> None:
+        self.index = index
+        self.config = service_config
+        self.consecutive_failures = 0
+        self._drivers: dict[tuple[str, bool], object] = {}
+
+    def driver_for(self, scheme: str, degraded: bool):
+        key = (scheme, degraded)
+        driver = self._drivers.get(key)
+        if driver is None:
+            ft = self.config.ft.with_(checksum_scheme=scheme, strict=True)
+            if degraded:
+                # checksum-only verification: no escalation ladder, no
+                # recompute fallback; unverified results surface (non-
+                # strict) and the retry path owns recovery
+                ft = ft.with_(
+                    enable_supervisor=False,
+                    recompute_fallback=False,
+                    strict=False,
+                )
+            if self.config.gemm_threads > 1:
+                driver = ParallelFTGemm(
+                    ft,
+                    n_threads=self.config.gemm_threads,
+                    backend=self.config.team_backend,
+                )
+            else:
+                driver = FTGemm(ft)
+            self._drivers[key] = driver
+        return driver
+
+
+class WorkerPool:
+    """Spawns, replaces and retires the workers draining the scheduler."""
+
+    def __init__(
+        self,
+        scheduler: BatchScheduler,
+        service_config,
+        *,
+        complete,
+        injector_factory=None,
+        use_degraded=None,
+        metrics=NULL_METRICS,
+        tracer=None,
+        sleep=time.sleep,
+    ) -> None:
+        self.scheduler = scheduler
+        self.config = service_config
+        self.complete = complete
+        self.injector_factory = injector_factory
+        self.use_degraded = use_degraded or (lambda: False)
+        self.metrics = metrics
+        self.tracer = tracer
+        self.sleep = sleep
+        self._threads: list[threading.Thread] = []
+        self._lock = threading.Lock()
+        self._next_index = 0
+        self._stopping = False
+        self.quarantined: list[int] = []
+
+    # -------------------------------------------------------------- lifecycle
+    def start(self) -> None:
+        for _ in range(self.config.workers):
+            self._spawn()
+
+    def _spawn(self) -> bool:
+        with self._lock:
+            if self._stopping:
+                return False
+            index = self._next_index
+            self._next_index += 1
+            thread = threading.Thread(
+                target=self._worker_loop,
+                args=(index,),
+                name=f"serve-worker-{index}",
+                daemon=True,
+            )
+            self._threads.append(thread)
+        thread.start()
+        return True
+
+    def stop(self, join: bool = True) -> None:
+        self._stopping = True
+        if join:
+            # quarantine replacements may race the snapshot: keep joining
+            # until no thread remains unjoined
+            joined: set[threading.Thread] = set()
+            while True:
+                with self._lock:
+                    pending = [t for t in self._threads if t not in joined]
+                if not pending:
+                    break
+                for thread in pending:
+                    thread.join()
+                    joined.add(thread)
+
+    # ------------------------------------------------------------ worker loop
+    def _worker_loop(self, index: int) -> None:
+        worker = Worker(index, self.config)
+        while True:
+            batch = self.scheduler.next_batch(timeout=0.05)
+            if batch is None:
+                if self.scheduler.finished or self._stopping:
+                    return
+                continue
+            self._execute_batch(worker, batch)
+            if worker.consecutive_failures >= self.config.quarantine_after:
+                if self._quarantine(worker):
+                    return
+                # shutdown refused the replacement: the suspect worker
+                # soldiers on so nothing in the ready lane is orphaned —
+                # answering every request beats retiring a bad host
+                worker.consecutive_failures = 0
+
+    def _quarantine(self, worker: Worker) -> bool:
+        """Retire a repeatedly failing worker; returns True when a
+        replacement took over (False during shutdown — the caller keeps
+        the worker alive to finish the drain)."""
+        self.metrics.inc("serve.worker_quarantined")
+        if self.tracer is not None:
+            self.tracer.event(
+                "serve.quarantine",
+                cat="serve",
+                tid=1000 + worker.index,
+                args={"worker": worker.index,
+                      "failures": worker.consecutive_failures},
+            )
+        with self._lock:
+            self.quarantined.append(worker.index)
+        # replace the lost capacity unless the pool is shutting down
+        return self._spawn()
+
+    # -------------------------------------------------------------- execution
+    def _execute_batch(self, worker: Worker, batch: Batch) -> None:
+        # deadline check at the last moment before work starts: a request
+        # can outlive its deadline inside a formed batch while the worker
+        # chews through earlier ones — running it then wastes the very
+        # capacity the deadline was protecting
+        now = self.scheduler.clock()
+        live: list[GemmRequest] = []
+        for request in batch.items:
+            if request.expired(now):
+                self.metrics.inc("serve.expired")
+                self.complete(
+                    request,
+                    GemmResponse(
+                        request_id=request.request_id,
+                        status="expired",
+                        error="deadline passed before execution",
+                        worker=worker.index,
+                    ),
+                )
+            else:
+                live.append(request)
+        if not live:
+            return
+        if len(live) != len(batch.items):
+            batch = Batch(
+                items=live,
+                bucket=batch.bucket,
+                batch_id=batch.batch_id,
+                formed_at=batch.formed_at,
+            )
+        degraded = bool(self.use_degraded())
+        if degraded:
+            self.metrics.inc("serve.degraded_batches")
+        tr = self.tracer
+        t0 = tr.now_us() if tr is not None else 0.0
+        if batch.coalesced:
+            ok = self._run_coalesced(worker, batch, degraded)
+        else:
+            ok = all(
+                self._run_single(worker, request, batch, degraded)
+                for request in batch.items
+            )
+        if tr is not None:
+            tr.complete(
+                "serve.batch",
+                cat="serve",
+                tid=1000 + worker.index,
+                t0_us=t0,
+                args={
+                    "batch_id": batch.batch_id,
+                    "size": len(batch),
+                    "coalesced": batch.coalesced,
+                    "degraded": degraded,
+                    "ok": ok,
+                },
+            )
+        if ok:
+            worker.consecutive_failures = 0
+        else:
+            worker.consecutive_failures += 1
+
+    def _attempts(self, worker: Worker, shape, request_id: str, driver,
+                  run) -> tuple[FTGemmResult | None, int, str]:
+        """Run ``run(injector)`` with retries; returns (result, attempts,
+        last error message)."""
+        budget = self.config.retry_budget
+        error = ""
+        for attempt in range(budget + 1):
+            if attempt:
+                self.metrics.inc("serve.retries")
+                self.sleep(self.config.backoff_base_s * 2 ** (attempt - 1))
+            try:
+                injector = None
+                if self.injector_factory is not None:
+                    injector = self.injector_factory(
+                        shape, attempt, request_id, self.config
+                    )
+                result = run(driver, injector)
+            except ReproError as exc:
+                error = f"{type(exc).__name__}: {exc}"
+                continue
+            except Exception as exc:  # substrate fault models may raise
+                error = f"{type(exc).__name__}: {exc}"
+                continue
+            if result.verified:
+                return result, attempt + 1, ""
+            error = "verification failed"
+        return None, budget + 1, error
+
+    def _run_coalesced(self, worker: Worker, batch: Batch,
+                       degraded: bool) -> bool:
+        head = batch.items[0]
+        driver = worker.driver_for(head.scheme, degraded)
+        a_stack = np.vstack([r.a for r in batch.items])
+        shape = (a_stack.shape[0], head.n, head.k)
+
+        def run(drv, injector):
+            return drv.gemm(
+                a_stack,
+                head.b,
+                alpha=head.alpha,
+                injector=injector,
+                request_id=batch.batch_id,
+            )
+
+        result, attempts, error = self._attempts(
+            worker, shape, batch.batch_id, driver, run
+        )
+        if result is None:
+            for request in batch.items:
+                self.complete(
+                    request,
+                    GemmResponse(
+                        request_id=request.request_id,
+                        status="failed",
+                        error=error,
+                        worker=worker.index,
+                        attempts=attempts,
+                        batch_size=len(batch),
+                        degraded=degraded,
+                    ),
+                )
+            return False
+        # split the stacked product back into per-request results; the
+        # evidence (counters, reports, recovery) is shared — it describes
+        # the one driver call that produced every slice
+        offset = 0
+        for request in batch.items:
+            c_slice = result.c[offset : offset + request.m]
+            offset += request.m
+            sliced = FTGemmResult(
+                c=c_slice,
+                counters=result.counters,
+                reports=result.reports,
+                verified=result.verified,
+                ft_enabled=result.ft_enabled,
+                recovery=result.recovery,
+                request_id=request.request_id,
+            )
+            self.complete(
+                request,
+                GemmResponse(
+                    request_id=request.request_id,
+                    status="ok",
+                    result=sliced,
+                    worker=worker.index,
+                    attempts=attempts,
+                    batch_size=len(batch),
+                    degraded=degraded,
+                ),
+            )
+        return True
+
+    def _run_single(self, worker: Worker, request: GemmRequest,
+                    batch: Batch, degraded: bool) -> bool:
+        driver = worker.driver_for(request.scheme, degraded)
+        shape = (request.m, request.n, request.k)
+
+        def run(drv, injector):
+            c = request.c0.copy() if request.c0 is not None else None
+            return drv.gemm(
+                request.a,
+                request.b,
+                c,
+                alpha=request.alpha,
+                beta=request.beta,
+                injector=injector,
+                request_id=request.request_id,
+            )
+
+        result, attempts, error = self._attempts(
+            worker, shape, request.request_id, driver, run
+        )
+        if result is None:
+            self.complete(
+                request,
+                GemmResponse(
+                    request_id=request.request_id,
+                    status="failed",
+                    error=error,
+                    worker=worker.index,
+                    attempts=attempts,
+                    batch_size=len(batch),
+                    degraded=degraded,
+                ),
+            )
+            return False
+        self.complete(
+            request,
+            GemmResponse(
+                request_id=request.request_id,
+                status="ok",
+                result=result,
+                worker=worker.index,
+                attempts=attempts,
+                batch_size=len(batch),
+                degraded=degraded,
+            ),
+        )
+        return True

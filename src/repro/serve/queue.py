@@ -1,0 +1,263 @@
+"""Bounded admission queue with backpressure policies and deadline expiry.
+
+The queue is the service's only buffer: every request the system has
+accepted but not yet handed to a worker lives here. It is strictly
+bounded — a service facing millions of users sheds load here, visibly,
+instead of growing an unbounded backlog and falling over later. Three
+policies decide what happens when a request arrives at a full queue:
+
+- ``"block"``  — the submitting thread waits for space (classic
+  producer-side backpressure; an optional timeout turns the wait into a
+  rejection);
+- ``"reject"`` — the request is refused immediately;
+- ``"shed-lowest"`` — the lowest-priority queued request is evicted to
+  make room, provided the newcomer outranks it; otherwise the newcomer
+  itself is refused. Eviction victims are returned to the caller so the
+  service can answer them (status ``shed``) — the queue never drops a
+  request silently.
+
+Ordering is priority-first (larger wins), FIFO within a priority.
+Deadlines are enforced here too: :meth:`reap_expired` removes requests
+whose queue deadline passed, again returning them for explicit
+completion. Every transition updates the shared metrics registry
+(``serve.queue_depth`` gauge, ``serve.admitted``/``rejected``/``shed``/
+``expired`` counters).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.obs.metrics import NULL_METRICS
+from repro.serve.request import GemmRequest
+from repro.util.errors import ConfigError
+
+#: recognised backpressure policies
+POLICIES = ("block", "reject", "shed-lowest")
+
+
+@dataclass
+class Admission:
+    """Outcome of one ``put``: admitted or not, plus any eviction victim."""
+
+    admitted: bool
+    #: request evicted to make room (``shed-lowest`` only); the caller
+    #: must complete it with status ``shed``
+    victim: GemmRequest | None = None
+    #: why the request was not admitted ("" when admitted)
+    reason: str = ""
+
+
+class AdmissionQueue:
+    """Thread-safe bounded priority queue of :class:`GemmRequest`.
+
+    One lock + two conditions (not-full for blocked producers, not-empty
+    for the scheduler). The store is a plain list scanned under the lock —
+    capacities are hundreds, not millions, so O(n) operations are cheaper
+    than a heap plus the arbitrary-removal bookkeeping that shedding,
+    coalescing extraction and expiry reaping would need on top of it.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        *,
+        policy: str = "block",
+        metrics=NULL_METRICS,
+        clock=time.monotonic,
+    ) -> None:
+        if capacity < 1:
+            raise ConfigError(f"capacity must be >= 1, got {capacity}")
+        if policy not in POLICIES:
+            raise ConfigError(
+                f"unknown backpressure policy {policy!r}; "
+                f"choose from {POLICIES}"
+            )
+        self.capacity = capacity
+        self.policy = policy
+        self.metrics = metrics
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._not_full = threading.Condition(self._lock)
+        self._not_empty = threading.Condition(self._lock)
+        self._items: list[GemmRequest] = []
+        self._seq = 0
+        self._order: dict[int, int] = {}  # id(request) -> admission seq
+        self._closed = False
+
+    # ----------------------------------------------------------- inspection
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    @property
+    def depth(self) -> int:
+        return len(self)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # ------------------------------------------------------------ admission
+    def put(
+        self, request: GemmRequest, *, timeout: float | None = None
+    ) -> Admission:
+        """Admit ``request`` under the configured backpressure policy."""
+        with self._lock:
+            if self._closed:
+                return Admission(False, reason="queue closed")
+            if len(self._items) >= self.capacity:
+                if self.policy == "reject":
+                    self.metrics.inc("serve.rejected")
+                    return Admission(False, reason="queue full")
+                if self.policy == "shed-lowest":
+                    victim = self._lowest_priority()
+                    if victim is None or victim.priority >= request.priority:
+                        # the newcomer is the lowest — refuse it instead
+                        self.metrics.inc("serve.rejected")
+                        return Admission(
+                            False,
+                            reason="queue full of equal-or-higher priority",
+                        )
+                    self._remove(victim)
+                    self.metrics.inc("serve.shed")
+                    self._admit(request)
+                    return Admission(True, victim=victim)
+                # policy == "block"
+                deadline = (
+                    None if timeout is None else self.clock() + timeout
+                )
+                while len(self._items) >= self.capacity and not self._closed:
+                    remaining = (
+                        None if deadline is None else deadline - self.clock()
+                    )
+                    if remaining is not None and remaining <= 0:
+                        self.metrics.inc("serve.rejected")
+                        return Admission(
+                            False, reason="admission timed out"
+                        )
+                    self._not_full.wait(remaining)
+                if self._closed:
+                    return Admission(False, reason="queue closed")
+            self._admit(request)
+            return Admission(True)
+
+    def _admit(self, request: GemmRequest) -> None:
+        now = self.clock()
+        request.submitted_at = now
+        if request.deadline_s is not None:
+            request.expires_at = now + request.deadline_s
+        self._items.append(request)
+        self._order[id(request)] = self._seq
+        self._seq += 1
+        self.metrics.inc("serve.admitted")
+        self.metrics.set_gauge("serve.queue_depth", float(len(self._items)))
+        self._not_empty.notify()
+
+    # ------------------------------------------------------------ extraction
+    def pop(self, timeout: float | None = None) -> GemmRequest | None:
+        """Remove and return the highest-priority request (FIFO within a
+        priority); None on timeout or when closed and drained."""
+        with self._lock:
+            deadline = None if timeout is None else self.clock() + timeout
+            while not self._items:
+                if self._closed:
+                    return None
+                remaining = (
+                    None if deadline is None else deadline - self.clock()
+                )
+                if remaining is not None and remaining <= 0:
+                    return None
+                self._not_empty.wait(remaining)
+            best = min(
+                self._items,
+                key=lambda r: (-r.priority, self._order[id(r)]),
+            )
+            self._remove(best)
+            self._after_removal()
+            return best
+
+    def take_compatible(
+        self, bucket: tuple, limit: int
+    ) -> list[GemmRequest]:
+        """Remove up to ``limit`` queued requests sharing ``bucket`` (the
+        shape-coalescing key), in admission order."""
+        if limit <= 0:
+            return []
+        with self._lock:
+            mates = [r for r in self._items if r.bucket() == bucket]
+            mates.sort(key=lambda r: (-r.priority, self._order[id(r)]))
+            mates = mates[:limit]
+            for r in mates:
+                self._remove(r)
+            if mates:
+                self._after_removal()
+            return mates
+
+    def reap_expired(self, now: float | None = None) -> list[GemmRequest]:
+        """Remove and return every queued request whose deadline passed."""
+        with self._lock:
+            now = self.clock() if now is None else now
+            dead = [r for r in self._items if r.expired(now)]
+            for r in dead:
+                self._remove(r)
+                self.metrics.inc("serve.expired")
+            if dead:
+                self._after_removal()
+            return dead
+
+    def _lowest_priority(self) -> GemmRequest | None:
+        if not self._items:
+            return None
+        # lowest priority; newest within it (shed the work least invested)
+        return max(
+            self._items,
+            key=lambda r: (-r.priority, self._order[id(r)]),
+        )
+
+    def _remove(self, request: GemmRequest) -> None:
+        self._items.remove(request)
+        del self._order[id(request)]
+
+    def _after_removal(self) -> None:
+        self.metrics.set_gauge("serve.queue_depth", float(len(self._items)))
+        self._not_full.notify()
+
+    # --------------------------------------------------------------- closing
+    def seal(self) -> None:
+        """Refuse further admissions but keep the backlog for draining.
+
+        The drain path: seal, then let the scheduler keep popping until
+        empty — ``pop`` on a sealed queue returns items while any remain
+        and None once drained, which is the scheduler's exit signal.
+        Producers blocked in ``put`` are woken and refused.
+        """
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+
+    def close(self) -> list[GemmRequest]:
+        """Refuse further admissions; return everything still queued so the
+        caller can answer it (drain executes it, shutdown cancels it)."""
+        with self._lock:
+            self._closed = True
+            leftovers = list(self._items)
+            self._items.clear()
+            self._order.clear()
+            self.metrics.set_gauge("serve.queue_depth", 0.0)
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+            return leftovers
+
+    def wait_nonempty(self, timeout: float) -> bool:
+        """Block until an item is queued (or timeout); scheduler's idle wait."""
+        with self._lock:
+            if self._items:
+                return True
+            if self._closed:
+                return False
+            self._not_empty.wait(timeout)
+            return bool(self._items)

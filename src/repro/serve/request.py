@@ -1,0 +1,231 @@
+"""Request/response types of the GEMM serving layer.
+
+A :class:`GemmRequest` is one protected product a client wants computed:
+operands, scalars, a priority, an optional deadline, and the fault-
+tolerance scheme to protect it with. The service answers every admitted
+request with exactly one :class:`GemmResponse` — delivered through a
+:class:`ResponseFuture` — whatever happens in between (faults, retries,
+worker deaths, shedding, expiry). The terminal statuses enumerate every
+way a request can leave the system; ``ok`` is the only one carrying a
+verified :class:`~repro.core.results.FTGemmResult`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.results import FTGemmResult
+from repro.util.errors import ConfigError, ShapeError
+
+#: every terminal state a request can reach; the service guarantees each
+#: request reaches exactly one of them, exactly once
+TERMINAL_STATUSES = (
+    "ok",         # executed and verified
+    "failed",     # retry budget exhausted without a verified result
+    "rejected",   # refused at admission (queue full under "reject"/"block")
+    "shed",       # evicted from the queue to admit higher-priority work
+    "expired",    # deadline passed while queued
+    "cancelled",  # service shut down without draining
+)
+
+#: checksum schemes a request may ask for (mirrors FTGemmConfig)
+SCHEMES = ("dual", "weighted")
+
+
+@dataclass(eq=False)
+class GemmRequest:
+    """One GEMM the service should compute: ``C = alpha * A @ B + beta * C0``.
+
+    Identity equality (``eq=False``): a request is a unique in-flight unit
+    of work — comparing operand arrays element-wise is both meaningless
+    and broken (ndarray ``==`` is elementwise), and the queue's
+    bookkeeping is keyed on object identity.
+
+    ``priority`` — larger is more urgent; it orders the admission queue and
+    decides who is shed under the ``shed-lowest`` backpressure policy.
+    ``deadline_s`` — seconds from admission the caller is willing to wait
+    in the queue; expiry while queued produces an ``expired`` response
+    (requests already handed to a worker always execute).
+    ``scheme`` — checksum scheme protecting the product (see
+    :class:`~repro.core.config.FTGemmConfig`).
+
+    ``request_id`` is assigned by the service at submit time when left
+    None; it correlates the response, the driver result, any recovery
+    report, and the ``serve.request`` trace span.
+    """
+
+    a: np.ndarray
+    b: np.ndarray
+    c0: np.ndarray | None = None
+    alpha: float = 1.0
+    beta: float = 0.0
+    priority: int = 0
+    deadline_s: float | None = None
+    scheme: str = "dual"
+    request_id: str | None = None
+    # stamped by the service at admission (monotonic seconds)
+    submitted_at: float = 0.0
+    expires_at: float | None = None
+
+    def __post_init__(self) -> None:
+        self.a = np.asarray(self.a, dtype=np.float64)
+        self.b = np.asarray(self.b, dtype=np.float64)
+        if self.a.ndim != 2 or self.b.ndim != 2:
+            raise ShapeError(
+                f"request operands must be 2-D, got A{self.a.shape} "
+                f"B{self.b.shape}"
+            )
+        if self.a.shape[1] != self.b.shape[0]:
+            raise ShapeError(
+                f"inner dimensions differ: A{self.a.shape} B{self.b.shape}"
+            )
+        if self.c0 is not None:
+            self.c0 = np.asarray(self.c0, dtype=np.float64)
+            if self.c0.shape != (self.m, self.n):
+                raise ShapeError(
+                    f"C0 shape {self.c0.shape} does not match "
+                    f"{(self.m, self.n)}"
+                )
+        if self.beta != 0.0 and self.c0 is None:
+            raise ConfigError("beta != 0 requires a C0 operand")
+        if self.scheme not in SCHEMES:
+            raise ConfigError(
+                f"unknown scheme {self.scheme!r}; choose from {SCHEMES}"
+            )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ConfigError(
+                f"deadline_s must be positive, got {self.deadline_s}"
+            )
+
+    @property
+    def m(self) -> int:
+        return self.a.shape[0]
+
+    @property
+    def k(self) -> int:
+        return self.a.shape[1]
+
+    @property
+    def n(self) -> int:
+        return self.b.shape[1]
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        return (self.m, self.n, self.k)
+
+    def bucket(self) -> tuple:
+        """The shape-coalescing key: requests in one bucket may execute as
+        a single stacked product. Identical B (by object), identical
+        (k, n), scalars and scheme; ``beta == 0`` only — a C0 leg would
+        need per-request scaling that stacking cannot express."""
+        return (
+            id(self.b),
+            self.k,
+            self.n,
+            self.alpha,
+            self.scheme,
+            self.beta == 0.0,
+        )
+
+    def expired(self, now: float) -> bool:
+        return self.expires_at is not None and now >= self.expires_at
+
+
+@dataclass(eq=False)
+class GemmResponse:
+    """The service's single, terminal answer to one request (identity
+    equality — it wraps ndarray-bearing results)."""
+
+    request_id: str
+    status: str
+    result: FTGemmResult | None = None
+    error: str = ""
+    #: worker that produced the answer (-1 when it never reached one)
+    worker: int = -1
+    #: execution attempts consumed (0 when never executed)
+    attempts: int = 0
+    #: how many requests shared the coalesced execution (1 = singleton)
+    batch_size: int = 1
+    #: end-to-end latency, admission -> completion (seconds)
+    latency_s: float = 0.0
+    #: the batch ran with the degraded (checksum-only) config
+    degraded: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def verified(self) -> bool:
+        return self.result is not None and self.result.verified
+
+    def summary(self) -> str:
+        extra = f", batch={self.batch_size}" if self.batch_size > 1 else ""
+        extra += ", degraded" if self.degraded else ""
+        tail = f": {self.error}" if self.error else ""
+        return (
+            f"GemmResponse({self.request_id}, {self.status}, "
+            f"attempts={self.attempts}{extra}, "
+            f"latency={self.latency_s * 1e3:.2f}ms{tail})"
+        )
+
+
+class ResponseFuture:
+    """One-shot, thread-safe slot the service fills with the response.
+
+    ``set`` returns False (and changes nothing) on a second completion
+    attempt — the exactly-once guard the soak tests assert on.
+    """
+
+    __slots__ = ("_event", "_response", "_lock", "_callbacks")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._response: GemmResponse | None = None
+        self._lock = threading.Lock()
+        self._callbacks: list = []
+
+    def set(self, response: GemmResponse) -> bool:
+        with self._lock:
+            if self._response is not None:
+                return False
+            self._response = response
+            callbacks = list(self._callbacks)
+        self._event.set()
+        for cb in callbacks:
+            cb(response)
+        return True
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> GemmResponse:
+        """Block until the response arrives; raises TimeoutError otherwise."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("no response within timeout")
+        return self._response
+
+    def peek(self) -> GemmResponse | None:
+        return self._response
+
+    def add_done_callback(self, cb) -> None:
+        with self._lock:
+            if self._response is None:
+                self._callbacks.append(cb)
+                return
+            response = self._response
+        cb(response)
+
+
+@dataclass
+class Ticket:
+    """What ``submit`` hands back: the assigned id plus the future."""
+
+    request_id: str
+    future: ResponseFuture
+
+    def result(self, timeout: float | None = None) -> GemmResponse:
+        return self.future.result(timeout)

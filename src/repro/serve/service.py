@@ -1,0 +1,367 @@
+"""The GEMM service facade: admission, scheduling, execution, completion.
+
+:class:`GemmService` wires the serving pipeline together —
+
+    submit() -> AdmissionQueue -> BatchScheduler -> WorkerPool -> futures
+
+— and owns the one invariant every other module contributes to: **each
+admitted request is answered exactly once**, whatever mix of faults,
+retries, shedding, expiry and shutdown it meets on the way. Completion is
+funnelled through a single :meth:`_complete` hook that stamps latency,
+records metrics and the ``serve.request`` span, and resolves the future;
+the future's one-shot guard turns any accounting bug into a counted
+``serve.duplicate_responses`` instead of a corrupted answer.
+
+Trace layout (kept compatible with the structural validator, which wants
+spans on one tid to nest or stay disjoint):
+
+- each request's lifetime span goes on its **own** tid lane
+  (``10000 + seq``) — request lifetimes overlap arbitrarily, so they
+  cannot share a lane;
+- each worker's batch spans go on lane ``1000 + worker_index`` — one
+  worker runs one batch at a time, so its spans are naturally disjoint.
+
+Shutdown comes in two flavours: :meth:`drain` closes admission, lets the
+scheduler and workers finish everything queued, then retires them;
+:meth:`shutdown` with ``drain=False`` answers the backlog with status
+``cancelled`` instead of executing it.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.core.config import FTGemmConfig
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+from repro.serve.pool import WorkerPool
+from repro.serve.queue import AdmissionQueue
+from repro.serve.request import (
+    GemmRequest,
+    GemmResponse,
+    ResponseFuture,
+    Ticket,
+)
+from repro.serve.scheduler import BatchScheduler
+from repro.util.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything tunable about the serving layer.
+
+    The fault-tolerance side (``ft``) is a plain :class:`FTGemmConfig`
+    handed to every worker driver; serving knobs sit alongside it.
+    ``degraded_depth`` arms the pressure valve: once the backlog (admission
+    queue plus formed-but-unclaimed batches) is at least that deep, batches
+    run with a checksum-only config (no escalation supervisor) until the
+    backlog recedes; None disables it.
+    """
+
+    workers: int = 2
+    #: admission queue capacity (requests)
+    capacity: int = 256
+    #: backpressure policy: "block" | "reject" | "shed-lowest"
+    policy: str = "block"
+    #: coalescing limit (requests per batch)
+    max_batch: int = 16
+    #: batching window the scheduler holds a non-full lane open (seconds)
+    window_s: float = 0.002
+    #: re-executions after a failed/unverified attempt
+    retry_budget: int = 2
+    #: first retry backoff; doubles per attempt (seconds)
+    backoff_base_s: float = 0.001
+    #: consecutive failed batches before a worker is quarantined
+    quarantine_after: int = 3
+    #: backlog depth (queue + ready batches) that flips execution to
+    #: degraded mode (None = never)
+    degraded_depth: int | None = None
+    #: intra-request GEMM threads (1 = serial FTGemm per worker;
+    #: > 1 = ParallelFTGemm per worker)
+    gemm_threads: int = 1
+    #: team backend for ParallelFTGemm ("simulated" | "threads")
+    team_backend: str = "simulated"
+    #: driver configuration shared by every worker
+    ft: FTGemmConfig = field(default_factory=FTGemmConfig)
+    #: collect serve-layer spans/metrics (drivers stay untraced — their
+    #: spans would collide with the serve lanes)
+    trace: bool = False
+
+    def validate(self) -> "ServiceConfig":
+        problems: list[str] = []
+        if self.workers < 1:
+            problems.append(f"workers must be >= 1, got {self.workers}")
+        if self.retry_budget < 0:
+            problems.append(
+                f"retry_budget must be >= 0, got {self.retry_budget}"
+            )
+        if self.backoff_base_s < 0:
+            problems.append(
+                f"backoff_base_s must be >= 0, got {self.backoff_base_s}"
+            )
+        if self.quarantine_after < 1:
+            problems.append(
+                f"quarantine_after must be >= 1, got {self.quarantine_after}"
+            )
+        if self.degraded_depth is not None and self.degraded_depth < 1:
+            problems.append(
+                f"degraded_depth must be >= 1 or None, got "
+                f"{self.degraded_depth}"
+            )
+        if problems:
+            raise ConfigError(
+                "inconsistent ServiceConfig: " + "; ".join(problems)
+            )
+        # driver-side consistency (raises its own ConfigError)
+        self.ft.validate(
+            n_threads=self.gemm_threads if self.gemm_threads > 1 else None
+        )
+        return self
+
+
+class GemmService:
+    """The serving facade: submit requests, receive exactly-once responses.
+
+    Typical use::
+
+        service = GemmService(ServiceConfig(workers=4))
+        service.start()
+        ticket = service.submit(GemmRequest(a, b, priority=1))
+        response = ticket.result(timeout=5.0)
+        service.drain()
+
+    ``injector_factory(shape, attempt, request_id, config)`` — when given —
+    is consulted before every execution attempt and may return a
+    :class:`~repro.faults.injector.FaultInjector` (or None) to exercise
+    the fault-tolerance machinery with live traffic.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        *,
+        injector_factory=None,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        clock=time.monotonic,
+    ) -> None:
+        self.config = (config or ServiceConfig()).validate()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        if tracer is None and self.config.trace:
+            tracer = Tracer(metrics=self.metrics)
+        self.tracer = tracer
+        self.clock = clock
+        self.queue = AdmissionQueue(
+            self.config.capacity,
+            policy=self.config.policy,
+            metrics=self.metrics,
+            clock=clock,
+        )
+        self.scheduler = BatchScheduler(
+            self.queue,
+            max_batch=self.config.max_batch,
+            window_s=self.config.window_s,
+            # one batch in flight per worker plus one forming keeps every
+            # worker busy while leaving the backlog under queue policy
+            max_ready=self.config.workers + 1,
+            on_expired=lambda req: self._complete(
+                req,
+                GemmResponse(request_id=req.request_id, status="expired",
+                             error="deadline passed while queued"),
+            ),
+            metrics=self.metrics,
+            clock=clock,
+        )
+        self.pool = WorkerPool(
+            self.scheduler,
+            self.config,
+            complete=self._complete,
+            injector_factory=injector_factory,
+            use_degraded=self._use_degraded,
+            metrics=self.metrics,
+            tracer=self.tracer,
+        )
+        self._ids = itertools.count()
+        self._lock = threading.Lock()
+        self._futures: dict[str, ResponseFuture] = {}
+        #: tid lane per request id for the serve.request span
+        self._lanes: dict[str, int] = {}
+        self._started_at: dict[str, float] = {}
+        self._span_t0: dict[str, float] = {}
+        self._started = False
+        self._stopped = False
+        #: responses delivered, by status (exact integers for reports)
+        self.completed: dict[str, int] = {}
+        self.duplicates = 0
+
+    # -------------------------------------------------------------- lifecycle
+    def start(self) -> "GemmService":
+        if self._started:
+            return self
+        self._started = True
+        self.scheduler.start()
+        self.pool.start()
+        return self
+
+    def __enter__(self) -> "GemmService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.drain()
+
+    def drain(self) -> None:
+        """Close admission, execute everything queued, then retire."""
+        self.shutdown(drain=True)
+
+    def shutdown(self, *, drain: bool = True) -> None:
+        if self._stopped:
+            return
+        self._stopped = True
+        if drain:
+            # seal: refuse new admissions but keep the backlog — the
+            # scheduler keeps popping a sealed queue until it is empty
+            # (that's its exit signal), workers keep executing until the
+            # scheduler's ready lane drains, and only then does stop()
+            # return. Every in-flight request gets its real answer.
+            self.queue.seal()
+            self.scheduler.stop(join=True)
+            self.pool.stop(join=True)
+        else:
+            leftovers = self.queue.close()
+            self.scheduler.stop(join=True)
+            self.pool.stop(join=True)
+            for request in leftovers:
+                self._complete(
+                    request,
+                    GemmResponse(
+                        request_id=request.request_id,
+                        status="cancelled",
+                        error="service shut down before execution",
+                    ),
+                )
+
+    # -------------------------------------------------------------- admission
+    def submit(
+        self,
+        request: GemmRequest,
+        *,
+        timeout: float | None = None,
+    ) -> Ticket:
+        """Admit a request; returns a :class:`Ticket` whose future resolves
+        to the terminal response (including non-ok outcomes — a rejected
+        or shed request gets its answer through the same future)."""
+        if not self._started or self._stopped:
+            raise ConfigError(
+                "service is not running (call start(); submit after "
+                "drain/shutdown is refused)"
+            )
+        if request.request_id is None:
+            request.request_id = f"r{next(self._ids):06d}"
+        future = ResponseFuture()
+        with self._lock:
+            self._futures[request.request_id] = future
+            self._lanes[request.request_id] = 10000 + len(self._lanes)
+            self._started_at[request.request_id] = self.clock()
+            if self.tracer is not None:
+                self._span_t0[request.request_id] = self.tracer.now_us()
+        admission = self.queue.put(request, timeout=timeout)
+        if not admission.admitted:
+            self._complete(
+                request,
+                GemmResponse(
+                    request_id=request.request_id,
+                    status="rejected",
+                    error=admission.reason,
+                ),
+            )
+        elif admission.victim is not None:
+            self._complete(
+                admission.victim,
+                GemmResponse(
+                    request_id=admission.victim.request_id,
+                    status="shed",
+                    error="evicted for higher-priority work",
+                ),
+            )
+        return Ticket(request_id=request.request_id, future=future)
+
+    # ------------------------------------------------------------- completion
+    def _complete(self, request: GemmRequest, response: GemmResponse) -> None:
+        """The single funnel every terminal response passes through."""
+        with self._lock:
+            future = self._futures.get(response.request_id)
+            lane = self._lanes.get(response.request_id, 0)
+            started = self._started_at.pop(response.request_id, None)
+            span_t0 = self._span_t0.pop(response.request_id, None)
+        if started is not None:
+            response.latency_s = self.clock() - started
+        if future is None or not future.set(response):
+            self.duplicates += 1
+            self.metrics.inc("serve.duplicate_responses")
+            return
+        with self._lock:
+            self.completed[response.status] = (
+                self.completed.get(response.status, 0) + 1
+            )
+        self.metrics.inc(f"serve.responses.{response.status}")
+        self.metrics.observe(
+            "serve.latency_ms", response.latency_s * 1e3
+        )
+        if response.ok:
+            self.metrics.observe(
+                "serve.attempts", float(response.attempts)
+            )
+        if self.tracer is not None and span_t0 is not None:
+            self.tracer.complete(
+                "serve.request",
+                cat="serve",
+                tid=lane,
+                t0_us=span_t0,
+                args={
+                    "request_id": response.request_id,
+                    "status": response.status,
+                    "attempts": response.attempts,
+                    "batch_size": response.batch_size,
+                    "degraded": response.degraded,
+                },
+            )
+
+    def _use_degraded(self) -> bool:
+        depth = self.config.degraded_depth
+        if depth is None:
+            return False
+        # pressure = everything admitted but not yet executing: requests
+        # still in the admission queue plus batches already formed and
+        # waiting for a worker (the scheduler transfers aggressively, so
+        # the queue alone understates the backlog)
+        return self.queue.depth + self.scheduler.ready_depth >= depth
+
+    # ------------------------------------------------------------- inspection
+    def result(
+        self, request_id: str, timeout: float | None = None
+    ) -> GemmResponse:
+        """Block for the response to a previously submitted request."""
+        with self._lock:
+            future = self._futures.get(request_id)
+        if future is None:
+            raise KeyError(f"unknown request id {request_id!r}")
+        return future.result(timeout)
+
+    def stats(self) -> dict:
+        """A JSON-serialisable snapshot for reports and the CLI."""
+        return {
+            "completed": dict(self.completed),
+            "duplicates": self.duplicates,
+            "scheduler": {
+                "batches": self.scheduler.stats.batches,
+                "coalesced_batches": self.scheduler.stats.coalesced_batches,
+                "coalesced_requests": self.scheduler.stats.coalesced_requests,
+                "singleton_batches": self.scheduler.stats.singleton_batches,
+                "expired": self.scheduler.stats.expired,
+            },
+            "quarantined_workers": list(self.pool.quarantined),
+            "metrics": self.metrics.snapshot(),
+        }

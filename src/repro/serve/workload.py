@@ -1,0 +1,349 @@
+"""Open-loop synthetic workloads against the serving layer.
+
+The workload driver is what the ``repro serve`` CLI subcommand, the CI
+smoke job and the soak tests run: submit requests at a configured arrival
+rate for a configured duration — *open loop*, so submission pressure does
+not slack off when the service slows down — optionally under live fault
+injection, then audit the outcome:
+
+- **exactly-once**: every submitted request produced exactly one terminal
+  response (``lost == 0`` and ``service.duplicates == 0``);
+- **correctness**: every ``ok`` response matches the NumPy oracle
+  computed from the request's own operands;
+- **performance**: throughput, latency percentiles, batch-size mix.
+
+Shapes are drawn from a weighted mix. Requests of one shape class share
+one B operand (the inference pattern: many activations against one
+weight matrix), which is what gives the scheduler something to coalesce;
+classes marked ``private_b`` get a fresh B per request and always execute
+as singletons — the control group.
+
+Fault injection is deterministic per (request, attempt): the factory
+derives every choice from the workload seed, so a failing soak replays
+exactly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.faults.campaign import (
+    plan_for_gemm,
+    site_invocation_counts_parallel,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.models import BitFlip, FailStop, StuckBit
+from repro.gemm.reference import gemm_reference
+from repro.serve.request import GemmRequest
+from repro.serve.service import GemmService, ServiceConfig
+from repro.util.errors import ConfigError
+from repro.util.rng import derive_seed, make_rng
+
+
+@dataclass(frozen=True)
+class ShapeSpec:
+    """One shape class in the mix: ``weight`` is its draw probability
+    mass; ``private_b`` forces a per-request B (no coalescing)."""
+
+    m: int
+    k: int
+    n: int
+    weight: float = 1.0
+    private_b: bool = False
+
+
+#: default mixed-shape workload: two coalescible classes sharing a B each,
+#: plus a private-B singleton class
+DEFAULT_SHAPES = (
+    ShapeSpec(24, 32, 32, weight=0.5),
+    ShapeSpec(16, 48, 24, weight=0.3),
+    ShapeSpec(20, 40, 28, weight=0.2, private_b=True),
+)
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """An open-loop run: arrivals, shapes, faults, stop conditions."""
+
+    duration_s: float = 2.0
+    #: mean arrival rate (requests/second); inter-arrival times are
+    #: exponential (Poisson arrivals)
+    arrival_rate: float = 50.0
+    #: fraction of first execution attempts that receive a fault plan
+    fault_rate: float = 0.0
+    #: of the faulted attempts: how many carry a fail-stop on top
+    #: (needs ``gemm_threads >= 2``; silently skipped otherwise)
+    fail_stop_fraction: float = 0.2
+    #: errors per faulted call
+    errors_per_call: int = 2
+    seed: int = 0
+    shapes: tuple[ShapeSpec, ...] = DEFAULT_SHAPES
+    #: queue deadline applied to every request (None = none)
+    deadline_s: float | None = None
+    #: priorities drawn uniformly from this tuple
+    priorities: tuple[int, ...] = (0,)
+    #: stop after this many submissions even if time remains
+    max_requests: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ConfigError(
+                f"duration_s must be positive, got {self.duration_s}"
+            )
+        if self.arrival_rate <= 0:
+            raise ConfigError(
+                f"arrival_rate must be positive, got {self.arrival_rate}"
+            )
+        if not 0.0 <= self.fault_rate <= 1.0:
+            raise ConfigError(
+                f"fault_rate must be in [0, 1], got {self.fault_rate}"
+            )
+        if not self.shapes:
+            raise ConfigError("shapes must not be empty")
+
+
+@dataclass
+class WorkloadReport:
+    """The audit of one run; ``ok`` gates the CI smoke job's exit code."""
+
+    submitted: int = 0
+    responses: dict[str, int] = field(default_factory=dict)
+    #: submitted requests that never produced a response — must be 0
+    lost: int = 0
+    #: second completions observed by the service — must be 0
+    duplicates: int = 0
+    #: ok responses whose C failed the NumPy oracle — must be 0
+    wrong: int = 0
+    elapsed_s: float = 0.0
+    throughput_rps: float = 0.0
+    latency_ms: dict[str, float] = field(default_factory=dict)
+    #: scheduler view: batches formed, coalesced share
+    scheduler: dict = field(default_factory=dict)
+    #: fault-path view: retries, quarantines, degraded batches
+    recovery: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """Every request answered exactly once, every answer correct."""
+        return self.lost == 0 and self.duplicates == 0 and self.wrong == 0
+
+    def summary(self) -> str:
+        parts = [
+            f"submitted={self.submitted}",
+            "responses="
+            + "/".join(f"{k}:{v}" for k, v in sorted(self.responses.items())),
+            f"lost={self.lost}",
+            f"duplicates={self.duplicates}",
+            f"wrong={self.wrong}",
+            f"throughput={self.throughput_rps:.1f} req/s",
+        ]
+        if self.latency_ms:
+            parts.append(
+                f"latency p50/p95={self.latency_ms.get('p50', 0.0):.2f}/"
+                f"{self.latency_ms.get('p95', 0.0):.2f} ms"
+            )
+        status = "OK" if self.ok else "FAILED"
+        return f"workload {status}: " + ", ".join(parts)
+
+    def to_dict(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "responses": dict(self.responses),
+            "lost": self.lost,
+            "duplicates": self.duplicates,
+            "wrong": self.wrong,
+            "elapsed_s": self.elapsed_s,
+            "throughput_rps": self.throughput_rps,
+            "latency_ms": dict(self.latency_ms),
+            "scheduler": dict(self.scheduler),
+            "recovery": dict(self.recovery),
+            "ok": self.ok,
+        }
+
+
+def make_injector_factory(workload: WorkloadConfig):
+    """An ``injector_factory`` for :class:`GemmService` drawing a
+    deterministic fault mix: bit flips (transient), stuck bits (the sticky
+    model the supervisor quarantines), and — on multi-threaded workers —
+    fail-stop thread deaths.
+
+    Only first attempts are faulted: a retry models re-execution on
+    healthy substrate, which is the service-level recovery the retries
+    exist to provide.
+    """
+    if workload.fault_rate <= 0.0:
+        return None
+
+    def factory(shape, attempt, request_id, service_config):
+        if attempt > 0:
+            return None
+        rng = make_rng(derive_seed(workload.seed, "serve", request_id))
+        if rng.random() >= workload.fault_rate:
+            return None
+        m, n, k = shape
+        blocking = service_config.ft.blocking
+        counts = None
+        if service_config.gemm_threads > 1:
+            counts = site_invocation_counts_parallel(
+                m, n, k, blocking, service_config.gemm_threads
+            )
+        model = (
+            StuckBit(bit=51) if rng.random() < 0.3 else BitFlip(bit=50)
+        )
+        plan = plan_for_gemm(
+            m, n, k, blocking,
+            workload.errors_per_call,
+            model=model,
+            seed=derive_seed(workload.seed, "plan", request_id),
+            counts=counts,
+        )
+        if (
+            service_config.gemm_threads >= 2
+            and rng.random() < workload.fail_stop_fraction
+        ):
+            from dataclasses import replace
+
+            # barriers 1..3 exist for every shape (the round barriers of
+            # the first K-block); thread 0 must survive to supervise
+            plan = replace(
+                plan,
+                fail_stops=(
+                    FailStop(
+                        thread=int(rng.integers(1, service_config.gemm_threads)),
+                        barrier=int(rng.integers(1, 4)),
+                    ),
+                ),
+            )
+        return FaultInjector(plan)
+
+    return factory
+
+
+def _build_requests(workload: WorkloadConfig) -> list[GemmRequest]:
+    """Pre-build the whole arrival schedule so submission-time work is
+    only the sleep + submit (operand construction off the clock)."""
+    rng = make_rng(derive_seed(workload.seed, "workload"))
+    weights = np.array([s.weight for s in workload.shapes], dtype=float)
+    weights /= weights.sum()
+    n_requests = int(round(workload.arrival_rate * workload.duration_s))
+    if workload.max_requests is not None:
+        n_requests = min(n_requests, workload.max_requests)
+    n_requests = max(n_requests, 1)
+    # one shared B per coalescible shape class
+    shared_b = {
+        i: rng.standard_normal((spec.k, spec.n))
+        for i, spec in enumerate(workload.shapes)
+        if not spec.private_b
+    }
+    requests = []
+    for _ in range(n_requests):
+        i = int(rng.choice(len(workload.shapes), p=weights))
+        spec = workload.shapes[i]
+        a = rng.standard_normal((spec.m, spec.k))
+        b = (
+            rng.standard_normal((spec.k, spec.n))
+            if spec.private_b
+            else shared_b[i]
+        )
+        priority = workload.priorities[
+            int(rng.integers(len(workload.priorities)))
+        ]
+        requests.append(
+            GemmRequest(
+                a, b,
+                priority=int(priority),
+                deadline_s=workload.deadline_s,
+            )
+        )
+    return requests
+
+
+def run_workload(
+    service: GemmService,
+    workload: WorkloadConfig,
+    *,
+    timeout_s: float = 60.0,
+) -> WorkloadReport:
+    """Drive ``service`` (already started) with an open-loop run and audit
+    the responses. Drains the service before auditing — after this
+    returns the service is retired."""
+    rng = make_rng(derive_seed(workload.seed, "arrivals"))
+    requests = _build_requests(workload)
+    tickets = []
+    t_start = time.perf_counter()
+    deadline = t_start + workload.duration_s
+    for request in requests:
+        tickets.append((request, service.submit(request)))
+        gap = rng.exponential(1.0 / workload.arrival_rate)
+        remaining = deadline - time.perf_counter()
+        if remaining <= 0:
+            break
+        time.sleep(min(gap, remaining))
+    service.drain()
+    elapsed = time.perf_counter() - t_start
+
+    report = WorkloadReport(submitted=len(tickets), elapsed_s=elapsed)
+    latencies = []
+    audit_deadline = time.perf_counter() + timeout_s
+    for request, ticket in tickets:
+        try:
+            response = ticket.result(
+                max(0.0, audit_deadline - time.perf_counter())
+            )
+        except TimeoutError:
+            report.lost += 1
+            continue
+        report.responses[response.status] = (
+            report.responses.get(response.status, 0) + 1
+        )
+        latencies.append(response.latency_s * 1e3)
+        if response.ok:
+            expected = gemm_reference(
+                request.a, request.b, request.c0,
+                alpha=request.alpha, beta=request.beta,
+            )
+            scale = float(np.max(np.abs(expected))) + 1.0
+            err = float(np.max(np.abs(response.result.c - expected)))
+            if err > 1e-8 * scale:
+                report.wrong += 1
+    report.duplicates = service.duplicates
+    n_ok = report.responses.get("ok", 0)
+    report.throughput_rps = n_ok / elapsed if elapsed > 0 else 0.0
+    if latencies:
+        arr = np.array(latencies)
+        report.latency_ms = {
+            "p50": float(np.percentile(arr, 50)),
+            "p95": float(np.percentile(arr, 95)),
+            "p99": float(np.percentile(arr, 99)),
+            "max": float(arr.max()),
+        }
+    stats = service.stats()
+    report.scheduler = stats["scheduler"]
+    metrics = stats["metrics"]["counters"]
+    report.recovery = {
+        "retries": int(metrics.get("serve.retries", 0)),
+        "quarantined": len(stats["quarantined_workers"]),
+        "degraded_batches": int(metrics.get("serve.degraded_batches", 0)),
+        "shed": int(metrics.get("serve.shed", 0)),
+        "rejected": int(metrics.get("serve.rejected", 0)),
+        "expired": int(metrics.get("serve.expired", 0)),
+    }
+    return report
+
+
+def run_serve_workload(
+    service_config: ServiceConfig,
+    workload: WorkloadConfig,
+    *,
+    timeout_s: float = 60.0,
+) -> WorkloadReport:
+    """Convenience wrapper: build, start, drive, drain, audit."""
+    service = GemmService(
+        service_config,
+        injector_factory=make_injector_factory(workload),
+    )
+    service.start()
+    return run_workload(service, workload, timeout_s=timeout_s)

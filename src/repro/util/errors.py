@@ -39,3 +39,16 @@ class UncorrectableError(FaultToleranceError):
 
 class SimulationError(ReproError, RuntimeError):
     """The simulated hardware substrate was driven into an invalid state."""
+
+
+class ServeError(ReproError, RuntimeError):
+    """The serving layer could not answer a request with a verified result.
+
+    Raised by the synchronous client when a request ends in any terminal
+    status other than ``ok`` (rejected, shed, expired, failed, cancelled);
+    ``response`` carries the full :class:`~repro.serve.request.GemmResponse`.
+    """
+
+    def __init__(self, message: str, *, response=None):
+        super().__init__(message)
+        self.response = response

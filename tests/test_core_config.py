@@ -47,3 +47,74 @@ def test_with_modifies_copy():
 def test_frozen():
     with pytest.raises(AttributeError):
         FTGemmConfig().strict = False
+
+
+# ---------------------------------------------------------------- validate()
+def test_validate_returns_self_on_consistent_config():
+    cfg = FTGemmConfig()
+    assert cfg.validate() is cfg
+    assert cfg.validate(n_threads=4) is cfg
+
+
+def test_validate_rejects_supervisor_without_ft():
+    cfg = FTGemmConfig(enable_ft=False)  # default enable_supervisor=True
+    with pytest.raises(ConfigError, match="enable_supervisor"):
+        cfg.validate()
+
+
+def test_validate_rejects_eager_without_ft():
+    cfg = FTGemmConfig(enable_ft=False, verify_mode="eager",
+                       enable_supervisor=False)
+    with pytest.raises(ConfigError, match="eager"):
+        cfg.validate()
+
+
+def test_validate_rejects_nonpositive_threads():
+    for bad in (0, -2):
+        with pytest.raises(ConfigError, match="n_threads"):
+            FTGemmConfig().validate(n_threads=bad)
+
+
+def test_validate_rejects_eager_on_parallel_driver():
+    with pytest.raises(ConfigError, match="eager"):
+        FTGemmConfig(verify_mode="eager").validate(n_threads=2)
+
+
+def test_validate_collects_every_problem():
+    cfg = FTGemmConfig(enable_ft=False, verify_mode="eager")
+    with pytest.raises(ConfigError) as excinfo:
+        cfg.validate(n_threads=0)
+    message = str(excinfo.value)
+    assert "enable_supervisor" in message
+    assert "eager" in message
+    assert "n_threads" in message
+
+
+def test_with_disable_ft_also_disables_supervisor():
+    cfg = FTGemmConfig().with_(enable_ft=False)
+    assert not cfg.enable_supervisor
+    cfg.validate()  # consistent
+
+
+def test_with_disable_ft_respects_explicit_supervisor_choice():
+    cfg = FTGemmConfig().with_(enable_ft=False, enable_supervisor=True)
+    assert cfg.enable_supervisor  # explicit wins; validate() rejects it
+    with pytest.raises(ConfigError):
+        cfg.validate()
+
+
+def test_unprotected_factory_is_validate_clean():
+    FTGemmConfig.unprotected().validate()
+
+
+def test_drivers_validate_on_construction():
+    from repro.core.ftgemm import FTGemm
+    from repro.core.parallel import ParallelFTGemm
+
+    bad = FTGemmConfig(enable_ft=False)
+    with pytest.raises(ConfigError):
+        FTGemm(bad)
+    with pytest.raises(ConfigError):
+        ParallelFTGemm(FTGemmConfig(), n_threads=0)
+    with pytest.raises(ConfigError, match="eager"):
+        ParallelFTGemm(FTGemmConfig(verify_mode="eager"), n_threads=2)

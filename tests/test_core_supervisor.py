@@ -190,3 +190,88 @@ def test_merge_counters_accumulates_ints_only():
     # idempotent on the non-int fields (e.g. cache dicts) — no type blowup
     _merge_counters(dst, Counters())
     assert dst.fma_flops == 111
+
+
+# ------------------------------------------------------------- sticky audit
+def _audit_case(seed):
+    """Operands + plan known (pre-fix) to end 'verified' with a silently
+    corrupted C: two sticky StuckBit faults whose replay onto recomputed
+    lines forms a sign-alternating rectangle that cancels in every row and
+    column checksum."""
+    from repro.faults.campaign import plan_for_gemm
+    from repro.gemm.blocking import BlockingConfig
+
+    blocking = BlockingConfig.small()
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((8, 24))
+    b = rng.standard_normal((24, 16))
+    plan = plan_for_gemm(8, 16, 24, blocking, 2, model=StuckBit(bit=51),
+                         seed=seed)
+    return a, b, blocking, plan
+
+
+#: seeds where, without the audit, the ladder returned verified=True with
+#: max error >= 1.0 (checksum-null replay rectangles)
+_AUDIT_SEEDS = (121, 125, 169, 184, 189)
+
+
+@pytest.mark.parametrize("seed", _AUDIT_SEEDS)
+def test_sticky_audit_heals_checksum_null_replay_poisoning(seed):
+    a, b, blocking, plan = _audit_case(seed)
+    config = FTGemmConfig(blocking=blocking, strict=True)
+    result = FTGemm(config).gemm(a, b, injector=FaultInjector(plan))
+    assert result.verified
+    np.testing.assert_allclose(result.c, a @ b, rtol=1e-9, atol=1e-9)
+    strategies = [r.strategy for r in result.recovery.rounds]
+    assert "sticky_audit" in strategies
+    # the audit quarantined the live sticky faults it distrusted
+    assert result.recovery.quarantined
+
+
+def test_sticky_audit_round_reports_the_recomputed_lines():
+    a, b, blocking, plan = _audit_case(121)
+    config = FTGemmConfig(blocking=blocking, strict=True)
+    result = FTGemm(config).gemm(a, b, injector=FaultInjector(plan))
+    audit = next(
+        r for r in result.recovery.rounds if r.strategy == "sticky_audit"
+    )
+    assert "distrusted" in audit.detail
+    assert "recomputed clean" in audit.detail
+
+
+def test_sticky_audit_not_triggered_without_persistent_faults():
+    """Transient faults never pay the audit: the clean verdict of a
+    BitFlip run is trusted as before."""
+    from repro.faults.campaign import plan_for_gemm
+    from repro.faults.models import BitFlip
+    from repro.gemm.blocking import BlockingConfig
+
+    blocking = BlockingConfig.small()
+    rng = np.random.default_rng(3)
+    a = rng.standard_normal((8, 24))
+    b = rng.standard_normal((24, 16))
+    plan = plan_for_gemm(8, 16, 24, blocking, 2, model=BitFlip(bit=51),
+                         seed=3)
+    config = FTGemmConfig(blocking=blocking, strict=True)
+    result = FTGemm(config).gemm(a, b, injector=FaultInjector(plan))
+    assert result.verified
+    np.testing.assert_allclose(result.c, a @ b, rtol=1e-9, atol=1e-9)
+    assert all(
+        r.strategy != "sticky_audit" for r in result.recovery.rounds
+    )
+
+
+def test_sticky_stuckbit_sweep_verified_implies_correct():
+    """The property the audit restores, over a seed sweep: whenever the
+    ladder says verified, the result matches the oracle."""
+    config = None
+    for seed in range(40):
+        a, b, blocking, plan = _audit_case(seed)
+        if config is None:
+            config = FTGemmConfig(blocking=blocking, strict=False)
+        result = FTGemm(config).gemm(a, b, injector=FaultInjector(plan))
+        if result.verified:
+            np.testing.assert_allclose(
+                result.c, a @ b, rtol=1e-9, atol=1e-9,
+                err_msg=f"silent corruption at seed {seed}",
+            )

@@ -29,7 +29,7 @@ def abc(rng):
 
 
 def _config(**kwargs):
-    return FTGemmConfig(blocking=BlockingConfig.small(), **kwargs)
+    return FTGemmConfig(blocking=BlockingConfig.small()).with_(**kwargs)
 
 
 def _n_barriers(cfg):

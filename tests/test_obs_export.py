@@ -139,3 +139,49 @@ def test_event_equality_survives_json(tmp_path):
     (loaded,), _ = load_jsonl(path)
     assert loaded == event
     assert json.loads(json.dumps(loaded.to_chrome()))["dur"] == 0.25
+
+
+# ----------------------------------------------------- open spans at export
+def test_export_tolerates_open_spans(tmp_path):
+    """A span still open at export time (a worker mid-batch while the
+    service drains) is emitted as a retroactive complete tagged
+    ``open_at_export`` — and the trace still validates structurally."""
+    tr = Tracer()
+    span = tr.span("serve.batch", cat="serve", tid=3, args={"batch": "b1"})
+    span.__enter__()  # entered, never exited before the export
+    tr.event("fault.injected", cat="fault", tid=3)
+
+    trace = write_chrome_trace(tmp_path / "open.json", tr)
+    assert validate_chrome_trace(trace) > 0
+    completes = [
+        e for e in trace["traceEvents"]
+        if e.get("ph") == "X" and e.get("name") == "serve.batch"
+    ]
+    assert len(completes) == 1
+    assert completes[0]["args"]["open_at_export"] is True
+    assert completes[0]["args"]["batch"] == "b1"  # original args kept
+    assert completes[0]["dur"] >= 0.0
+
+    # the span stays open: its eventual exit records the real duration
+    assert tr.open_spans() == [span]
+    span.__exit__(None, None, None)
+    assert tr.open_spans() == []
+    closed = [e for e in tr.events if e.name == "serve.batch"]
+    assert len(closed) == 1 and closed[0].args == {"batch": "b1"}
+
+
+def test_events_with_open_does_not_mutate_closed_view():
+    tr = Tracer()
+    with tr.span("outer"):
+        snapshot = tr.events_with_open()
+        assert [e.name for e in snapshot] == ["outer"]
+        assert snapshot[0].args["open_at_export"] is True
+    # the retroactive complete never leaked into the tracer's own stream
+    assert len(tr.events) == 1
+    assert tr.events[0].args is None
+
+
+def test_export_with_no_open_spans_is_unchanged(tmp_path):
+    tr = _traced_run()
+    assert tr.open_spans() == []
+    assert tr.events_with_open() == tr.events

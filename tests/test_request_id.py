@@ -1,0 +1,65 @@
+"""Request-correlation ids: threaded through both drivers and onto the
+recovery evidence, defaulting to None for anonymous library calls."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import FTGemmConfig
+from repro.core.ftgemm import FTGemm
+from repro.core.parallel import ParallelFTGemm
+from repro.faults.campaign import plan_for_gemm
+from repro.faults.injector import FaultInjector
+from repro.gemm.blocking import BlockingConfig
+
+
+@pytest.fixture
+def operands():
+    rng = np.random.default_rng(5)
+    return rng.standard_normal((24, 24)), rng.standard_normal((24, 24))
+
+
+def _config():
+    return FTGemmConfig(blocking=BlockingConfig.small())
+
+
+def test_default_is_anonymous(operands):
+    a, b = operands
+    result = FTGemm(_config()).gemm(a, b)
+    assert result.request_id is None
+    assert "r-00042" not in result.summary()
+
+
+def test_serial_driver_stamps_request_id(operands):
+    a, b = operands
+    result = FTGemm(_config()).gemm(a, b, request_id="r-00042")
+    assert result.request_id == "r-00042"
+    assert result.summary().startswith("FTGemmResult(r-00042: ")
+
+
+def test_parallel_driver_stamps_request_id(operands):
+    a, b = operands
+    driver = ParallelFTGemm(_config(), n_threads=2)
+    result = driver.gemm(a, b, request_id="batch-7")
+    assert result.request_id == "batch-7"
+
+
+def test_recovery_report_carries_request_id(operands):
+    a, b = operands
+    config = _config()
+    plan = plan_for_gemm(24, 24, 24, config.blocking, 1, seed=1)
+    result = FTGemm(config).gemm(
+        a, b, injector=FaultInjector(plan), request_id="faulty-1"
+    )
+    assert result.verified
+    assert result.request_id == "faulty-1"
+    if result.recovery is not None:
+        assert result.recovery.request_id == "faulty-1"
+
+
+def test_recovery_report_default_none(operands):
+    a, b = operands
+    config = _config()
+    plan = plan_for_gemm(24, 24, 24, config.blocking, 1, seed=1)
+    result = FTGemm(config).gemm(a, b, injector=FaultInjector(plan))
+    if result.recovery is not None:
+        assert result.recovery.request_id is None

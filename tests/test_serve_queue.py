@@ -1,0 +1,199 @@
+"""Admission queue: backpressure policies, ordering, deadlines, closing."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.serve import AdmissionQueue, GemmRequest
+from repro.util.errors import ConfigError, ShapeError
+
+
+def _request(priority=0, deadline_s=None, m=4, k=6, n=5, b=None):
+    rng = np.random.default_rng(0)
+    return GemmRequest(
+        rng.standard_normal((m, k)),
+        rng.standard_normal((k, n)) if b is None else b,
+        priority=priority,
+        deadline_s=deadline_s,
+    )
+
+
+# ----------------------------------------------------------- request basics
+def test_request_validates_shapes():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ShapeError):
+        GemmRequest(rng.standard_normal((4, 3)), rng.standard_normal((5, 2)))
+    with pytest.raises(ShapeError):
+        GemmRequest(rng.standard_normal(4), rng.standard_normal((4, 2)))
+
+
+def test_request_beta_requires_c0():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ConfigError, match="beta"):
+        GemmRequest(rng.standard_normal((2, 3)),
+                    rng.standard_normal((3, 2)), beta=0.5)
+
+
+def test_request_bucket_keys_on_shared_b():
+    rng = np.random.default_rng(0)
+    b = rng.standard_normal((6, 5))
+    r1, r2 = _request(b=b), _request(b=b)
+    assert r1.bucket() == r2.bucket()
+    r3 = _request()  # private B
+    assert r1.bucket() != r3.bucket()
+    r4 = GemmRequest(rng.standard_normal((4, 6)), b, alpha=2.0)
+    assert r4.bucket() != r1.bucket()  # scalars matter
+
+
+def test_request_rejects_bad_scheme_and_deadline():
+    with pytest.raises(ConfigError, match="scheme"):
+        _request().__class__(
+            np.zeros((2, 3)), np.zeros((3, 2)), scheme="parity"
+        )
+    with pytest.raises(ConfigError, match="deadline"):
+        _request(deadline_s=0.0)
+
+
+# -------------------------------------------------------------------- queue
+def test_fifo_within_priority_and_priority_first():
+    q = AdmissionQueue(capacity=8)
+    low1, low2 = _request(priority=0), _request(priority=0)
+    high = _request(priority=5)
+    for r in (low1, low2, high):
+        assert q.put(r).admitted
+    assert q.pop(0.1) is high
+    assert q.pop(0.1) is low1  # FIFO among equals
+    assert q.pop(0.1) is low2
+
+
+def test_reject_policy_refuses_at_capacity():
+    metrics = MetricsRegistry()
+    q = AdmissionQueue(capacity=1, policy="reject", metrics=metrics)
+    assert q.put(_request()).admitted
+    outcome = q.put(_request())
+    assert not outcome.admitted and outcome.victim is None
+    assert metrics.counters["serve.rejected"] == 1
+    assert metrics.counters["serve.admitted"] == 1
+
+
+def test_shed_lowest_evicts_only_when_outranked():
+    metrics = MetricsRegistry()
+    q = AdmissionQueue(capacity=2, policy="shed-lowest", metrics=metrics)
+    keep = _request(priority=5)
+    victim = _request(priority=1)
+    q.put(keep)
+    q.put(victim)
+    # equal priority does NOT displace the incumbent
+    refused = q.put(_request(priority=1))
+    assert not refused.admitted and refused.victim is None
+    # a higher-priority newcomer sheds the lowest
+    newcomer = _request(priority=3)
+    outcome = q.put(newcomer)
+    assert outcome.admitted and outcome.victim is victim
+    assert metrics.counters["serve.shed"] == 1
+    assert q.pop(0.1) is keep
+    assert q.pop(0.1) is newcomer
+
+
+def test_shed_lowest_prefers_newest_among_equals():
+    q = AdmissionQueue(capacity=2, policy="shed-lowest")
+    older, newer = _request(priority=0), _request(priority=0)
+    q.put(older)
+    q.put(newer)
+    outcome = q.put(_request(priority=9))
+    assert outcome.victim is newer  # least invested work goes first
+
+
+def test_block_policy_waits_for_space():
+    q = AdmissionQueue(capacity=1, policy="block")
+    q.put(_request())
+    admitted = []
+
+    def producer():
+        admitted.append(q.put(_request(), timeout=2.0))
+
+    thread = threading.Thread(target=producer)
+    thread.start()
+    time.sleep(0.05)
+    assert not admitted  # still blocked
+    q.pop(0.1)
+    thread.join(2.0)
+    assert admitted and admitted[0].admitted
+
+
+def test_block_policy_timeout_rejects():
+    q = AdmissionQueue(capacity=1, policy="block")
+    q.put(_request())
+    t0 = time.monotonic()
+    outcome = q.put(_request(), timeout=0.05)
+    assert not outcome.admitted
+    assert "timed out" in outcome.reason
+    assert time.monotonic() - t0 < 1.0
+
+
+def test_deadline_reaping_returns_expired():
+    metrics = MetricsRegistry()
+    q = AdmissionQueue(capacity=4, metrics=metrics)
+    stale = _request(deadline_s=0.01)
+    fresh = _request()
+    q.put(stale)
+    q.put(fresh)
+    time.sleep(0.03)
+    dead = q.reap_expired()
+    assert dead == [stale]
+    assert metrics.counters["serve.expired"] == 1
+    assert q.pop(0.1) is fresh
+
+
+def test_take_compatible_pulls_only_bucket_mates():
+    rng = np.random.default_rng(1)
+    b = rng.standard_normal((6, 5))
+    q = AdmissionQueue(capacity=8)
+    mates = [_request(b=b) for _ in range(3)]
+    other = _request()
+    for r in (*mates, other):
+        q.put(r)
+    got = q.take_compatible(mates[0].bucket(), limit=10)
+    assert got == mates
+    assert len(q) == 1
+
+
+def test_seal_refuses_but_keeps_backlog():
+    q = AdmissionQueue(capacity=4)
+    kept = _request()
+    q.put(kept)
+    q.seal()
+    assert not q.put(_request()).admitted
+    assert q.pop(0.1) is kept      # backlog drains
+    assert q.pop(0.1) is None      # then the sealed queue reports done
+
+
+def test_close_returns_leftovers_and_unblocks():
+    q = AdmissionQueue(capacity=4)
+    r1, r2 = _request(), _request()
+    q.put(r1)
+    q.put(r2)
+    leftovers = q.close()
+    assert leftovers == [r1, r2]
+    assert q.pop(0.01) is None
+    assert not q.put(_request()).admitted
+
+
+def test_queue_depth_gauge_tracks():
+    metrics = MetricsRegistry()
+    q = AdmissionQueue(capacity=4, metrics=metrics)
+    q.put(_request())
+    q.put(_request())
+    assert metrics.gauges["serve.queue_depth"] == 2.0
+    q.pop(0.1)
+    assert metrics.gauges["serve.queue_depth"] == 1.0
+
+
+def test_queue_config_validation():
+    with pytest.raises(ConfigError):
+        AdmissionQueue(capacity=0)
+    with pytest.raises(ConfigError, match="policy"):
+        AdmissionQueue(policy="drop-everything")

@@ -1,0 +1,179 @@
+"""Batch scheduler: coalescing, singleton fallback, windows, expiry."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.serve import AdmissionQueue, BatchScheduler, GemmRequest
+from repro.util.errors import ConfigError
+
+
+def _requests(count, b=None, *, k=6, n=5, m=4, **kwargs):
+    rng = np.random.default_rng(0)
+    if b is None:
+        b = rng.standard_normal((k, n))
+    return [
+        GemmRequest(rng.standard_normal((m, k)), b, **kwargs)
+        for _ in range(count)
+    ]
+
+
+def _drain_batches(scheduler, expect):
+    batches = []
+    deadline = time.monotonic() + 5.0
+    while (
+        sum(len(batch) for batch in batches) < expect
+        and time.monotonic() < deadline
+    ):
+        batch = scheduler.next_batch(timeout=0.2)
+        if batch is not None:
+            batches.append(batch)
+    return batches
+
+
+def test_shared_b_requests_coalesce_into_one_batch():
+    q = AdmissionQueue(capacity=32)
+    scheduler = BatchScheduler(q, max_batch=8, window_s=0.0)
+    for r in _requests(5):
+        q.put(r)
+    scheduler.start()
+    batches = _drain_batches(scheduler, 5)
+    q.seal()
+    scheduler.stop()
+    assert len(batches) == 1
+    assert len(batches[0]) == 5
+    assert batches[0].coalesced
+
+
+def test_max_batch_splits_large_groups():
+    q = AdmissionQueue(capacity=32)
+    scheduler = BatchScheduler(q, max_batch=4, window_s=0.0)
+    for r in _requests(10):
+        q.put(r)
+    scheduler.start()
+    batches = _drain_batches(scheduler, 10)
+    q.seal()
+    scheduler.stop()
+    assert sorted(len(b) for b in batches) == [2, 4, 4]
+
+
+def test_private_b_requests_stay_singletons():
+    rng = np.random.default_rng(2)
+    q = AdmissionQueue(capacity=32)
+    scheduler = BatchScheduler(q, max_batch=8, window_s=0.0)
+    for _ in range(3):  # each with its own B
+        q.put(_requests(1, b=rng.standard_normal((6, 5)))[0])
+    scheduler.start()
+    batches = _drain_batches(scheduler, 3)
+    q.seal()
+    scheduler.stop()
+    assert len(batches) == 3
+    assert all(len(b) == 1 and not b.coalesced for b in batches)
+
+
+def test_beta_nonzero_requests_never_coalesce():
+    rng = np.random.default_rng(3)
+    b = rng.standard_normal((6, 5))
+    q = AdmissionQueue(capacity=32)
+    scheduler = BatchScheduler(q, max_batch=8, window_s=0.0)
+    for _ in range(2):
+        q.put(
+            GemmRequest(
+                rng.standard_normal((4, 6)), b,
+                c0=rng.standard_normal((4, 5)), beta=0.5,
+            )
+        )
+    scheduler.start()
+    batches = _drain_batches(scheduler, 2)
+    q.seal()
+    scheduler.stop()
+    # they share a bucket key shape-wise but the beta flag forbids stacking
+    assert all(not batch.coalesced for batch in batches)
+
+
+def test_batching_window_absorbs_late_compatible_arrival():
+    rng = np.random.default_rng(4)
+    b = rng.standard_normal((6, 5))
+    q = AdmissionQueue(capacity=32)
+    scheduler = BatchScheduler(q, max_batch=8, window_s=0.25)
+    first, late = _requests(2, b=b)
+    q.put(first)
+    scheduler.start()
+    time.sleep(0.05)  # scheduler now holds the window open
+    q.put(late)
+    batches = _drain_batches(scheduler, 2)
+    q.seal()
+    scheduler.stop()
+    assert len(batches) == 1 and len(batches[0]) == 2
+
+
+def test_incompatible_arrival_ships_the_open_batch():
+    rng = np.random.default_rng(5)
+    b = rng.standard_normal((6, 5))
+    q = AdmissionQueue(capacity=32)
+    # a long window that an incompatible arrival must cut short
+    scheduler = BatchScheduler(q, max_batch=8, window_s=5.0)
+    q.put(_requests(1, b=b)[0])
+    scheduler.start()
+    time.sleep(0.05)
+    q.put(_requests(1, b=rng.standard_normal((6, 5)))[0])  # different lane
+    t0 = time.monotonic()
+    first = scheduler.next_batch(timeout=4.0)
+    elapsed = time.monotonic() - t0
+    # the open batch shipped as soon as the incompatible request arrived,
+    # not after its 5 s window ran out
+    assert first is not None and len(first) == 1
+    assert elapsed < 4.0
+    q.seal()  # releases the second singleton from its own window
+    batches = _drain_batches(scheduler, 1)
+    scheduler.stop()
+    assert len(batches) == 1 and len(batches[0]) == 1
+
+
+def test_expired_head_is_reaped_not_executed():
+    metrics = MetricsRegistry()
+    q = AdmissionQueue(capacity=8, metrics=metrics)
+    expired_seen = []
+    scheduler = BatchScheduler(
+        q, max_batch=4, window_s=0.0,
+        on_expired=expired_seen.append, metrics=metrics,
+    )
+    stale = _requests(1, deadline_s=0.01)[0]
+    q.put(stale)
+    time.sleep(0.05)  # expires while queued, before the scheduler runs
+    scheduler.start()
+    fresh = _requests(1)[0]
+    q.put(fresh)
+    batches = _drain_batches(scheduler, 1)
+    q.seal()
+    scheduler.stop()
+    assert expired_seen == [stale]
+    assert scheduler.stats.expired == 1
+    assert metrics.counters["serve.expired"] == 1  # counted exactly once
+    assert [r for batch in batches for r in batch.items] == [fresh]
+
+
+def test_drain_signals_finished_to_workers():
+    q = AdmissionQueue(capacity=8)
+    scheduler = BatchScheduler(q, max_batch=4, window_s=0.0)
+    for r in _requests(3):
+        q.put(r)
+    scheduler.start()
+    q.seal()
+    scheduler.stop(join=True)
+    # everything queued before the seal is still delivered...
+    batches = _drain_batches(scheduler, 3)
+    assert sum(len(b) for b in batches) == 3
+    # ...and only then does the scheduler report finished
+    assert scheduler.next_batch(timeout=0.05) is None
+    assert scheduler.finished
+
+
+def test_scheduler_validates_config():
+    q = AdmissionQueue()
+    with pytest.raises(ConfigError):
+        BatchScheduler(q, max_batch=0)
+    with pytest.raises(ConfigError):
+        BatchScheduler(q, window_s=-1.0)
