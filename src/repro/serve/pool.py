@@ -222,10 +222,14 @@ class WorkerPool:
         if batch.coalesced:
             ok = self._run_coalesced(worker, batch, degraded)
         else:
-            ok = all(
+            # materialize before reducing: all() over a generator would
+            # short-circuit on the first failure and strand every later
+            # request in the batch without a response
+            results = [
                 self._run_single(worker, request, batch, degraded)
                 for request in batch.items
-            )
+            ]
+            ok = all(results)
         if tr is not None:
             tr.complete(
                 "serve.batch",

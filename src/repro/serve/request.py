@@ -27,7 +27,8 @@ TERMINAL_STATUSES = (
     "failed",     # retry budget exhausted without a verified result
     "rejected",   # refused at admission (queue full under "reject"/"block")
     "shed",       # evicted from the queue to admit higher-priority work
-    "expired",    # deadline passed while queued
+    "expired",    # deadline passed while queued or in a batch awaiting
+                  # a worker (checked one last time before execution)
     "cancelled",  # service shut down without draining
 )
 
@@ -47,8 +48,12 @@ class GemmRequest:
     ``priority`` — larger is more urgent; it orders the admission queue and
     decides who is shed under the ``shed-lowest`` backpressure policy.
     ``deadline_s`` — seconds from admission the caller is willing to wait
-    in the queue; expiry while queued produces an ``expired`` response
-    (requests already handed to a worker always execute).
+    before execution starts; a lapsed deadline produces an ``expired``
+    response. The deadline is enforced while the request sits in the
+    admission queue *and* once more at the last moment before a worker
+    starts its batch (a request can outlive its deadline inside a formed
+    batch behind slower work); only a request whose execution has
+    actually begun is immune to expiry.
     ``scheme`` — checksum scheme protecting the product (see
     :class:`~repro.core.config.FTGemmConfig`).
 

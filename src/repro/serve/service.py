@@ -29,6 +29,7 @@ scheduler and workers finish everything queued, then retires them;
 
 from __future__ import annotations
 
+import collections
 import itertools
 import threading
 import time
@@ -185,12 +186,23 @@ class GemmService:
             tracer=self.tracer,
         )
         self._ids = itertools.count()
+        self._lane_seq = itertools.count()
         self._lock = threading.Lock()
+        #: per-request bookkeeping held only while the request is in
+        #: flight — _complete prunes all four maps, so a long-running
+        #: service does not grow with total traffic served
         self._futures: dict[str, ResponseFuture] = {}
         #: tid lane per request id for the serve.request span
         self._lanes: dict[str, int] = {}
         self._started_at: dict[str, float] = {}
         self._span_t0: dict[str, float] = {}
+        #: bounded LRU of resolved futures: late result() callers still
+        #: find their response, and a late second completion still hits
+        #: the one-shot guard and is counted as a duplicate
+        self._recent: collections.OrderedDict[str, ResponseFuture] = (
+            collections.OrderedDict()
+        )
+        self._recent_cap = max(1024, 4 * self.config.capacity)
         self._started = False
         self._stopped = False
         #: responses delivered, by status (exact integers for reports)
@@ -263,7 +275,9 @@ class GemmService:
         future = ResponseFuture()
         with self._lock:
             self._futures[request.request_id] = future
-            self._lanes[request.request_id] = 10000 + len(self._lanes)
+            # monotonic lane numbers: len(_lanes) would shrink as
+            # _complete prunes, handing one tid to overlapping requests
+            self._lanes[request.request_id] = 10000 + next(self._lane_seq)
             self._started_at[request.request_id] = self.clock()
             if self.tracer is not None:
                 self._span_t0[request.request_id] = self.tracer.now_us()
@@ -292,10 +306,19 @@ class GemmService:
     def _complete(self, request: GemmRequest, response: GemmResponse) -> None:
         """The single funnel every terminal response passes through."""
         with self._lock:
-            future = self._futures.get(response.request_id)
-            lane = self._lanes.get(response.request_id, 0)
+            future = self._futures.pop(response.request_id, None)
+            lane = self._lanes.pop(response.request_id, 0)
             started = self._started_at.pop(response.request_id, None)
             span_t0 = self._span_t0.pop(response.request_id, None)
+            if future is None:
+                # already completed (or never submitted): the resolved
+                # future, if still retained, turns this into a counted
+                # duplicate via its one-shot guard
+                future = self._recent.get(response.request_id)
+            else:
+                self._recent[response.request_id] = future
+                while len(self._recent) > self._recent_cap:
+                    self._recent.popitem(last=False)
         if started is not None:
             response.latency_s = self.clock() - started
         if future is None or not future.set(response):
@@ -346,6 +369,8 @@ class GemmService:
         """Block for the response to a previously submitted request."""
         with self._lock:
             future = self._futures.get(request_id)
+            if future is None:
+                future = self._recent.get(request_id)
         if future is None:
             raise KeyError(f"unknown request id {request_id!r}")
         return future.result(timeout)

@@ -293,6 +293,67 @@ def test_repeated_failures_quarantine_and_replace_worker():
     assert response.worker not in service.pool.quarantined
 
 
+def test_failed_request_in_multi_item_batch_does_not_strand_others():
+    """Two same-bucket ``beta != 0`` requests travel as one *non-coalesced*
+    multi-item batch (stacking cannot express the C0 leg, so they execute
+    request-by-request). The first exhausting its retry budget must not
+    short-circuit the loop: the second still executes and gets its answer
+    (regression: ``all()`` over a generator stranded it forever)."""
+    rng = np.random.default_rng(11)
+    b = rng.standard_normal((8, 5))
+    service = GemmService(
+        _config(workers=1, retry_budget=0, backoff_base_s=0.0,
+                window_s=0.25, quarantine_after=100),
+        injector_factory=_FlakyInjector({"r000000": {0}}),
+    ).start()
+    a1, a2 = rng.standard_normal((4, 8)), rng.standard_normal((4, 8))
+    c0 = np.ones((4, 5))
+    doomed = service.submit(GemmRequest(a1, b, c0=c0.copy(), beta=2.0))
+    survivor = service.submit(GemmRequest(a2, b, c0=c0.copy(), beta=2.0))
+    service.drain()
+    failed = doomed.result(10.0)
+    okay = survivor.result(10.0)
+    assert failed.status == "failed"
+    assert okay.ok
+    assert okay.batch_size == 2  # they really shared one batch
+    np.testing.assert_allclose(okay.result.c, a2 @ b + 2.0 * c0,
+                               rtol=1e-9, atol=1e-9)
+    assert service.duplicates == 0
+    assert sum(service.completed.values()) == 2
+
+
+def test_per_request_bookkeeping_is_pruned_after_completion():
+    """A long-running service must not grow with total traffic served:
+    _complete prunes the in-flight maps, late result() lookups are served
+    from the bounded recently-completed map, and span lanes stay unique
+    across the pruning."""
+    rng = np.random.default_rng(12)
+    b = rng.standard_normal((8, 5))
+    service = GemmService(_config(workers=1, trace=True)).start()
+    tickets = [
+        service.submit(GemmRequest(rng.standard_normal((4, 8)), b))
+        for _ in range(8)
+    ]
+    service.drain()
+    assert all(t.result(10.0).ok for t in tickets)
+    assert not service._futures and not service._lanes
+    assert not service._started_at and not service._span_t0
+    # late result() by id still answers from the bounded recent map
+    response = service.result(tickets[0].request_id, timeout=0.1)
+    assert response.ok
+    # a late double-completion still hits the one-shot guard
+    dup = GemmRequest(rng.standard_normal((4, 8)), b)
+    dup.request_id = tickets[0].request_id
+    service._complete(
+        dup, GemmResponse(request_id=dup.request_id, status="failed")
+    )
+    assert service.duplicates == 1
+    assert service.result(tickets[0].request_id, timeout=0.1) is response
+    # lanes never get reused even though the lane map was pruned
+    spans = service.tracer.spans("serve.request")
+    assert len({s.tid for s in spans}) == len(spans) == 8
+
+
 # ------------------------------------------------------------ degraded mode
 def test_degraded_mode_kicks_in_under_queue_pressure():
     rng = np.random.default_rng(9)

@@ -108,15 +108,18 @@ def test_soak_with_backpressure_and_deadlines_answers_everything():
     rejected, expired), and still nothing is lost or answered twice."""
     workload = WorkloadConfig(
         duration_s=60.0,
-        arrival_rate=2000.0,
+        # nominal 50 us arrival gaps sit far below any sleep granularity,
+        # so submission is an honest burst: the single worker (ms-scale
+        # per request) cannot keep up and the 8-slot queue must shed or
+        # reject, whatever the host's speed — a 2000/s nominal rate gets
+        # silently stretched to ~1 ms gaps by the sleep floor, which a
+        # fast host serves without ever building pressure
+        arrival_rate=20000.0,
         max_requests=160,
         fault_rate=0.1,
         fail_stop_fraction=0.0,
         seed=7,
         shapes=SOAK_SHAPES,
-        # a burst of 160 singleton-executed requests cannot all finish
-        # inside 50 ms — the deadline and the tiny queue must both bind,
-        # whatever the host's speed
         deadline_s=0.05,
         priorities=(0, 1, 2),
     )
