@@ -1,0 +1,21 @@
+#!/usr/bin/env python
+"""CI entry point for the project-invariant static analyzer.
+
+Equivalent to ``python -m repro analyze`` but runnable from a bare
+checkout (it puts ``src/`` on the path itself). CI invokes it with
+``--strict`` so new findings, stale baseline entries and parse errors
+all fail the job.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -11,7 +11,10 @@ Subcommands:
 - ``dispatch`` — time the tile vs batched macro-kernel paths on one DGEMM;
 - ``trace``    — run one (optionally parallel, optionally faulted) FT-GEMM
   with structured tracing on and write a Chrome/Perfetto trace plus a
-  measured-vs-predicted phase table.
+  measured-vs-predicted phase table;
+- ``analyze``  — run the project-invariant static analyzer (hot-loop
+  allocation discipline, barrier pairing, lock discipline, completion
+  funnelling, tracer hygiene) against the source tree.
 
 ``inject``, ``validate`` and ``dispatch`` additionally accept
 ``--trace PATH`` to capture the run they already perform.
@@ -428,6 +431,12 @@ def _cmd_storm(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_analyze(args) -> int:
+    from repro.analysis.cli import run_analyze
+
+    return run_analyze(args)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -567,6 +576,14 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--size", type=int, default=128)
     p.add_argument("--runs", type=int, default=3)
     p.set_defaults(fn=_cmd_storm)
+
+    p = sub.add_parser(
+        "analyze", help="project-invariant static analysis of the source"
+    )
+    from repro.analysis.cli import add_analyze_args
+
+    add_analyze_args(p)
+    p.set_defaults(fn=_cmd_analyze)
 
     args = parser.parse_args(argv)
     if args.command == "storm" and args.rate is None:

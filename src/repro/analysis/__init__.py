@@ -1,0 +1,44 @@
+"""Project-invariant static analyzer and runtime concurrency sanitizer.
+
+Two complementary halves:
+
+- the **static analyzer** (:mod:`~repro.analysis.engine` plus the
+  ``rules_*`` modules) parses the source with stdlib ``ast`` and checks
+  the unwritten invariants the layers rely on — hot-loop allocation
+  discipline, barrier pairing, lock discipline, completion funnelling,
+  tracer hygiene — with per-line suppressions and a committed baseline;
+- the **runtime sanitizer** (:mod:`~repro.analysis.sanitize`) wraps
+  ``threading`` locks inside a ``monitor()`` scope, records the per-
+  thread lock acquisition graph, and reports lock-order cycles and
+  leaked (unjoined) threads; it runs as an opt-in pytest fixture over
+  the serve soak and fail-stop recovery tests.
+
+Run the analyzer with ``repro analyze`` or ``scripts/run_analysis.py``.
+"""
+
+from repro.analysis.baseline import Baseline, BaselineEntry, Comparison
+from repro.analysis.engine import (
+    AnalysisResult,
+    Finding,
+    RuleSpec,
+    SourceModule,
+    analyze,
+    registered_rules,
+    rule,
+)
+from repro.analysis.report import render_json, render_text
+
+__all__ = [
+    "AnalysisResult",
+    "Baseline",
+    "BaselineEntry",
+    "Comparison",
+    "Finding",
+    "RuleSpec",
+    "SourceModule",
+    "analyze",
+    "registered_rules",
+    "render_json",
+    "render_text",
+    "rule",
+]

@@ -1,0 +1,151 @@
+"""Committed baseline: grandfathered findings the analyzer tolerates.
+
+A baseline entry matches a finding by ``(rule, file, snippet)`` — not by
+line number, so findings survive unrelated edits above them — and says
+how many identical findings are allowed, with a one-line justification
+(enforced non-empty: an unexplained grandfathered finding is just a
+hidden bug). ``compare`` splits a run into:
+
+- **new** findings (not covered by the baseline) — these fail the run;
+- **stale** entries (baselined findings that no longer occur) — reported,
+  and fatal under ``--strict`` so the baseline cannot rot.
+
+The file format is sorted, indented JSON so diffs are reviewable.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.engine import Finding
+
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True, order=True)
+class BaselineEntry:
+    rule: str
+    file: str
+    snippet: str
+    count: int = 1
+    justification: str = ""
+
+    def key(self) -> tuple[str, str, str]:
+        return (self.rule, self.file, self.snippet)
+
+
+@dataclass
+class Comparison:
+    new: list[Finding] = field(default_factory=list)
+    matched: list[Finding] = field(default_factory=list)
+    stale: list[BaselineEntry] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.new
+
+    @property
+    def strict_clean(self) -> bool:
+        return not self.new and not self.stale
+
+
+def _finding_key(finding: Finding) -> tuple[str, str, str]:
+    return (finding.rule, finding.file, finding.snippet)
+
+
+class Baseline:
+    def __init__(self, entries: list[BaselineEntry] | None = None):
+        self.entries = sorted(entries or [])
+        for entry in self.entries:
+            if not entry.justification.strip():
+                raise ValueError(
+                    f"baseline entry {entry.rule} @ {entry.file} has no "
+                    "justification — every grandfathered finding must "
+                    "say why it is tolerated"
+                )
+
+    # ----------------------------------------------------------------- io
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls([])
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if data.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"baseline {path} has version {data.get('version')!r}, "
+                f"expected {BASELINE_VERSION}"
+            )
+        entries = [
+            BaselineEntry(
+                rule=item["rule"],
+                file=item["file"],
+                snippet=item["snippet"],
+                count=int(item.get("count", 1)),
+                justification=item.get("justification", ""),
+            )
+            for item in data.get("findings", [])
+        ]
+        return cls(entries)
+
+    def dump(self, path: Path) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "findings": [
+                {
+                    "rule": e.rule,
+                    "file": e.file,
+                    "snippet": e.snippet,
+                    "count": e.count,
+                    "justification": e.justification,
+                }
+                for e in sorted(self.entries)
+            ],
+        }
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    # ------------------------------------------------------------- compare
+    def compare(self, findings: list[Finding]) -> Comparison:
+        budget: dict[tuple[str, str, str], int] = {
+            e.key(): e.count for e in self.entries
+        }
+        comparison = Comparison()
+        for finding in sorted(findings):
+            key = _finding_key(finding)
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                comparison.matched.append(finding)
+            else:
+                comparison.new.append(finding)
+        for entry in self.entries:
+            if budget.get(entry.key(), 0) > 0:
+                comparison.stale.append(entry)
+        return comparison
+
+    @classmethod
+    def from_findings(
+        cls, findings: list[Finding], justification: str
+    ) -> "Baseline":
+        """Build a baseline covering ``findings`` (used by
+        ``--update-baseline``; the shared justification is a placeholder
+        the author is expected to refine per entry)."""
+        counts: dict[tuple[str, str, str], int] = {}
+        for finding in findings:
+            counts[_finding_key(finding)] = (
+                counts.get(_finding_key(finding), 0) + 1
+            )
+        entries = [
+            BaselineEntry(
+                rule=rule,
+                file=file,
+                snippet=snippet,
+                count=count,
+                justification=justification,
+            )
+            for (rule, file, snippet), count in counts.items()
+        ]
+        return cls(entries)

@@ -1,0 +1,153 @@
+"""``repro analyze`` — run the project-invariant analyzer from the CLI.
+
+Exit status: 0 when every finding is covered by the committed baseline
+(and, under ``--strict``, no baseline entry is stale and no file failed
+to parse); 1 otherwise. ``--json`` emits the byte-stable report for
+diffing; ``--update-baseline`` rewrites the baseline to cover the
+current findings (each entry still needs a human justification — the
+tool stamps a placeholder that the strict gate treats as valid JSON but
+reviewers should replace).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.engine import analyze, registered_rules
+from repro.analysis.report import render_json, render_text
+
+DEFAULT_BASELINE = ".analysis-baseline.json"
+
+
+def find_repo_root(start: Path | None = None) -> Path:
+    """Nearest ancestor containing a pyproject.toml (fallback: cwd)."""
+    here = (start or Path.cwd()).resolve()
+    for candidate in (here, *here.parents):
+        if (candidate / "pyproject.toml").exists():
+            return candidate
+    return here
+
+
+def add_analyze_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--paths",
+        nargs="+",
+        default=None,
+        help="files/directories to analyze (default: the repro package)",
+    )
+    parser.add_argument(
+        "--rules",
+        nargs="+",
+        default=None,
+        help="restrict to these rule names (default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=f"baseline file (default: <repo>/{DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline: every finding fails the run",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to cover current findings and exit 0",
+    )
+    parser.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help="emit the stable JSON report (to PATH, or stdout with no arg)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail on stale baseline entries and parse errors",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+
+
+def run_analyze(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for name, spec in sorted(registered_rules().items()):
+            print(f"{name}: {spec.description}")
+        return 0
+
+    root = find_repo_root()
+    if args.paths:
+        paths = [Path(p) for p in args.paths]
+    else:
+        import repro
+
+        paths = [Path(repro.__file__).resolve().parent]
+
+    try:
+        result = analyze(paths, root=root, rules=args.rules)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    baseline_path = Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE
+
+    if args.update_baseline:
+        baseline = Baseline.from_findings(
+            result.findings, justification="grandfathered pending fix"
+        )
+        baseline.dump(baseline_path)
+        print(
+            f"baseline updated: {len(baseline.entries)} entr(y/ies) "
+            f"-> {baseline_path}"
+        )
+        return 0
+
+    if args.no_baseline:
+        comparison = Baseline([]).compare(result.findings)
+    else:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        comparison = baseline.compare(result.findings)
+
+    if args.json is not None:
+        rendered = render_json(result)
+        if args.json == "-":
+            sys.stdout.write(rendered)
+        else:
+            Path(args.json).write_text(rendered, encoding="utf-8")
+    if args.json != "-":
+        print(
+            render_text(result, new=comparison.new, stale=comparison.stale)
+        )
+
+    failed = bool(comparison.new)
+    if args.strict and (comparison.stale or result.errors):
+        failed = True
+    return 1 if failed else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-analyze",
+        description="project-invariant static analyzer for the FT-GEMM "
+        "pipeline",
+    )
+    add_analyze_args(parser)
+    return run_analyze(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

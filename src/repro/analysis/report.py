@@ -1,0 +1,82 @@
+"""Reporters: human-readable text and machine-stable JSON.
+
+Both consume an already-sorted finding list (the engine sorts), so the
+JSON document is byte-stable across runs — ``repro analyze --json``
+output can be diffed directly against the committed baseline, and CI
+failures show exactly the findings that appeared.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.engine import AnalysisResult, Finding, registered_rules
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(
+    result: AnalysisResult,
+    *,
+    new: list[Finding] | None = None,
+    stale=None,
+) -> str:
+    """Human-readable report. When ``new`` is given (baseline mode), only
+    non-baselined findings are itemised; otherwise all findings are."""
+    findings = result.findings if new is None else new
+    lines: list[str] = []
+    for finding in findings:
+        lines.append(
+            f"{finding.location()}: [{finding.rule}] {finding.message}"
+        )
+        if finding.snippet:
+            lines.append(f"    {finding.snippet}")
+    for path, error in result.errors:
+        lines.append(f"{path}: [parse-error] {error}")
+    if stale:
+        for entry in stale:
+            lines.append(
+                f"{entry.file}: [stale-baseline] {entry.rule} entry no "
+                f"longer matches anything: {entry.snippet!r}"
+            )
+    baselined = len(result.findings) - len(findings)
+    summary = (
+        f"{result.files} file(s) analyzed, "
+        f"{len(findings)} finding(s)"
+    )
+    if new is not None:
+        summary += f", {baselined} baselined"
+    if stale:
+        summary += f", {len(stale)} stale baseline entr(y/ies)"
+    if result.suppressions_used:
+        summary += f", {result.suppressions_used} suppressed inline"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: AnalysisResult) -> str:
+    """Byte-stable JSON: sorted findings, sorted keys, stable schema."""
+    payload = {
+        "schema_version": JSON_SCHEMA_VERSION,
+        "files_analyzed": result.files,
+        "rules": {
+            name: spec.description
+            for name, spec in sorted(registered_rules().items())
+        },
+        "findings": [
+            {
+                "file": f.file,
+                "line": f.line,
+                "rule": f.rule,
+                "message": f.message,
+                "snippet": f.snippet,
+            }
+            for f in sorted(result.findings)
+        ],
+        "errors": [
+            {"file": path, "error": error}
+            for path, error in sorted(result.errors)
+        ],
+        "suppressions_used": result.suppressions_used,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

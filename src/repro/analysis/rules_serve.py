@@ -1,0 +1,464 @@
+"""Rules: serve-layer lock discipline and exactly-once completion.
+
+Three rules, all scoped to how this codebase actually uses locks:
+
+- ``lock-discipline`` — for every class that owns a ``threading.Lock``/
+  ``RLock``/``Condition`` attribute, any *mutable* instance attribute
+  (one written outside ``__init__``) must be accessed consistently:
+  either always under ``with self.<lock>`` or never. Mixed access is a
+  torn-read/lost-update hazard. Unguarded read-modify-write
+  (``self.x += 1``) in a lock-owning class is flagged unconditionally —
+  the GIL does not make ``+=`` atomic across the read and the store.
+- ``lock-blocking`` — no blocking call (queue get/put, ``future.result``,
+  thread ``join``, ``sleep``, scheduler ``next_batch``/``take_compatible``)
+  while holding a lock; one slow caller would stall every thread behind
+  the lock. ``Condition.wait`` on a condition tied to the held lock is
+  the sanctioned exception (it releases while waiting).
+- ``complete-funnel`` — modules that *use* the response types (import
+  them rather than define them) must route every terminal
+  ``GemmResponse(...)`` through the service's ``_complete``/``complete``
+  funnel and never call ``future.set`` directly; the funnel is where
+  exactly-once delivery, latency stamping and bookkeeping live.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.analysis.engine import Finding, SourceModule, rule
+
+_LOCK_CTORS = {"Lock", "RLock"}
+
+#: method names treated as blocking when called under a held lock; the
+#: generic ones (pop/put/result/join) are only flagged on receivers whose
+#: name marks them as a queue/future/thread — dict.pop and str.join are
+#: everywhere and never block
+_BLOCKING_ANY_RECEIVER = {"next_batch", "take_compatible", "wait_nonempty", "sleep"}
+_BLOCKING_QUEUE_METHODS = {"pop", "put", "get"}
+_BLOCKING_FUTURE_METHODS = {"result"}
+_BLOCKING_THREAD_METHODS = {"join"}
+
+_MUTATING_METHODS = {
+    "append",
+    "appendleft",
+    "add",
+    "clear",
+    "discard",
+    "extend",
+    "insert",
+    "pop",
+    "popitem",
+    "popleft",
+    "remove",
+    "setdefault",
+    "update",
+}
+
+_INIT_METHODS = {"__init__", "__post_init__", "__new__"}
+
+
+def _call_name(func: ast.expr) -> str | None:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    """``self.X`` -> ``"X"``, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _receiver_text(node: ast.expr) -> str:
+    """Best-effort dotted name of a call receiver, lowercased."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return ".".join(reversed(parts)).lower()
+
+
+@dataclass
+class _ClassLocks:
+    """Lock topology of one class: which self attrs are locks, and which
+    condition attrs alias which underlying lock."""
+
+    locks: set[str] = field(default_factory=set)
+    #: condition attr -> lock attr it wraps (itself when built bare)
+    conditions: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def all_names(self) -> set[str]:
+        return self.locks | set(self.conditions)
+
+    def lock_of(self, attr: str) -> str | None:
+        if attr in self.locks:
+            return attr
+        return self.conditions.get(attr)
+
+
+def _class_locks(cls: ast.ClassDef) -> _ClassLocks:
+    topo = _ClassLocks()
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        attr = _self_attr(node.targets[0])
+        if attr is None or not isinstance(node.value, ast.Call):
+            continue
+        ctor = node.value.func
+        if not isinstance(ctor, ast.Attribute):
+            continue
+        if not (
+            isinstance(ctor.value, ast.Name)
+            and ctor.value.id == "threading"
+        ):
+            continue
+        if ctor.attr in _LOCK_CTORS:
+            topo.locks.add(attr)
+        elif ctor.attr == "Condition":
+            if node.value.args:
+                inner = _self_attr(node.value.args[0])
+                topo.conditions[attr] = inner if inner is not None else attr
+            else:
+                # bare Condition owns a private RLock; the condition attr
+                # is the lock name for guard purposes
+                topo.conditions[attr] = attr
+    return topo
+
+
+@dataclass
+class _Access:
+    line: int
+    guarded: bool
+    kind: str  # "read" | "write" | "rmw"
+    method: str
+
+
+def _held_lock(withitem: ast.withitem, topo: _ClassLocks) -> str | None:
+    attr = _self_attr(withitem.context_expr)
+    if attr is None:
+        return None
+    return topo.lock_of(attr)
+
+
+class _AccessCollector(ast.NodeVisitor):
+    """Walk one method body tracking which class locks are held and
+    recording every ``self.X`` access with its guard state."""
+
+    def __init__(self, topo: _ClassLocks, method: str):
+        self.topo = topo
+        self.method = method
+        self.held: list[str] = []
+        self.accesses: dict[str, list[_Access]] = {}
+        #: blocking calls made while a lock is held: (node, lock, text)
+        self.blocking: list[tuple[ast.Call, str, str]] = []
+
+    # ------------------------------------------------------------- helpers
+    def _record(self, attr: str, line: int, kind: str) -> None:
+        self.accesses.setdefault(attr, []).append(
+            _Access(line=line, guarded=bool(self.held), kind=kind,
+                    method=self.method)
+        )
+
+    # -------------------------------------------------------------- visits
+    def visit_With(self, node: ast.With) -> None:
+        acquired = []
+        for item in node.items:
+            lock = _held_lock(item, self.topo)
+            if lock is not None:
+                acquired.append(lock)
+            self.visit(item.context_expr)
+        self.held.extend(acquired)
+        for stmt in node.body:
+            self.visit(stmt)
+        for _ in acquired:
+            self.held.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        # nested defs execute later, under whatever locks *their* caller
+        # holds — analyzing them with the current guard state would lie
+        # in both directions; record their accesses as unknown (skip)
+        return
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+    visit_Lambda = visit_FunctionDef
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        attr = _self_attr(node.target)
+        if attr is not None:
+            kind = "write" if self.held else "rmw"
+            self._record(attr, node.lineno, kind)
+        else:
+            # self.X.Y += ... mutates X's referent
+            chained = self._chain_root(node.target)
+            if chained is not None:
+                self._record(chained, node.lineno, "write")
+        self.visit(node.value)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._visit_store_target(target)
+        self.visit(node.value)
+
+    def _visit_store_target(self, target: ast.expr) -> None:
+        attr = _self_attr(target)
+        if attr is not None:
+            self._record(attr, target.lineno, "write")
+            return
+        chained = self._chain_root(target)
+        if chained is not None:
+            self._record(chained, target.lineno, "write")
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._visit_store_target(elt)
+            return
+        self.visit(target)
+
+    def _chain_root(self, node: ast.expr) -> str | None:
+        """``self.X.anything...`` or ``self.X[...]`` as a store/mutation
+        target -> ``"X"``."""
+        while isinstance(node, (ast.Attribute, ast.Subscript)):
+            parent = node.value
+            attr = _self_attr(parent)
+            if attr is not None:
+                return attr
+            node = parent
+        return None
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        # self.X.mutator(...) is a write to X's referent
+        if isinstance(func, ast.Attribute) and func.attr in _MUTATING_METHODS:
+            root = _self_attr(func.value)
+            if root is not None and root not in self.topo.all_names:
+                self._record(root, node.lineno, "write")
+        # blocking call while a lock is held?
+        if self.held and isinstance(func, (ast.Attribute, ast.Name)):
+            name = _call_name(func)
+            receiver = (
+                _receiver_text(func.value)
+                if isinstance(func, ast.Attribute)
+                else ""
+            )
+            blocked = False
+            if name in _BLOCKING_ANY_RECEIVER:
+                blocked = True
+            elif name in _BLOCKING_QUEUE_METHODS and "queue" in receiver:
+                blocked = True
+            elif name in _BLOCKING_FUTURE_METHODS and (
+                "future" in receiver or "ticket" in receiver
+            ):
+                blocked = True
+            elif name in _BLOCKING_THREAD_METHODS and "thread" in receiver:
+                blocked = True
+            elif name == "wait":
+                # condition.wait is fine on the condition tied to the held
+                # lock (it releases while waiting); waiting on anything
+                # else — an Event, a barrier, a foreign condition — stalls
+                # every thread behind the held lock
+                attr = (
+                    _self_attr(func.value)
+                    if isinstance(func, ast.Attribute)
+                    else None
+                )
+                lock = self.topo.lock_of(attr) if attr is not None else None
+                if lock is None or lock not in self.held:
+                    blocked = True
+            if blocked:
+                self.blocking.append(
+                    (node, self.held[-1], f"{receiver}.{name}" if receiver else name)
+                )
+        # reads: self.X appearing anywhere in the call
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        attr = _self_attr(node)
+        if attr is not None and isinstance(node.ctx, ast.Load):
+            self._record(attr, node.lineno, "read")
+        self.generic_visit(node)
+
+
+def _caller_holds_lock(module: SourceModule, method: ast.FunctionDef) -> bool:
+    """True when the method carries a ``# analysis: caller-holds-lock``
+    annotation (on the ``def`` line or the line right above): its body is
+    analyzed as if the class lock were held — the documented contract for
+    private helpers only ever invoked under the lock."""
+    return bool(
+        {method.lineno, method.lineno - 1} & module.caller_holds_lock
+    )
+
+
+def _methods(cls: ast.ClassDef) -> Iterator[ast.FunctionDef]:
+    for stmt in cls.body:
+        if isinstance(stmt, ast.FunctionDef):
+            yield stmt
+
+
+def _classes(tree: ast.AST) -> Iterator[ast.ClassDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            yield node
+
+
+@rule(
+    "lock-discipline",
+    "in lock-owning classes, mutable shared attributes must be accessed "
+    "consistently under the lock; unguarded read-modify-write is never ok",
+)
+def check_lock_discipline(module: SourceModule) -> Iterator[Finding]:
+    for cls in _classes(module.tree):
+        topo = _class_locks(cls)
+        if not topo.locks and not topo.conditions:
+            continue
+        accesses: dict[str, list[_Access]] = {}
+        for method in _methods(cls):
+            collector = _AccessCollector(topo, method.name)
+            if _caller_holds_lock(module, method):
+                collector.held.append("<caller>")
+            for stmt in method.body:
+                collector.visit(stmt)
+            for attr, found in collector.accesses.items():
+                accesses.setdefault(attr, []).extend(found)
+        for attr in sorted(accesses):
+            if attr in topo.all_names:
+                continue
+            found = accesses[attr]
+            live = [a for a in found if a.method not in _INIT_METHODS]
+            writes = [a for a in live if a.kind in ("write", "rmw")]
+            if not writes:
+                # immutable after __init__: reads race nothing
+                continue
+            for access in live:
+                if access.kind == "rmw" and not access.guarded:
+                    yield module.finding(
+                        "lock-discipline",
+                        access.line,
+                        f"{cls.name}.{access.method}: unguarded "
+                        f"read-modify-write of self.{attr} "
+                        "(+= is not atomic)",
+                    )
+            guarded = [a for a in live if a.guarded]
+            unguarded = [
+                a for a in live if not a.guarded and a.kind != "rmw"
+            ]
+            if guarded and unguarded:
+                for access in unguarded:
+                    yield module.finding(
+                        "lock-discipline",
+                        access.line,
+                        f"{cls.name}.{access.method}: self.{attr} "
+                        f"{access.kind} without the lock, but other "
+                        "accesses hold it (torn read / lost update)",
+                    )
+
+
+@rule(
+    "lock-blocking",
+    "no blocking call (queue get/put, future.result, thread join, sleep, "
+    "scheduler waits) while holding a lock",
+)
+def check_lock_blocking(module: SourceModule) -> Iterator[Finding]:
+    for cls in _classes(module.tree):
+        topo = _class_locks(cls)
+        if not topo.locks and not topo.conditions:
+            continue
+        for method in _methods(cls):
+            collector = _AccessCollector(topo, method.name)
+            for stmt in method.body:
+                collector.visit(stmt)
+            for node, lock, text in collector.blocking:
+                yield module.finding(
+                    "lock-blocking",
+                    node,
+                    f"{cls.name}.{method.name}: blocking call "
+                    f"{text}(...) while holding self.{lock}",
+                )
+
+
+@rule(
+    "complete-funnel",
+    "every terminal GemmResponse in serve/ must route through the "
+    "_complete funnel; no direct future.set outside it",
+)
+def check_complete_funnel(module: SourceModule) -> Iterator[Finding]:
+    imports_response = False
+    defines_response = False
+    imports_future = False
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name == "GemmResponse":
+                    imports_response = True
+                if alias.name == "ResponseFuture":
+                    imports_future = True
+        elif isinstance(node, ast.ClassDef):
+            if node.name == "GemmResponse":
+                defines_response = True
+            if node.name == "ResponseFuture":
+                imports_future = False  # defining module is exempt
+    if defines_response:
+        return
+
+    funneled: set[ast.Call] = set()
+    if imports_response:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node.func)
+            if name not in ("complete", "_complete", "on_expired"):
+                continue
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                if (
+                    isinstance(arg, ast.Call)
+                    and _call_name(arg.func) == "GemmResponse"
+                ):
+                    funneled.add(arg)
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and _call_name(node.func) == "GemmResponse"
+                and node not in funneled
+            ):
+                yield module.finding(
+                    "complete-funnel",
+                    node,
+                    "GemmResponse(...) constructed outside the "
+                    "complete/_complete funnel — terminal paths must go "
+                    "through the service's exactly-once completion hook",
+                )
+
+    if imports_future:
+        enclosing: dict[ast.AST, str] = {}
+        for fn in ast.walk(module.tree):
+            if isinstance(fn, ast.FunctionDef):
+                for child in ast.walk(fn):
+                    enclosing.setdefault(child, fn.name)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and func.attr == "set"):
+                continue
+            receiver = _receiver_text(func.value)
+            if "future" not in receiver:
+                continue
+            if enclosing.get(node) in ("_complete", "complete"):
+                continue
+            yield module.finding(
+                "complete-funnel",
+                node,
+                f"direct {receiver}.set(...) outside _complete bypasses "
+                "the exactly-once completion funnel",
+            )

@@ -1,0 +1,288 @@
+"""Runtime lock-order/race sanitizer for the serving and parallel layers.
+
+The static rules check what the source *says*; this module checks what
+the threads actually *do*. Inside a :func:`monitor` scope the
+``threading.Lock``/``threading.RLock`` constructors are replaced with
+instrumented wrappers (bare ``threading.Condition()`` picks up the
+patched ``RLock`` too, which is how the team's ``_MonitoredBarrier``
+gets covered), and every acquisition is recorded against the calling
+thread's stack of held locks:
+
+- each *nested* acquisition adds a directed edge ``outer -> inner`` to a
+  global acquisition graph; the first edge that closes a directed cycle
+  is reported as a **lock-order violation** — the canonical deadlock
+  precursor, caught even when the interleaving that would actually
+  deadlock never happens in the run;
+- threads created inside the scope must have terminated (or be joinable
+  within a grace period) by scope exit, otherwise they are reported as
+  **leaked threads** — the serve layer's contract is that ``shutdown``
+  retires every worker it started.
+
+Only locks *constructed inside* the scope are instrumented, so tests
+build the system under test (service, drivers, teams) within the
+``with monitor() as san:`` block and call ``san.check()`` at the end.
+The wrappers keep ``Condition`` exact: for RLocks they forward the
+``_is_owned``/``_release_save``/``_acquire_restore`` internals CPython's
+``Condition.wait`` uses, so waiting releases the sanitizer's bookkeeping
+exactly when it releases the real lock.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import itertools
+import sys
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "LockSanitizer",
+    "SanitizerError",
+    "monitor",
+]
+
+# the real constructors, captured at import so instrumented code and the
+# sanitizer's own bookkeeping can never recurse into the patches
+_REAL_LOCK = threading.Lock
+_REAL_RLOCK = threading.RLock
+
+
+class SanitizerError(AssertionError):
+    """Raised by :meth:`LockSanitizer.check` on cycles or leaked threads
+    (an AssertionError so pytest renders the report as a plain failure)."""
+
+
+@dataclass
+class LockOrderCycle:
+    """One detected cycle in the acquisition graph."""
+
+    #: lock names along the cycle, first repeated last for readability
+    path: list[str]
+    #: thread that added the closing edge
+    thread: str
+
+    def describe(self) -> str:
+        return f"lock-order cycle [{' -> '.join(self.path)}] closed by {self.thread}"
+
+
+class _InstrumentedLock:
+    """Wrapper around a real lock that reports acquire/release to the
+    sanitizer. Works as a context manager and as a ``Condition`` lock."""
+
+    _reentrant = False
+
+    def __init__(self, inner, sanitizer: "LockSanitizer", name: str, seq: int):
+        self._inner = inner
+        self._san = sanitizer
+        self.name = name
+        self.seq = seq
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            self._san._on_acquire(self)
+        return acquired
+
+    def release(self) -> None:
+        self._inner.release()
+        self._san._on_release(self)
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+
+class _InstrumentedRLock(_InstrumentedLock):
+    _reentrant = True
+
+    def locked(self) -> bool:  # RLocks grew .locked() only in 3.12
+        owned = getattr(self._inner, "_is_owned", None)
+        if owned is not None:
+            return owned()
+        return False
+
+    # ------------------------------------------------ Condition internals
+    # CPython's Condition.wait releases the lock via these hooks when the
+    # lock provides them; forwarding keeps the held-stack accounting in
+    # lockstep with reality (a thread blocked in cond.wait holds nothing).
+    def _is_owned(self) -> bool:
+        return self._inner._is_owned()
+
+    def _release_save(self):
+        state = self._inner._release_save()
+        self._san._on_release(self, all_levels=True)
+        return state
+
+    def _acquire_restore(self, state) -> None:
+        self._inner._acquire_restore(state)
+        self._san._on_acquire(self)
+
+
+class LockSanitizer:
+    """Acquisition-graph recorder shared by every instrumented lock."""
+
+    def __init__(self) -> None:
+        self._graph_lock = _REAL_LOCK()
+        self._local = threading.local()
+        self._seq = itertools.count(1)
+        #: node seq -> lock name (nodes are never removed; holding the
+        #: name here keeps reports valid even after locks are collected)
+        self._names: dict[int, str] = {}
+        #: adjacency: outer seq -> set of inner seqs acquired under it
+        self._adj: dict[int, set[int]] = {}
+        #: (outer seq, inner seq) -> thread name that first took the pair
+        self.edges: dict[tuple[int, int], str] = {}
+        self.cycles: list[LockOrderCycle] = []
+        self._cycle_keys: set[frozenset[int]] = set()
+        self.locks_created = 0
+        self.leaked_threads: list[str] = []
+
+    # -------------------------------------------------------- construction
+    def make_lock(self, *, reentrant: bool, where: str) -> _InstrumentedLock:
+        seq = next(self._seq)
+        name = f"{'RLock' if reentrant else 'Lock'}#{seq}@{where}"
+        inner = _REAL_RLOCK() if reentrant else _REAL_LOCK()
+        cls = _InstrumentedRLock if reentrant else _InstrumentedLock
+        with self._graph_lock:
+            self._names[seq] = name
+            self.locks_created += 1
+        return cls(inner, self, name, seq)
+
+    # ----------------------------------------------------------- recording
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _on_acquire(self, lock: _InstrumentedLock) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is not lock and not any(
+            held is lock for held in stack
+        ):
+            self._add_edge(stack[-1], lock)
+        stack.append(lock)
+
+    def _on_release(self, lock: _InstrumentedLock, all_levels: bool = False) -> None:
+        stack = self._stack()
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] is lock:
+                del stack[i]
+                if not all_levels:
+                    return
+
+    def _add_edge(self, outer: _InstrumentedLock, inner: _InstrumentedLock) -> None:
+        key = (outer.seq, inner.seq)
+        with self._graph_lock:
+            if key in self.edges:
+                return
+            self.edges[key] = threading.current_thread().name
+            self._adj.setdefault(outer.seq, set()).add(inner.seq)
+            path = self._find_path(inner.seq, outer.seq)
+            if path is not None:
+                nodes = frozenset(path)
+                if nodes not in self._cycle_keys:
+                    self._cycle_keys.add(nodes)
+                    names = [self._names[n] for n in path]
+                    names.append(self._names[path[0]])
+                    self.cycles.append(
+                        LockOrderCycle(
+                            path=names,
+                            thread=threading.current_thread().name,
+                        )
+                    )
+
+    def _find_path(self, start: int, goal: int) -> list[int] | None:
+        """DFS for a path start -> ... -> goal in the acquisition graph
+        (called with the graph lock held)."""
+        stack = [(start, [start])]
+        seen = {start}
+        while stack:
+            node, path = stack.pop()
+            if node == goal:
+                return path
+            for nxt in self._adj.get(node, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append((nxt, path + [nxt]))
+        return None
+
+    # ------------------------------------------------------------- results
+    def report(self) -> str:
+        lines = [
+            f"{self.locks_created} lock(s) instrumented, "
+            f"{len(self.edges)} acquisition edge(s)",
+        ]
+        for cycle in self.cycles:
+            lines.append(cycle.describe())
+        for name in self.leaked_threads:
+            lines.append(f"leaked thread: {name} still alive at scope exit")
+        return "\n".join(lines)
+
+    @property
+    def clean(self) -> bool:
+        return not self.cycles and not self.leaked_threads
+
+    def check(self) -> None:
+        """Raise :class:`SanitizerError` if anything was detected."""
+        if not self.clean:
+            raise SanitizerError(self.report())
+
+
+def _creation_site() -> str:
+    """``file.py:line`` of the frame that called the lock constructor,
+    skipping sanitizer and threading internals."""
+    frame = sys._getframe(2)
+    while frame is not None:
+        filename = frame.f_code.co_filename
+        if not filename.endswith(("sanitize.py",)):
+            return f"{Path(filename).name}:{frame.f_lineno}"
+        frame = frame.f_back
+    return "<unknown>"
+
+
+@contextlib.contextmanager
+def monitor(*, join_grace_s: float = 5.0):
+    """Patch ``threading.Lock``/``RLock`` so locks created in this scope
+    are instrumented; on exit, join threads started inside the scope and
+    record stragglers as leaks. Yields the :class:`LockSanitizer`.
+
+    Only one monitor may be active at a time (the constructors are
+    process-global state).
+    """
+    sanitizer = LockSanitizer()
+
+    def make_lock():
+        return sanitizer.make_lock(reentrant=False, where=_creation_site())
+
+    def make_rlock():
+        return sanitizer.make_lock(reentrant=True, where=_creation_site())
+
+    before = set(threading.enumerate())
+    threading.Lock = make_lock
+    threading.RLock = make_rlock
+    try:
+        yield sanitizer
+    finally:
+        threading.Lock = _REAL_LOCK
+        threading.RLock = _REAL_RLOCK
+        started = [
+            t for t in threading.enumerate()
+            if t not in before and t is not threading.current_thread()
+        ]
+        for thread in started:
+            thread.join(timeout=join_grace_s)
+        sanitizer.leaked_threads = sorted(
+            t.name for t in started if t.is_alive()
+        )

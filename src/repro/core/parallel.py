@@ -752,7 +752,7 @@ class ParallelFTGemm:
                 if beta != 0.0:
                     c_slice[:] = c0[r0 : r0 + rlen]
                 driver.gemm(a[r0 : r0 + rlen], b, c_slice, alpha=alpha, beta=beta)
-            yield
+            yield  # barrier: recovery epoch complete, all row slices rebuilt
 
         if any(assign):
             rec_team = make_team(len(survivors), self.backend)

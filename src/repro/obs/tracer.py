@@ -263,14 +263,18 @@ class Tracer:
     # ------------------------------------------------------------- inspection
     def spans(self, name: str | None = None, *, cat: str | None = None):
         """All complete spans, optionally filtered by name and/or category."""
+        with self._lock:
+            events = list(self.events)
         return [
             e
-            for e in self.events
+            for e in events
             if e.ph == "X"
             and (name is None or e.name == name)
             and (cat is None or e.cat == cat)
         ]
 
     def instants(self, name: str | None = None):
-        return [e for e in self.events if e.ph == "i"
+        with self._lock:
+            events = list(self.events)
+        return [e for e in events if e.ph == "i"
                 and (name is None or e.name == name)]

@@ -46,6 +46,13 @@ from repro.serve.request import GemmRequest, GemmResponse
 from repro.serve.scheduler import Batch, BatchScheduler
 from repro.util.errors import ReproError
 
+#: TEST-ONLY: when flipped on, the pool acquires its own lock and the
+#: scheduler's ready lock in opposite orders on the spawn and stop paths
+#: — a textbook lock-order inversion. It exists solely so the runtime
+#: sanitizer's cycle detector has a guaranteed-positive regression test
+#: (tests/test_sanitize.py); nothing in the product sets it.
+SEED_LOCK_INVERSION = False
+
 
 class Worker:
     """Per-thread execution state: cached drivers and a failure streak."""
@@ -117,6 +124,10 @@ class WorkerPool:
             self._spawn()
 
     def _spawn(self) -> bool:
+        if SEED_LOCK_INVERSION:
+            with self._lock:
+                with self.scheduler._ready_lock:  # pool -> scheduler order
+                    pass
         with self._lock:
             if self._stopping:
                 return False
@@ -133,7 +144,12 @@ class WorkerPool:
         return True
 
     def stop(self, join: bool = True) -> None:
-        self._stopping = True
+        if SEED_LOCK_INVERSION:
+            with self.scheduler._ready_lock:
+                with self._lock:  # scheduler -> pool: inverts _spawn's order
+                    pass
+        with self._lock:
+            self._stopping = True
         if join:
             # quarantine replacements may race the snapshot: keep joining
             # until no thread remains unjoined
@@ -153,7 +169,9 @@ class WorkerPool:
         while True:
             batch = self.scheduler.next_batch(timeout=0.05)
             if batch is None:
-                if self.scheduler.finished or self._stopping:
+                # stale read tolerated: the flag is re-polled within 50ms
+                # and stop() joins, so retirement is never missed
+                if self.scheduler.finished or self._stopping:  # analysis: ignore[lock-discipline]
                     return
                 continue
             self._execute_batch(worker, batch)

@@ -211,10 +211,12 @@ class ResponseFuture:
         """Block until the response arrives; raises TimeoutError otherwise."""
         if not self._event.wait(timeout):
             raise TimeoutError("no response within timeout")
-        return self._response
+        with self._lock:
+            return self._response
 
     def peek(self) -> GemmResponse | None:
-        return self._response
+        with self._lock:
+            return self._response
 
     def add_done_callback(self, cb) -> None:
         with self._lock:

@@ -32,6 +32,7 @@ serving throughput multiple comes from.
 from __future__ import annotations
 
 import collections
+import itertools
 import threading
 import time
 from dataclasses import dataclass, field
@@ -121,7 +122,8 @@ class BatchScheduler:
         self._ready_cv = threading.Condition(self._ready_lock)
         self._stopping = False
         self._finished = False
-        self._seq = 0
+        # monotonic batch ids without shared read-modify-write state
+        self._seq = itertools.count(1)
         self._thread: threading.Thread | None = None
 
     # -------------------------------------------------------------- lifecycle
@@ -139,7 +141,11 @@ class BatchScheduler:
         The admission queue must be closed first (the service does) so the
         backlog is bounded; ready batches stay consumable by workers.
         """
-        self._stopping = True
+        with self._ready_cv:
+            self._stopping = True
+            # wake the producer out of its bounded-lane wait so shutdown
+            # is not delayed by a full ready lane
+            self._ready_cv.notify_all()
         if join and self._thread is not None:
             self._thread.join()
 
@@ -194,7 +200,9 @@ class BatchScheduler:
                 continue
             head = queue.pop(timeout=self.poll_s)
             if head is None:
-                if queue.closed or self._stopping:
+                # stale reads are safe: a missed flag flip is re-checked
+                # within poll_s on the next pass of the loop
+                if queue.closed or self._stopping:  # analysis: ignore[lock-discipline]
                     break
                 continue
             now = self.clock()
@@ -219,7 +227,8 @@ class BatchScheduler:
             window_end = now + self.window_s
             while (
                 len(items) < self.max_batch
-                and not self._stopping
+                # stale read tolerated: worst case one extra window wait
+                and not self._stopping  # analysis: ignore[lock-discipline]
                 and not self.queue.closed
             ):
                 remaining = window_end - self.clock()
@@ -235,11 +244,10 @@ class BatchScheduler:
                     # now instead of idling the queue behind the window
                     break
                 items += more
-        self._seq += 1
         return Batch(
             items=items,
             bucket=bucket,
-            batch_id=f"b{self._seq:06d}",
+            batch_id=f"b{next(self._seq):06d}",
             formed_at=now,
         )
 
@@ -263,6 +271,9 @@ class BatchScheduler:
             self._expire(request)
 
     def _expire(self, request: GemmRequest) -> None:
-        self.stats.expired += 1
+        # stats are mutated under the cv everywhere (_emit) — keep the
+        # expiry counter consistent with that
+        with self._ready_cv:
+            self.stats.expired += 1
         if self.on_expired is not None:
             self.on_expired(request)

@@ -322,7 +322,8 @@ class GemmService:
         if started is not None:
             response.latency_s = self.clock() - started
         if future is None or not future.set(response):
-            self.duplicates += 1
+            with self._lock:
+                self.duplicates += 1
             self.metrics.inc("serve.duplicate_responses")
             return
         with self._lock:
@@ -377,9 +378,12 @@ class GemmService:
 
     def stats(self) -> dict:
         """A JSON-serialisable snapshot for reports and the CLI."""
+        with self._lock:
+            completed = dict(self.completed)
+            duplicates = self.duplicates
         return {
-            "completed": dict(self.completed),
-            "duplicates": self.duplicates,
+            "completed": completed,
+            "duplicates": duplicates,
             "scheduler": {
                 "batches": self.scheduler.stats.batches,
                 "coalesced_batches": self.scheduler.stats.coalesced_batches,

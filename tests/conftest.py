@@ -27,6 +27,22 @@ def small_config(small_blocking) -> FTGemmConfig:
 
 
 @pytest.fixture
+def lock_sanitizer():
+    """Opt-in runtime lock sanitizer (see repro.analysis.sanitize).
+
+    The test body runs inside a monitor() scope, so every lock the code
+    under test *creates* is instrumented — construct the system under
+    test inside the test, not in another fixture. Teardown fails the
+    test on any lock-order cycle or leaked thread the run produced.
+    """
+    from repro.analysis.sanitize import monitor
+
+    with monitor() as sanitizer:
+        yield sanitizer
+    sanitizer.check()
+
+
+@pytest.fixture
 def operands(rng):
     """Factory for (A, B, C0) triples with awkward (non-multiple) shapes."""
 
