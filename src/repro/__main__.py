@@ -375,6 +375,10 @@ def _cmd_serve(args) -> int:
         window_s=args.window_ms / 1e3,
         gemm_threads=args.gemm_threads,
         degraded_depth=args.degraded_depth,
+        panel_cache_bytes=(
+            None if args.panel_cache_mb is None
+            else int(args.panel_cache_mb * (1 << 20))
+        ),
         ft=FTGemmConfig(
             blocking=BlockingConfig.small(),
             checksum_scheme=args.scheme,
@@ -387,6 +391,8 @@ def _cmd_serve(args) -> int:
         fault_rate=args.fault_rate,
         seed=args.seed,
         deadline_s=None if args.deadline_ms is None else args.deadline_ms / 1e3,
+        hot_b_pool=args.hot_b_pool,
+        zipf_s=args.zipf_s,
     )
     service = GemmService(
         service_config, injector_factory=make_injector_factory(workload)
@@ -409,6 +415,16 @@ def _cmd_serve(args) -> int:
         f"shed={rec.get('shed', 0)} rejected={rec.get('rejected', 0)} "
         f"expired={rec.get('expired', 0)}"
     )
+    if report.panel_cache:
+        pc = report.panel_cache
+        print(
+            f"panelcache: {pc.get('hits', 0)} hits, "
+            f"{pc.get('misses', 0)} misses, "
+            f"{pc.get('evictions', 0)} evictions, "
+            f"{pc.get('reverify_failed', 0)} re-verify failures, "
+            f"{pc.get('entries', 0)} resident "
+            f"({pc.get('bytes', 0)} B of {pc.get('budget_bytes', 0)} B)"
+        )
     if args.json:
         with open(args.json, "w") as fh:
             json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
@@ -562,6 +578,14 @@ def main(argv: list[str] | None = None) -> int:
                    help="per-request queue deadline in milliseconds")
     p.add_argument("--degraded-depth", type=int, default=None,
                    help="queue depth that flips checksum-only degraded mode")
+    p.add_argument("--panel-cache-mb", type=float, default=None,
+                   help="enable the cross-request packed-panel cache with "
+                        "this byte budget in MiB (default: off)")
+    p.add_argument("--hot-b-pool", type=int, default=None,
+                   help="hot-B workload mode: draw each request's B from a "
+                        "pool of this many operands with Zipf popularity")
+    p.add_argument("--zipf-s", type=float, default=1.2,
+                   help="skew exponent of the hot-B popularity distribution")
     p.add_argument("--scheme", choices=("dual", "weighted"), default="dual")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--json", default=None, metavar="PATH",

@@ -28,6 +28,12 @@ HOT_NAMES = {
     "pack_b",
     "worker",
     "recovery_worker",
+    # panel-cache admission: consulted per batch on the serving hot path,
+    # so the consult itself must never allocate in a loop (the encode
+    # miss path is the one sanctioned allocation site, and it lives in
+    # encode_b, outside these functions)
+    "acquire",
+    "_consult_cache",
 }
 
 #: prefixes marking internal hot helpers in the drivers

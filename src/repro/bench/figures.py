@@ -435,6 +435,134 @@ def serve_table(
     return fig
 
 
+def panel_cache_table(
+    *,
+    requests: int = 96,
+    warmup: int = 16,
+    repeats: int = 3,
+    shape: tuple[int, int, int] = (2, 512, 1024),
+    pool: int = 4,
+    zipf_s: float = 1.2,
+    max_batch: int = 4,
+    cache_mib: int = 64,
+    seed: int = 7,
+) -> FigureSeries:
+    """Supporting table: hot-B serving throughput, panel cache off vs on.
+
+    Extension beyond the poster — the cross-request complement of
+    :func:`serve_table`. Coalescing amortizes B̃ packing *within* a batch;
+    the :class:`~repro.gemm.panelcache.PanelCache` amortizes it *across*
+    batches when the same weight matrix keeps arriving (the hot-operand
+    inference pattern). Requests draw their B from a small Zipf-skewed
+    pool; both configurations run the same coalescing scheduler, so any
+    gap is the cache's alone. A warm-up phase (excluded from timing)
+    absorbs the one-time encode misses — the committed number is the
+    steady-state hot-B throughput over the best of ``repeats`` measured
+    phases (interference only ever slows a phase down, so best-of is the
+    low-noise estimator; both columns get the same treatment). Every
+    response is still audited against the NumPy oracle — the cache never
+    weakens the ABFT guarantee: reused panels are re-verified against
+    their stored checksums at admission.
+
+    Single worker: per-worker drivers already isolate packing state, and
+    one worker keeps the off/on comparison free of GIL scheduling noise.
+    """
+    import time
+
+    import numpy as np
+
+    from repro.serve import GemmRequest, GemmService, ServiceConfig
+
+    m, k, n = shape
+    blocking = BlockingConfig(mc=64, kc=512, nc=1024, mr=8, nr=6)
+    fig = FigureSeries(
+        figure_id="panel_cache",
+        title=(
+            f"Hot-B serving throughput, panel cache off vs on "
+            f"({requests} x {m}x{n}x{k} requests, Zipf(s={zipf_s}) over "
+            f"{pool} B operands, max_batch={max_batch}, 1 worker)"
+        ),
+        x_label="panel cache",
+        x=["off", f"{cache_mib} MiB"],
+    )
+    throughput: list[float] = []
+    hits: list[float] = []
+    misses: list[float] = []
+    for budget in (None, cache_mib * (1 << 20)):
+        rng = np.random.default_rng(seed)
+        pool_b = [rng.standard_normal((k, n)) for _ in range(pool)]
+        ranks = np.arange(1.0, pool + 1.0)
+        zipf_p = ranks ** -zipf_s
+        zipf_p /= zipf_p.sum()
+
+        def draw(count):
+            return [
+                (
+                    rng.standard_normal((m, k)),
+                    pool_b[int(rng.choice(pool, p=zipf_p))],
+                )
+                for _ in range(count)
+            ]
+
+        # operands are pre-generated so the timed loop holds only
+        # submit + wait, not rng work
+        warm_ops = draw(warmup)
+        measured_ops = [draw(requests) for _ in range(repeats)]
+        service = GemmService(
+            ServiceConfig(
+                workers=1,
+                max_batch=max_batch,
+                window_s=0.002,
+                ft=FTGemmConfig(blocking=blocking),
+                panel_cache_bytes=budget,
+            )
+        ).start()
+
+        def phase(ops):
+            return [(a, b, service.submit(GemmRequest(a, b))) for a, b in ops]
+
+        # warm-up: absorbs the cold encode misses (and first-call
+        # workspace allocation on the off path) so every measured phase
+        # sees steady state
+        for _, _, ticket in phase(warm_ops):
+            ticket.result(120.0)
+        best = 0.0
+        for ops in measured_ops:
+            t0 = time.perf_counter()
+            pairs = phase(ops)
+            responses = [(a, b, t.result(120.0)) for a, b, t in pairs]
+            elapsed = time.perf_counter() - t0
+            assert all(r.ok for _, _, r in responses)
+            for a, b, r in responses:
+                np.testing.assert_allclose(
+                    r.result.c, a @ b, rtol=1e-9, atol=1e-9
+                )
+            best = max(best, requests / elapsed)
+        stats = service.stats().get("panel_cache", {})
+        service.shutdown()
+        throughput.append(best)
+        hits.append(float(stats.get("hits", 0)))
+        misses.append(float(stats.get("misses", 0)))
+    fig.add("throughput req/s", throughput)
+    fig.add("cache hits", hits)
+    fig.add("cache misses", misses)
+    fig.add(
+        "speedup vs cache-off", [t / throughput[0] for t in throughput]
+    )
+    speedup = throughput[1] / throughput[0]
+    fig.paper_claims = {
+        "panel_cache": "cross-request B̃+checksum reuse: hot-B serving at "
+                       ">= 2x the cache-off throughput, on top of "
+                       "coalescing"
+    }
+    fig.observations = {
+        "panel_cache": f"cache-on serves {speedup:.2f}x the cache-off "
+                       f"throughput ({hits[1]:.0f} hits / "
+                       f"{misses[1]:.0f} misses after warm-up)"
+    }
+    return fig
+
+
 ALL_FIGURES = {
     "fig2a": fig2a_serial,
     "fig2b": fig2b_parallel,
@@ -444,6 +572,7 @@ ALL_FIGURES = {
     "reliability": reliability_table,
     "scaling": scaling_table,
     "serve": serve_table,
+    "panel_cache": panel_cache_table,
 }
 
 

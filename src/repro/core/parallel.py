@@ -153,11 +153,19 @@ class ParallelFTGemm:
         injector=None,
         on_tile: TileHook | None = None,
         request_id: str | None = None,
+        packed_b=None,
     ) -> FTGemmResult:
         """Protected parallel ``C = alpha*A@B + beta*C``.
 
         ``request_id`` is an optional correlation id stamped onto the result
         and recovery report (see :meth:`repro.core.ftgemm.FTGemm.gemm`).
+
+        ``packed_b`` is accepted for signature compatibility with
+        :meth:`FTGemm.gemm` and **ignored**: the team scheme partitions and
+        repacks B per worker epoch, and a fail-stop recovery epoch must be
+        free to rebuild every packed buffer from the source operand — so
+        the parallel driver always bypasses cached panels (recovery
+        correctness over reuse).
         """
         tr = self._tr = self.tracer if self.tracer.enabled else None
         if tr is None:

@@ -23,7 +23,15 @@ from repro.gemm.blocking import (
     block_starts,
 )
 from repro.gemm.reference import gemm_reference, gemm_naive
-from repro.gemm.packing import pack_a, pack_b, unpack_a, unpack_b, PackedPanels
+from repro.gemm.packing import (
+    pack_a,
+    pack_b,
+    panels_from_cols,
+    unpack_a,
+    unpack_b,
+    PackedPanels,
+)
+from repro.gemm.panelcache import PackedB, PanelCache, encode_b
 from repro.gemm.microkernel import microkernel, microkernel_ft
 from repro.gemm.macrokernel import macro_kernel, macro_kernel_batched
 from repro.gemm.driver import BlockedGemm, AddressLayout
@@ -39,9 +47,13 @@ __all__ = [
     "gemm_naive",
     "pack_a",
     "pack_b",
+    "panels_from_cols",
     "unpack_a",
     "unpack_b",
     "PackedPanels",
+    "PackedB",
+    "PanelCache",
+    "encode_b",
     "microkernel",
     "microkernel_ft",
     "macro_kernel",

@@ -116,6 +116,8 @@ class BlockedGemm:
         self._reuse_a = False
         self._c_fresh = False
         self._a_cache: dict[int, PackedPanels] = {}
+        #: admitted pre-packed B grid for the current call (PanelCache hit)
+        self._b_grid = None
 
     # ------------------------------------------------------------ public API
     def gemm(
@@ -127,8 +129,17 @@ class BlockedGemm:
         alpha: float = 1.0,
         beta: float = 0.0,
         on_tile: TileHook | None = None,
+        packed_b: "object | None" = None,
     ) -> np.ndarray:
-        """Run the blocked GEMM; returns C (allocated when ``c is None``)."""
+        """Run the blocked GEMM; returns C (allocated when ``c is None``).
+
+        ``packed_b`` optionally supplies a pre-packed-and-encoded B
+        (:class:`~repro.gemm.panelcache.PackedB` for this ``b`` under this
+        driver's blocking config): the per-(p, j) pack pass is skipped and
+        the resident panels are consumed directly. Instrumented runs (a
+        memory ``sink``) ignore it — they exist to replay the exact
+        per-pass address stream, which a cache hit would elide.
+        """
         a = as_2d_float64(a, "A")
         b = as_2d_float64(b, "B")
         self._c_fresh = c is None
@@ -146,20 +157,25 @@ class BlockedGemm:
         self._reuse_a = self._fast_path()
         self._mode = self._resolve_mode(on_tile)
         self.last_mode = self._mode
+        self._b_grid = self._admit_packed_b(packed_b, b, k, n)
         tr = self._tr = self.tracer if self.tracer.enabled else None
 
-        if tr is not None and not self._root_active:
-            self._root_active = True
-            try:
-                with tr.span("gemm", cat="driver",
-                             args={"m": m, "n": n, "k": k,
-                                   "mode": self._mode,
-                                   "reuse_a": self._reuse_a}):
-                    self._run_loops(a, b, c, alpha, beta, m, n, k, on_tile)
-            finally:
-                self._root_active = False
-        else:
-            self._run_loops(a, b, c, alpha, beta, m, n, k, on_tile)
+        try:
+            if tr is not None and not self._root_active:
+                self._root_active = True
+                try:
+                    with tr.span("gemm", cat="driver",
+                                 args={"m": m, "n": n, "k": k,
+                                       "mode": self._mode,
+                                       "reuse_a": self._reuse_a,
+                                       "cached_b": self._b_grid is not None}):
+                        self._run_loops(a, b, c, alpha, beta, m, n, k, on_tile)
+                finally:
+                    self._root_active = False
+            else:
+                self._run_loops(a, b, c, alpha, beta, m, n, k, on_tile)
+        finally:
+            self._b_grid = None
         return c
 
     def _run_loops(
@@ -188,7 +204,12 @@ class BlockedGemm:
             self._a_cache.clear()
             for j_idx, (j0, jlen) in enumerate(iter_blocks(n, cfg.nc)):
                 first_j = j_idx == 0
-                packed_b = self._pack_b_block(b, p0, plen, j0, jlen)
+                if self._b_grid is not None:
+                    packed_b = self._pack_b_cached(
+                        self._b_grid, p_idx, j_idx, p0, plen, j0, jlen
+                    )
+                else:
+                    packed_b = self._pack_b_block(b, p0, plen, j0, jlen)
                 for i0, ilen in iter_blocks(m, cfg.mc):
                     packed_a = self._obtain_packed_a(
                         a, i0, ilen, p0, plen, alpha, first_j=first_j
@@ -233,6 +254,37 @@ class BlockedGemm:
         if on_tile is not None or not self._fast_path():
             return "tile"
         return "batched"
+
+    def _admit_packed_b(self, packed_b, b: np.ndarray, k: int, n: int):
+        """Validate and admit a pre-packed B for this call, or None.
+
+        A geometry mismatch is a caller error (the cache keys on blocking
+        parameters, so a mismatched entry should never reach a driver);
+        instrumented runs decline the grid to keep their address stream
+        faithful. Subclasses restrict admission further (FTGemm declines
+        it on injected runs so fault campaigns keep their exact
+        schedules).
+        """
+        if packed_b is None or self.sink is not None:
+            return None
+        if not packed_b.matches(self.config, k, n):
+            raise ShapeError(
+                f"packed_b geometry (k={packed_b.k}, n={packed_b.n}, "
+                f"kc={packed_b.kc}, nc={packed_b.nc}, nr={packed_b.nr}) "
+                f"does not match call (k={k}, n={n}) under "
+                f"kc={self.config.kc}, nc={self.config.nc}, "
+                f"nr={self.config.nr}"
+            )
+        return packed_b
+
+    def _pack_b_cached(
+        self, grid, p_idx: int, j_idx: int,
+        p0: int, plen: int, j0: int, jlen: int,
+    ) -> PackedPanels:
+        """Serve B̃ for this ``(p, j)`` from the admitted grid: no packing
+        work, no pack bytes booked. FTGemm overrides this to replay the
+        B-side fused checksum updates from the cached partials."""
+        return grid.block(p_idx, j_idx).packed
 
     def _obtain_packed_a(
         self,

@@ -156,6 +156,36 @@ def pack_b(b_block: np.ndarray, nr: int, *, out: np.ndarray | None = None) -> Pa
     return PackedPanels(data=out, valid=nlen)
 
 
+def panels_from_cols(cols: np.ndarray, nr: int, valid: int) -> PackedPanels:
+    """Reinterpret a flat ``(klen, n_panels*nr)`` column projection as B̃
+    micro panels **without copying**.
+
+    The panel cache stores each K-block's B̃ as one contiguous column
+    matrix (so admission re-verification is a single reduction); the macro
+    kernels want the ``(n_panels, klen, nr)`` panel layout. Both are views
+    of the same bytes — panel ``j`` is columns ``j*nr : j*nr+nr`` — so an
+    ``as_strided`` reinterpretation recovers the panel axes for free. The
+    flat matrix is additionally pre-seeded as the ``cols()`` projection, so
+    the batched macro kernel's one-BLAS-call path also skips its
+    materialisation copy.
+    """
+    if cols.ndim != 2:
+        raise ShapeError(f"cols must be 2-D, got shape {cols.shape}")
+    klen, width = cols.shape
+    if width % nr:
+        raise ShapeError(
+            f"cols width {width} is not a multiple of the panel width {nr}"
+        )
+    n_panels = width // nr
+    s0, s1 = cols.strides
+    data = np.lib.stride_tricks.as_strided(
+        cols, shape=(n_panels, klen, nr), strides=(nr * s1, s0, s1)
+    )
+    packed = PackedPanels(data=data, valid=valid)
+    object.__setattr__(packed, "_cols", cols)
+    return packed
+
+
 def unpack_a(packed: PackedPanels) -> np.ndarray:
     """Inverse of :func:`pack_a` (tests only): recover the ``(mlen, klen)`` block."""
     n_panels, klen, mr = packed.data.shape

@@ -103,12 +103,17 @@ class WorkerPool:
         metrics=NULL_METRICS,
         tracer=None,
         sleep=time.sleep,
+        panel_cache=None,
     ) -> None:
         self.scheduler = scheduler
         self.config = service_config
         self.complete = complete
         self.injector_factory = injector_factory
         self.use_degraded = use_degraded or (lambda: False)
+        #: optional :class:`~repro.gemm.panelcache.PanelCache` shared by
+        #: every worker (the cache is internally locked; entries are
+        #: immutable once built, so concurrent consumers are safe)
+        self.panel_cache = panel_cache
         self.metrics = metrics
         self.tracer = tracer
         self.sleep = sleep
@@ -295,12 +300,24 @@ class WorkerPool:
             error = "verification failed"
         return None, budget + 1, error
 
+    def _consult_cache(self, b):
+        """The admission-path cache consult: a verified resident encoding
+        of ``b``, or None (cache off, parallel drivers, or oversize).
+        Drivers with intra-request threads ignore packed panels — their
+        fail-stop recovery epochs rebuild every buffer from source — so
+        consulting would only burn encode work."""
+        cache = self.panel_cache
+        if cache is None or self.config.gemm_threads > 1:
+            return None
+        return cache.acquire(b, self.config.ft.blocking)
+
     def _run_coalesced(self, worker: Worker, batch: Batch,
                        degraded: bool) -> bool:
         head = batch.items[0]
         driver = worker.driver_for(head.scheme, degraded)
         a_stack = np.vstack([r.a for r in batch.items])
         shape = (a_stack.shape[0], head.n, head.k)
+        packed = self._consult_cache(head.b)
 
         def run(drv, injector):
             return drv.gemm(
@@ -309,6 +326,10 @@ class WorkerPool:
                 alpha=head.alpha,
                 injector=injector,
                 request_id=batch.batch_id,
+                # injected attempts decline the cached panels (the driver
+                # enforces this too): campaigns keep exact schedules and
+                # the cache is never consulted around a live injector
+                packed_b=packed if injector is None else None,
             )
 
         result, attempts, error = self._attempts(
@@ -363,6 +384,7 @@ class WorkerPool:
                     batch: Batch, degraded: bool) -> bool:
         driver = worker.driver_for(request.scheme, degraded)
         shape = (request.m, request.n, request.k)
+        packed = self._consult_cache(request.b)
 
         def run(drv, injector):
             c = request.c0.copy() if request.c0 is not None else None
@@ -374,6 +396,7 @@ class WorkerPool:
                 beta=request.beta,
                 injector=injector,
                 request_id=request.request_id,
+                packed_b=packed if injector is None else None,
             )
 
         result, attempts, error = self._attempts(

@@ -74,6 +74,12 @@ class GemmRequest:
     # stamped by the service at admission (monotonic seconds)
     submitted_at: float = 0.0
     expires_at: float | None = None
+    #: memoized coalescing key — derived once, then shared by every
+    #: consumer (the scheduler's head bucket, the queue's compatibility
+    #: scan over the whole backlog, and the panel cache's admission
+    #: consult); the inputs are fixed after __post_init__, so caching
+    #: is sound
+    _bucket_key: tuple | None = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:
         self.a = np.asarray(self.a, dtype=np.float64)
@@ -126,14 +132,17 @@ class GemmRequest:
         a single stacked product. Identical B (by object), identical
         (k, n), scalars and scheme; ``beta == 0`` only — a C0 leg would
         need per-request scaling that stacking cannot express."""
-        return (
-            id(self.b),
-            self.k,
-            self.n,
-            self.alpha,
-            self.scheme,
-            self.beta == 0.0,
-        )
+        key = self._bucket_key
+        if key is None:
+            key = self._bucket_key = (
+                id(self.b),
+                self.k,
+                self.n,
+                self.alpha,
+                self.scheme,
+                self.beta == 0.0,
+            )
+        return key
 
     def expired(self, now: float) -> bool:
         return self.expires_at is not None and now >= self.expires_at

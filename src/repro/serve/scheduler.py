@@ -101,6 +101,7 @@ class BatchScheduler:
         metrics=NULL_METRICS,
         clock=time.monotonic,
         poll_s: float = 0.05,
+        panel_cache=None,
     ) -> None:
         if max_batch < 1:
             raise ConfigError(f"max_batch must be >= 1, got {max_batch}")
@@ -116,6 +117,10 @@ class BatchScheduler:
         self.metrics = metrics
         self.clock = clock
         self.poll_s = poll_s
+        #: optional :class:`~repro.gemm.panelcache.PanelCache` consulted at
+        #: batch formation: touching the head's B keeps a hot operand's
+        #: panels LRU-resident while its batches are still forming
+        self.panel_cache = panel_cache
         self.stats = SchedulerStats()
         self._ready: collections.deque[Batch] = collections.deque()
         self._ready_lock = threading.Lock()
@@ -219,7 +224,12 @@ class BatchScheduler:
             self._ready_cv.notify_all()
 
     def _coalesce(self, head: GemmRequest, now: float) -> Batch:
+        # the memoized bucket doubles as the cache consult key: bucket[0]
+        # is id(B), computed once here and shared with every compatibility
+        # scan below (no per-request re-derivation)
         bucket = head.bucket()
+        if self.panel_cache is not None:
+            self.panel_cache.touch(bucket[0])
         items = [head]
         want = self.max_batch - 1
         if want > 0:

@@ -83,6 +83,19 @@ class ServiceConfig:
     #: intra-request GEMM threads (1 = serial FTGemm per worker;
     #: > 1 = ParallelFTGemm per worker)
     gemm_threads: int = 1
+    #: byte budget of the cross-request packed-panel cache (None = off;
+    #: the default — enabling it changes no correctness but alters the
+    #: cost profile of hot-B traffic). Ignored when ``gemm_threads > 1``:
+    #: the parallel driver rebuilds every buffer per epoch by design.
+    panel_cache_bytes: int | None = None
+    #: how much deeper the backlog may grow before degraded mode engages
+    #: when the panel cache is running hot (multiplier on
+    #: ``degraded_depth`` at a 100% recent hit ratio; 1.0 = no relief).
+    #: Rationale: a hot cache removes the whole pack_b+encode phase from
+    #: each batch, so the same backlog clears faster — degrading
+    #: verification effort at the cold-cache threshold would shed quality
+    #: the service no longer needs to shed.
+    degraded_cache_relief: float = 2.0
     #: team backend for ParallelFTGemm ("simulated" | "threads")
     team_backend: str = "simulated"
     #: driver configuration shared by every worker
@@ -111,6 +124,16 @@ class ServiceConfig:
             problems.append(
                 f"degraded_depth must be >= 1 or None, got "
                 f"{self.degraded_depth}"
+            )
+        if self.panel_cache_bytes is not None and self.panel_cache_bytes < 1:
+            problems.append(
+                f"panel_cache_bytes must be >= 1 or None, got "
+                f"{self.panel_cache_bytes}"
+            )
+        if self.degraded_cache_relief < 1.0:
+            problems.append(
+                f"degraded_cache_relief must be >= 1.0, got "
+                f"{self.degraded_cache_relief}"
             )
         if problems:
             raise ConfigError(
@@ -155,6 +178,18 @@ class GemmService:
             tracer = Tracer(metrics=self.metrics)
         self.tracer = tracer
         self.clock = clock
+        #: cross-request packed-panel cache, shared by the scheduler
+        #: (recency touch at batch formation) and every worker (verified
+        #: acquire at execution); None when disabled
+        self.panel_cache = None
+        if self.config.panel_cache_bytes is not None:
+            from repro.gemm.panelcache import PanelCache
+
+            self.panel_cache = PanelCache(
+                self.config.panel_cache_bytes,
+                metrics=self.metrics,
+                tracer=self.tracer,
+            )
         self.queue = AdmissionQueue(
             self.config.capacity,
             policy=self.config.policy,
@@ -175,6 +210,7 @@ class GemmService:
             ),
             metrics=self.metrics,
             clock=clock,
+            panel_cache=self.panel_cache,
         )
         self.pool = WorkerPool(
             self.scheduler,
@@ -184,6 +220,7 @@ class GemmService:
             use_degraded=self._use_degraded,
             metrics=self.metrics,
             tracer=self.tracer,
+            panel_cache=self.panel_cache,
         )
         self._ids = itertools.count()
         self._lane_seq = itertools.count()
@@ -357,6 +394,15 @@ class GemmService:
         depth = self.config.degraded_depth
         if depth is None:
             return False
+        if self.panel_cache is not None:
+            # cache-state-aware pressure valve: a hot cache removes the
+            # pack_b+encode phase from each batch, so the same backlog
+            # clears faster — stretch the threshold proportionally to the
+            # recent hit ratio before shedding verification effort
+            relief = self.config.degraded_cache_relief
+            depth = depth * (
+                1.0 + (relief - 1.0) * self.panel_cache.recent_hit_ratio()
+            )
         # pressure = everything admitted but not yet executing: requests
         # still in the admission queue plus batches already formed and
         # waiting for a worker (the scheduler transfers aggressively, so
@@ -381,7 +427,7 @@ class GemmService:
         with self._lock:
             completed = dict(self.completed)
             duplicates = self.duplicates
-        return {
+        snapshot = {
             "completed": completed,
             "duplicates": duplicates,
             "scheduler": {
@@ -394,3 +440,6 @@ class GemmService:
             "quarantined_workers": list(self.pool.quarantined),
             "metrics": self.metrics.snapshot(),
         }
+        if self.panel_cache is not None:
+            snapshot["panel_cache"] = self.panel_cache.stats()
+        return snapshot

@@ -87,6 +87,16 @@ class WorkloadConfig:
     priorities: tuple[int, ...] = (0,)
     #: stop after this many submissions even if time remains
     max_requests: int | None = None
+    #: hot-B mode: instead of one shared B per coalescible shape class,
+    #: draw each request's B from a pool of this many operands with
+    #: Zipf-distributed popularity (rank r drawn ∝ 1/r^zipf_s) — the
+    #: realistic reuse skew hot-operand caching feeds on. None (default)
+    #: keeps the single-shared-B behaviour (and the exact operand rng
+    #: sequence) of every existing benchmark and soak.
+    hot_b_pool: int | None = None
+    #: skew exponent of the hot-B popularity distribution (larger =
+    #: hotter head); only read when ``hot_b_pool`` is set
+    zipf_s: float = 1.2
 
     def __post_init__(self) -> None:
         if self.duration_s <= 0:
@@ -103,6 +113,14 @@ class WorkloadConfig:
             )
         if not self.shapes:
             raise ConfigError("shapes must not be empty")
+        if self.hot_b_pool is not None and self.hot_b_pool < 1:
+            raise ConfigError(
+                f"hot_b_pool must be >= 1 or None, got {self.hot_b_pool}"
+            )
+        if self.zipf_s <= 0:
+            raise ConfigError(
+                f"zipf_s must be positive, got {self.zipf_s}"
+            )
 
 
 @dataclass
@@ -124,6 +142,8 @@ class WorkloadReport:
     scheduler: dict = field(default_factory=dict)
     #: fault-path view: retries, quarantines, degraded batches
     recovery: dict = field(default_factory=dict)
+    #: panel-cache view (empty when the cache is disabled)
+    panel_cache: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -160,6 +180,7 @@ class WorkloadReport:
             "latency_ms": dict(self.latency_ms),
             "scheduler": dict(self.scheduler),
             "recovery": dict(self.recovery),
+            "panel_cache": dict(self.panel_cache),
             "ok": self.ok,
         }
 
@@ -232,22 +253,39 @@ def _build_requests(workload: WorkloadConfig) -> list[GemmRequest]:
     if workload.max_requests is not None:
         n_requests = min(n_requests, workload.max_requests)
     n_requests = max(n_requests, 1)
-    # one shared B per coalescible shape class
-    shared_b = {
-        i: rng.standard_normal((spec.k, spec.n))
-        for i, spec in enumerate(workload.shapes)
-        if not spec.private_b
-    }
+    if workload.hot_b_pool is None:
+        # one shared B per coalescible shape class
+        shared_b = {
+            i: [rng.standard_normal((spec.k, spec.n))]
+            for i, spec in enumerate(workload.shapes)
+            if not spec.private_b
+        }
+        zipf_p = None
+    else:
+        # hot-B mode: a pool of candidate operands per coalescible class,
+        # drawn with Zipf-rank popularity (rank 1 is the hot head)
+        shared_b = {
+            i: [
+                rng.standard_normal((spec.k, spec.n))
+                for _ in range(workload.hot_b_pool)
+            ]
+            for i, spec in enumerate(workload.shapes)
+            if not spec.private_b
+        }
+        ranks = np.arange(1.0, workload.hot_b_pool + 1.0)
+        zipf_p = ranks ** -workload.zipf_s
+        zipf_p /= zipf_p.sum()
     requests = []
     for _ in range(n_requests):
         i = int(rng.choice(len(workload.shapes), p=weights))
         spec = workload.shapes[i]
         a = rng.standard_normal((spec.m, spec.k))
-        b = (
-            rng.standard_normal((spec.k, spec.n))
-            if spec.private_b
-            else shared_b[i]
-        )
+        if spec.private_b:
+            b = rng.standard_normal((spec.k, spec.n))
+        elif zipf_p is None:
+            b = shared_b[i][0]
+        else:
+            b = shared_b[i][int(rng.choice(len(zipf_p), p=zipf_p))]
         priority = workload.priorities[
             int(rng.integers(len(workload.priorities)))
         ]
@@ -331,6 +369,7 @@ def run_workload(
         "rejected": int(metrics.get("serve.rejected", 0)),
         "expired": int(metrics.get("serve.expired", 0)),
     }
+    report.panel_cache = stats.get("panel_cache", {})
     return report
 
 

@@ -1,0 +1,237 @@
+"""Panel cache wired into the serving tier: hit accounting on hot-B
+workloads, the corrupted-resident-panel campaign, the cache-aware
+degraded-mode relief, the scheduler's recency consult, and the
+cache-enabled fault-storm soak."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import FTGemmConfig
+from repro.gemm.blocking import BlockingConfig
+from repro.serve import (
+    GemmRequest,
+    GemmService,
+    ServiceConfig,
+    ShapeSpec,
+    WorkloadConfig,
+    make_injector_factory,
+    run_workload,
+)
+from repro.util.errors import ConfigError
+
+
+def _config(**kwargs):
+    kwargs.setdefault("workers", 1)
+    kwargs.setdefault("max_batch", 4)
+    kwargs.setdefault(
+        "ft", FTGemmConfig(blocking=BlockingConfig.small(mr=4, nr=4))
+    )
+    kwargs.setdefault("panel_cache_bytes", 8 << 20)
+    return ServiceConfig(**kwargs)
+
+
+def _hot_requests(count, pool=2, m=5, k=16, n=12, seed=0):
+    rng = np.random.default_rng(seed)
+    bs = [rng.standard_normal((k, n)) for _ in range(pool)]
+    return [
+        GemmRequest(rng.standard_normal((m, k)), bs[i % pool])
+        for i in range(count)
+    ], bs
+
+
+# ---------------------------------------------------------------- wiring
+def test_hot_b_requests_hit_cache_and_stay_correct():
+    requests, _ = _hot_requests(16)
+    with GemmService(_config()) as service:
+        tickets = [service.submit(r) for r in requests]
+        service.drain()
+        responses = [t.result(10.0) for t in tickets]
+        stats = service.stats()
+    assert all(r.ok and r.verified for r in responses)
+    for req, resp in zip(requests, responses):
+        np.testing.assert_allclose(
+            resp.result.c, req.a @ req.b, rtol=1e-9, atol=1e-9
+        )
+    pc = stats["panel_cache"]
+    assert pc["hits"] > 0
+    assert pc["misses"] >= 2  # one cold miss per distinct B
+    assert pc["entries"] == 2
+
+
+def test_cache_off_service_has_no_cache_state():
+    """panel_cache_bytes=None is byte-for-byte the pre-cache pipeline:
+    no cache object, no stats key, identical responses."""
+    requests, _ = _hot_requests(6)
+    with GemmService(_config(panel_cache_bytes=None)) as service:
+        tickets = [service.submit(r) for r in requests]
+        service.drain()
+        responses = [t.result(10.0) for t in tickets]
+        assert service.panel_cache is None
+        assert "panel_cache" not in service.stats()
+    assert all(r.ok for r in responses)
+    for req, resp in zip(requests, responses):
+        np.testing.assert_allclose(
+            resp.result.c, req.a @ req.b, rtol=1e-9, atol=1e-9
+        )
+
+
+def test_multithreaded_gemm_skips_cache():
+    """Per-request team parallelism repacks per worker epoch, so the pool
+    must not consult the cache for gemm_threads > 1 configs."""
+    requests, _ = _hot_requests(6)
+    cfg = _config(
+        workers=1,
+        gemm_threads=2,
+        team_backend="simulated",
+        ft=FTGemmConfig(blocking=BlockingConfig.small()),
+    )
+    with GemmService(cfg) as service:
+        tickets = [service.submit(r) for r in requests]
+        service.drain()
+        responses = [t.result(10.0) for t in tickets]
+        pc = service.stats()["panel_cache"]
+    assert all(r.ok for r in responses)
+    assert pc["hits"] == 0 and pc["misses"] == 0
+
+
+def test_scheduler_touch_keeps_hot_b_resident():
+    """Admission-time consult: forming a batch around a hot B refreshes
+    its LRU recency even between executions."""
+    requests, bs = _hot_requests(4, pool=1)
+    with GemmService(_config()) as service:
+        tickets = [service.submit(r) for r in requests]
+        service.drain()
+        [t.result(10.0) for t in tickets]
+        assert service.panel_cache.touch(id(bs[0]))
+
+
+def test_request_bucket_is_memoized():
+    a = np.zeros((3, 4))
+    b = np.zeros((4, 5))
+    request = GemmRequest(a, b)
+    assert request.bucket() is request.bucket()
+
+
+def test_panel_cache_bytes_validation():
+    with pytest.raises(ConfigError):
+        ServiceConfig(panel_cache_bytes=0).validate()
+    with pytest.raises(ConfigError):
+        ServiceConfig(degraded_cache_relief=0.5).validate()
+
+
+# --------------------------------------------- corrupted resident panels
+def test_corrupted_resident_panel_is_caught_at_admission():
+    """The campaign the trust model exists for: a fault corrupts a panel
+    while it sits in the cache *between* requests. Admission
+    re-verification must catch it, rebuild from source, and every
+    response must still be correct."""
+    requests, bs = _hot_requests(12, pool=1, seed=3)
+    warm, rest = requests[:4], requests[4:]
+    with GemmService(_config()) as service:
+        tickets = [service.submit(r) for r in warm]
+        [t.result(10.0) for t in tickets]
+        entry = service.panel_cache.peek(
+            bs[0], service.config.ft.blocking
+        )
+        assert entry is not None
+        # strike a resident B̃ element the way the injector's BitFlip
+        # would (bit 51 of the mantissa): silent rot between requests
+        victim = entry.psets[0].stack
+        raw = np.float64(victim[1, 2]).view(np.uint64)
+        victim[1, 2] = (raw ^ np.uint64(1 << 51)).view(np.float64)
+        assert not entry.verify()
+        tickets = [service.submit(r) for r in rest]
+        service.drain()
+        responses = [t.result(10.0) for t in tickets]
+        pc = service.stats()["panel_cache"]
+    assert pc["reverify_failed"] == 1
+    assert all(r.ok and r.verified for r in responses)
+    for req, resp in zip(rest, responses):
+        np.testing.assert_allclose(
+            resp.result.c, req.a @ req.b, rtol=1e-9, atol=1e-9
+        )
+
+
+# ------------------------------------------------- degraded-mode relief
+def test_degraded_relief_scales_with_hit_ratio():
+    """A hot cache stretches the degraded-mode threshold: with relief R
+    and hit ratio h the effective depth is depth * (1 + (R-1)*h)."""
+    cfg = _config(degraded_depth=4, degraded_cache_relief=3.0)
+    service = GemmService(cfg)
+    rng = np.random.default_rng(0)
+    b = rng.standard_normal((16, 12))
+    blocking = cfg.ft.blocking
+    # saturate the recent-lookup window with hits -> ratio ~ 1.0
+    service.panel_cache.acquire(b, blocking)
+    for _ in range(63):
+        service.panel_cache.acquire(b, blocking)
+    assert service.panel_cache.recent_hit_ratio() > 0.95
+
+    class _Depth:
+        def __init__(self, depth):
+            self.depth = depth
+
+    service.queue = _Depth(8)
+    service.scheduler = type(
+        "S", (), {"ready_depth": 0}
+    )()
+    # depth 8 >= 4 would degrade cache-off; the hot cache stretches the
+    # threshold to ~4 * 3 = 12, so 8 stays in full-quality mode
+    assert not service._use_degraded()
+    service.queue = _Depth(12)
+    assert service._use_degraded()
+
+
+def test_degraded_relief_inactive_on_cold_cache():
+    cfg = _config(degraded_depth=4, degraded_cache_relief=3.0)
+    service = GemmService(cfg)
+
+    class _Depth:
+        def __init__(self, depth):
+            self.depth = depth
+
+    service.queue = _Depth(4)
+    service.scheduler = type("S", (), {"ready_depth": 0})()
+    # no lookups yet: hit ratio 0.0, threshold stays at depth 4
+    assert service._use_degraded()
+
+
+# ------------------------------------------------------------------ soak
+def test_fault_storm_soak_with_cache_enabled():
+    """The storm soak rerun with the panel cache on: zero lost, zero
+    duplicated, zero wrong — and the clean attempts actually used the
+    cache. Faulted attempts bypass it by design, so detection/recovery
+    paths are identical to the cache-off soak."""
+    workload = WorkloadConfig(
+        duration_s=60.0,
+        arrival_rate=2000.0,
+        max_requests=180,
+        fault_rate=0.12,
+        fail_stop_fraction=0.0,  # single-thread drivers: no team to kill
+        errors_per_call=2,
+        seed=2027,
+        shapes=(
+            ShapeSpec(8, 32, 32, weight=0.6),
+            ShapeSpec(6, 48, 24, weight=0.4),
+        ),
+        hot_b_pool=3,
+        zipf_s=1.2,
+    )
+    service = GemmService(
+        ServiceConfig(
+            workers=2,
+            capacity=400,
+            max_batch=8,
+            retry_budget=2,
+            backoff_base_s=0.0005,
+            quarantine_after=3,
+            ft=FTGemmConfig(blocking=BlockingConfig.small()),
+            panel_cache_bytes=8 << 20,
+        ),
+        injector_factory=make_injector_factory(workload),
+    ).start()
+    report = run_workload(service, workload)
+    assert report.ok, report.summary()
+    assert report.lost == 0
+    assert report.responses.get("ok", 0) == report.submitted
+    assert report.panel_cache.get("hits", 0) > 0
