@@ -1,0 +1,130 @@
+"""Process-tier transport evidence run: shared memory vs pickle.
+
+The process tier's claim is that operand matrices never ride the control
+pipe: A/B/C panels move through named shared-memory segments and the
+pipe carries only small ref dicts. This run drives the identical
+workload through both transports (``proc_transport="shm"`` vs the
+``"pickle"`` baseline, which inlines every operand into the pickled
+batch messages) and commits the measured pipe traffic to
+``results/proc_transport.json`` / ``.txt``.
+
+The acceptance bar: the shm transport moves at most a tenth of the
+pickle transport's pipe bytes per request, while both runs pass the full
+exactly-once/correctness audit — the traffic win is not bought by
+dropping delivery guarantees.
+"""
+
+import json
+from pathlib import Path
+
+from repro.core.config import FTGemmConfig
+from repro.gemm.blocking import BlockingConfig
+from repro.serve import (
+    GemmService,
+    ServiceConfig,
+    ShapeSpec,
+    WorkloadConfig,
+    run_workload,
+)
+
+RESULTS = Path(__file__).parent / "results"
+
+REQUESTS = 48
+SHAPE = (16, 48, 32)  # (m, k, n), shared B -> coalescible
+
+
+def _run(transport: str) -> dict:
+    m, k, n = SHAPE
+    workload = WorkloadConfig(
+        duration_s=60.0,
+        arrival_rate=2000.0,
+        max_requests=REQUESTS,
+        seed=31,
+        shapes=(ShapeSpec(m, k, n),),
+    )
+    config = ServiceConfig(
+        processes=2,
+        workers=2,
+        proc_transport=transport,
+        proc_seed=31,
+        ft=FTGemmConfig(blocking=BlockingConfig.small()),
+    )
+    service = GemmService(config).start()
+    report = run_workload(service, workload, timeout_s=300.0)
+    assert report.ok, report.summary()
+    assert report.responses.get("ok", 0) == report.submitted
+    counters = service.stats()["metrics"]["counters"]
+    pipe_bytes = counters.get("serve.proc.pipe_tx_bytes", 0) + counters.get(
+        "serve.proc.pipe_rx_bytes", 0
+    )
+    return {
+        "transport": transport,
+        "requests": report.submitted,
+        "pipe_bytes": int(pipe_bytes),
+        "pipe_bytes_per_request": pipe_bytes / report.submitted,
+        "shm_bytes": int(counters.get("serve.proc.shm_bytes", 0)),
+        "inline_bytes": int(counters.get("serve.proc.inline_bytes", 0)),
+        "segments": int(counters.get("serve.proc.shm_segments", 0)),
+        "throughput_rps": report.throughput_rps,
+    }
+
+
+def test_shm_transport_beats_pickle_on_pipe_bytes():
+    shm = _run("shm")
+    pickle_ = _run("pickle")
+
+    # the pickle baseline really did push the operands through the pipe,
+    # the shm run really did push them through segments instead
+    assert pickle_["inline_bytes"] > 0
+    assert pickle_["segments"] == 0
+    assert shm["shm_bytes"] > 0
+    assert shm["inline_bytes"] == 0
+
+    ratio = (
+        pickle_["pipe_bytes_per_request"] / shm["pipe_bytes_per_request"]
+    )
+    assert ratio >= 10.0, (
+        f"shm pipe traffic only {ratio:.1f}x below pickle "
+        f"({shm['pipe_bytes_per_request']:.0f} vs "
+        f"{pickle_['pipe_bytes_per_request']:.0f} B/request)"
+    )
+
+    m, k, n = SHAPE
+    payload = {
+        "workload": {
+            "requests": REQUESTS,
+            "shape": {"m": m, "k": k, "n": n},
+            "shared_b": True,
+            "processes": 2,
+        },
+        "runs": {"shm": shm, "pickle": pickle_},
+        "pipe_bytes_per_request_ratio": ratio,
+    }
+    RESULTS.mkdir(exist_ok=True)
+    (RESULTS / "proc_transport.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    lines = [
+        "Process-tier operand transport: pipe traffic per request "
+        f"({REQUESTS} x {m}x{k}x{n} shared-B requests, 2 processes)",
+        "",
+        "transport  pipe B/request  shm bytes  inline bytes  throughput req/s",
+        "---------  --------------  ---------  ------------  ----------------",
+    ]
+    for run in (shm, pickle_):
+        lines.append(
+            f"{run['transport']:<9}  "
+            f"{run['pipe_bytes_per_request']:>14.0f}  "
+            f"{run['shm_bytes']:>9d}  "
+            f"{run['inline_bytes']:>12d}  "
+            f"{run['throughput_rps']:>16.1f}"
+        )
+    lines += [
+        "",
+        f"shm moves {ratio:.0f}x fewer bytes through the control pipe "
+        "per request (acceptance bar: >= 10x)",
+        "",
+        "both runs pass the exactly-once/correctness audit "
+        "(lost=0 duplicates=0 wrong=0)",
+    ]
+    (RESULTS / "proc_transport.txt").write_text("\n".join(lines) + "\n")

@@ -363,12 +363,19 @@ def _cmd_serve(args) -> int:
         GemmService,
         ServiceConfig,
         WorkloadConfig,
+        make_fault_spec_factory,
         make_injector_factory,
+        make_proc_chaos,
         run_workload,
     )
+    from repro.util.errors import ConfigError
 
+    if args.proc_kill_rate and not args.processes:
+        raise ConfigError("--proc-kill-rate requires --processes > 0")
     service_config = ServiceConfig(
         workers=args.workers,
+        processes=args.processes,
+        proc_seed=args.seed,
         capacity=args.capacity,
         policy=args.policy,
         max_batch=args.max_batch,
@@ -393,10 +400,18 @@ def _cmd_serve(args) -> int:
         deadline_s=None if args.deadline_ms is None else args.deadline_ms / 1e3,
         hot_b_pool=args.hot_b_pool,
         zipf_s=args.zipf_s,
+        proc_kill_rate=args.proc_kill_rate,
     )
-    service = GemmService(
-        service_config, injector_factory=make_injector_factory(workload)
-    )
+    if args.processes > 0:
+        service = GemmService(
+            service_config,
+            fault_spec_factory=make_fault_spec_factory(workload),
+            chaos=make_proc_chaos(workload),
+        )
+    else:
+        service = GemmService(
+            service_config, injector_factory=make_injector_factory(workload)
+        )
     service.start()
     report = run_workload(service, workload)
     print(report.summary())
@@ -415,6 +430,15 @@ def _cmd_serve(args) -> int:
         f"shed={rec.get('shed', 0)} rejected={rec.get('rejected', 0)} "
         f"expired={rec.get('expired', 0)}"
     )
+    if args.processes > 0:
+        print(
+            f"processes: {rec.get('proc_deaths', 0)} deaths, "
+            f"{rec.get('proc_replays', 0)} replays, "
+            f"{rec.get('proc_respawns', 0)} respawns, "
+            f"{rec.get('proc_degraded_buckets', 0)} degraded buckets, "
+            f"{rec.get('proc_late_results', 0)} late results, "
+            f"{rec.get('proc_leaked_segments', 0)} leaked segments"
+        )
     if report.panel_cache:
         pc = report.panel_cache
         print(
@@ -564,6 +588,13 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--fault-rate", type=float, default=0.0,
                    help="fraction of executions receiving injected faults")
     p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--processes", type=int, default=0,
+                   help="process tier: serve from this many worker "
+                        "processes with shared-memory operand transport "
+                        "(default 0 = in-process thread workers)")
+    p.add_argument("--proc-kill-rate", type=float, default=0.0,
+                   help="process-kill chaos: probability a batch's worker "
+                        "is SIGKILLed mid-batch (requires --processes)")
     p.add_argument("--gemm-threads", type=int, default=1,
                    help="intra-request GEMM threads per worker")
     p.add_argument("--capacity", type=int, default=256,

@@ -10,10 +10,12 @@ Three rules, all scoped to how this codebase actually uses locks:
   (``self.x += 1``) in a lock-owning class is flagged unconditionally —
   the GIL does not make ``+=`` atomic across the read and the store.
 - ``lock-blocking`` — no blocking call (queue get/put, ``future.result``,
-  thread ``join``, ``sleep``, scheduler ``next_batch``/``take_compatible``)
-  while holding a lock; one slow caller would stall every thread behind
-  the lock. ``Condition.wait`` on a condition tied to the held lock is
-  the sanctioned exception (it releases while waiting).
+  thread ``join``, ``sleep``, scheduler ``next_batch``/``take_compatible``,
+  pipe ``send``/``recv`` on connection receivers, process
+  ``join``/``kill`` on process receivers) while holding a lock; one slow
+  caller would stall every thread behind the lock. ``Condition.wait`` on
+  a condition tied to the held lock is the sanctioned exception (it
+  releases while waiting).
 - ``complete-funnel`` — modules that *use* the response types (import
   them rather than define them) must route every terminal
   ``GemmResponse(...)`` through the service's ``_complete``/``complete``
@@ -39,6 +41,11 @@ _BLOCKING_ANY_RECEIVER = {"next_batch", "take_compatible", "wait_nonempty", "sle
 _BLOCKING_QUEUE_METHODS = {"pop", "put", "get"}
 _BLOCKING_FUTURE_METHODS = {"result"}
 _BLOCKING_THREAD_METHODS = {"join"}
+#: pipe endpoints block on a full/empty OS buffer (and a dead peer can
+#: block a send forever); process reaping waits on the OS — neither may
+#: happen under a parent-side lock
+_BLOCKING_PIPE_METHODS = {"send", "recv", "send_bytes", "recv_bytes", "poll"}
+_BLOCKING_PROCESS_METHODS = {"join", "terminate", "kill"}
 
 _MUTATING_METHODS = {
     "append",
@@ -263,6 +270,12 @@ class _AccessCollector(ast.NodeVisitor):
                 blocked = True
             elif name in _BLOCKING_THREAD_METHODS and "thread" in receiver:
                 blocked = True
+            elif name in _BLOCKING_PIPE_METHODS and (
+                "conn" in receiver or "pipe" in receiver
+            ):
+                blocked = True
+            elif name in _BLOCKING_PROCESS_METHODS and "proc" in receiver:
+                blocked = True
             elif name == "wait":
                 # condition.wait is fine on the condition tied to the held
                 # lock (it releases while waiting); waiting on anything
@@ -367,7 +380,8 @@ def check_lock_discipline(module: SourceModule) -> Iterator[Finding]:
 @rule(
     "lock-blocking",
     "no blocking call (queue get/put, future.result, thread join, sleep, "
-    "scheduler waits) while holding a lock",
+    "scheduler waits, pipe send/recv, process join/kill) while holding "
+    "a lock",
 )
 def check_lock_blocking(module: SourceModule) -> Iterator[Finding]:
     for cls in _classes(module.tree):

@@ -26,6 +26,8 @@ from repro.faults.models import (
     RowBurst,
     ColBurst,
     FailStop,
+    PROC_KILL_PHASES,
+    ProcKill,
 )
 from repro.faults.sites import (
     SITE_MICROKERNEL,
@@ -58,6 +60,8 @@ __all__ = [
     "RowBurst",
     "ColBurst",
     "FailStop",
+    "PROC_KILL_PHASES",
+    "ProcKill",
     "SITE_MICROKERNEL",
     "SITE_PACK_A",
     "SITE_PACK_B",

@@ -261,6 +261,39 @@ class FailStop(FaultModel):
         return value
 
 
+#: the phase boundaries at which a process-kill fault can strike a
+#: serving worker mid-batch; the first four are the chaos storm's
+#: random draw, ``stall`` (heartbeat stops, PID survives) exists so the
+#: monitor's miss detection — not pipe EOF — has to make the call
+PROC_KILL_PHASES = ("pack", "compute", "reduce", "reply", "stall")
+
+
+@dataclass(frozen=True)
+class ProcKill(FaultModel):
+    """A *process-level* fail-stop: the worker process hosting the batch
+    is SIGKILLed at ``phase``. Like :class:`FailStop` it carries no data
+    corruption — the damage is a vanished fault domain: every in-flight
+    batch of the process loses its address space, half-written results
+    and caches at once. Detection is the serving tier's heartbeat/EOF
+    machinery; recovery is exactly-once replay on a replacement process
+    (:class:`~repro.serve.proc.pool.ProcWorkerPool`), not anything the
+    in-call supervisor can do.
+    """
+
+    name: str = "prockill"
+    phase: str = "compute"
+
+    def __post_init__(self) -> None:
+        if self.phase not in PROC_KILL_PHASES:
+            raise ConfigError(
+                f"unknown kill phase {self.phase!r}; "
+                f"choose from {PROC_KILL_PHASES}"
+            )
+
+    def apply(self, value: float, rng: np.random.Generator) -> float:
+        return value
+
+
 def default_model() -> FaultModel:
     """The campaign default: high-impact bit flips."""
     return BitFlip()

@@ -97,6 +97,33 @@ class MetricsRegistry:
                 },
             }
 
+    def merge(self, snapshot: dict) -> None:
+        """Fold another registry's :meth:`snapshot` into this one —
+        counters sum, gauges take the incoming value, histograms merge
+        bucket-wise (only between identical bounds). This is how a worker
+        process's metrics come home when it retires."""
+        with self._lock:
+            for name, value in (snapshot.get("counters") or {}).items():
+                self.counters[name] = self.counters.get(name, 0.0) + value
+            for name, value in (snapshot.get("gauges") or {}).items():
+                self.gauges[name] = value
+            for name, snap in (snapshot.get("histograms") or {}).items():
+                hist = self.histograms.get(name)
+                if hist is None:
+                    hist = self.histograms[name] = Histogram(
+                        tuple(snap.get("bounds", DEFAULT_BOUNDS))
+                    )
+                if list(hist.bounds) != list(snap.get("bounds", [])):
+                    continue  # incompatible ladders never half-merge
+                for i, count in enumerate(snap.get("buckets", [])):
+                    hist.buckets[i] += count
+                count = snap.get("count", 0)
+                hist.count += count
+                hist.total += snap.get("sum", 0.0)
+                if count:
+                    hist.min = min(hist.min, snap.get("min", hist.min))
+                    hist.max = max(hist.max, snap.get("max", hist.max))
+
 
 class NullMetrics:
     """Disabled registry: no-ops with the same surface."""
@@ -112,6 +139,9 @@ class NullMetrics:
         return None
 
     def observe(self, name, value):
+        return None
+
+    def merge(self, snapshot):
         return None
 
     def snapshot(self) -> dict:

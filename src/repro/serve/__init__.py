@@ -15,7 +15,10 @@ guarantee:
 - :mod:`repro.serve.service` — the :class:`GemmService` facade wiring it
   together; :mod:`repro.serve.client` — the blocking convenience client;
 - :mod:`repro.serve.workload` — open-loop synthetic workloads with a
-  built-in exactly-once / correctness audit (the CLI and CI entry).
+  built-in exactly-once / correctness audit (the CLI and CI entry);
+- :mod:`repro.serve.proc` — the process tier: multiprocessing workers
+  behind the same scheduler, shared-memory operand transport, heartbeat
+  death detection with exactly-once replay, and an asyncio gateway.
 """
 
 from repro.serve.client import GemmClient
@@ -36,7 +39,9 @@ from repro.serve.workload import (
     ShapeSpec,
     WorkloadConfig,
     WorkloadReport,
+    make_fault_spec_factory,
     make_injector_factory,
+    make_proc_chaos,
     run_serve_workload,
     run_workload,
 )
@@ -63,7 +68,9 @@ __all__ = [
     "WorkerPool",
     "WorkloadConfig",
     "WorkloadReport",
+    "make_fault_spec_factory",
     "make_injector_factory",
+    "make_proc_chaos",
     "run_serve_workload",
     "run_workload",
 ]

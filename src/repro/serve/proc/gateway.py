@@ -1,0 +1,79 @@
+"""Asyncio gateway: await GEMM responses without a thread per client.
+
+The service's :class:`~repro.serve.request.ResponseFuture` is a
+threading primitive — fine for the soak drivers, wrong for an open-loop
+async client that wants thousands of requests in flight on one event
+loop. :class:`AsyncGateway` bridges the two worlds:
+
+- ``submit`` runs the (potentially blocking, under the ``block``
+  admission policy) ``service.submit`` in the loop's default executor so
+  the event loop never stalls on backpressure;
+- the returned awaitable is an ``asyncio.Future`` resolved through
+  ``ResponseFuture.add_done_callback`` →
+  ``loop.call_soon_threadsafe`` — the completion hops from whichever
+  service thread delivered it onto the loop with no polling and no
+  dedicated waiter thread.
+
+The gateway adds no semantics: exactly-once, terminal statuses and the
+one-shot guard are all the service's; cancellation of the asyncio future
+abandons the *wait*, never the request (it still completes server-side
+and is accounted normally).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+
+from repro.serve.request import GemmRequest
+
+
+def _resolve(future: asyncio.Future, response) -> None:
+    if not future.done():
+        future.set_result(response)
+
+
+class AsyncGateway:
+    """Async facade over a started :class:`~repro.serve.service.GemmService`."""
+
+    def __init__(self, service) -> None:
+        self.service = service
+
+    async def submit(
+        self,
+        request: GemmRequest,
+        *,
+        submit_timeout: float | None = None,
+    ) -> tuple[str, asyncio.Future]:
+        """Admit ``request``; returns ``(request_id, future)`` where the
+        future resolves to the terminal :class:`GemmResponse`. The caller
+        may hold many unresolved futures — that is the point."""
+        loop = asyncio.get_running_loop()
+        ticket = await loop.run_in_executor(
+            None,
+            functools.partial(
+                self.service.submit, request, timeout=submit_timeout
+            ),
+        )
+        future: asyncio.Future = loop.create_future()
+        ticket.future.add_done_callback(
+            lambda response: loop.call_soon_threadsafe(
+                _resolve, future, response
+            )
+        )
+        return ticket.request_id, future
+
+    async def call(
+        self,
+        request: GemmRequest,
+        *,
+        submit_timeout: float | None = None,
+        timeout: float | None = None,
+    ):
+        """Submit and await the response (closed-loop convenience)."""
+        _, future = await self.submit(
+            request, submit_timeout=submit_timeout
+        )
+        if timeout is None:
+            return await future
+        return await asyncio.wait_for(future, timeout)

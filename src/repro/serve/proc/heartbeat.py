@@ -1,0 +1,196 @@
+"""Worker-process liveness: heartbeat board, child beater, monitor.
+
+A worker process proves two different things and the tier checks both:
+
+- **existence** — the PID is alive. A SIGKILL'd worker fails this
+  instantly; the monitor's per-tick ``liveness`` probe (``Process.
+  is_alive`` in the pool) catches it within one interval.
+- **progress** — the child's beater thread keeps incrementing a shared
+  counter. A process that exists but has stopped beating (hard hang,
+  livelock, a chaos ``stall``) fails this after ``miss_limit``
+  intervals without a counter change.
+
+The split matters because the two failures escalate identically (death
+protocol: replay, respawn, probation) but are observed differently, and
+because the progress check must tolerate scheduling jitter: the board
+tracks *when the counter last changed*, not how many beats arrived, so
+a slow-but-moving worker is never declared dead.
+
+Lock discipline (pinned by the analyzer's lock-discipline rule): the
+board's per-key bookkeeping — last observed count, last change time —
+is read-modified-written only under the board's own lock. The shared
+counter itself is a ``multiprocessing.Value`` with its own cross-process
+lock; the board samples it *outside* the board lock so no thread ever
+blocks on the child-side lock while holding parent-side state.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.obs.metrics import NULL_METRICS
+from repro.serve.proc.spawnctx import spawn_context
+
+#: stall window floor applied before a worker's *first* beat: a spawned
+#: child spends seconds importing its runtime before the beater thread
+#: exists, and a tight miss window must not mistake that boot for a hang
+#: (it would SIGKILL every replacement at birth and drain the respawn
+#: budget). Once one beat lands, the configured window takes over.
+BOOT_GRACE_S = 15.0
+
+
+class _Slot:
+    __slots__ = ("value", "last_count", "last_change", "beaten")
+
+    def __init__(self, value, now: float) -> None:
+        self.value = value
+        self.last_count = 0
+        self.last_change = now
+        self.beaten = False
+
+
+class HeartbeatBoard:
+    """Per-worker beat counters plus the parent-side stall bookkeeping."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._slots: dict[object, _Slot] = {}
+
+    def register(self, key):
+        """Allocate the shared counter for ``key``; the returned
+        ``Value`` goes into the worker bootstrap for its beater."""
+        value = spawn_context().Value("Q", 0)
+        with self._lock:
+            self._slots[key] = _Slot(value, time.monotonic())
+        return value
+
+    def deregister(self, key) -> None:
+        with self._lock:
+            self._slots.pop(key, None)
+
+    def keys(self) -> list:
+        with self._lock:
+            return list(self._slots)
+
+    def beats(self, key) -> int:
+        """Current beat count (0 for unknown keys)."""
+        with self._lock:
+            slot = self._slots.get(key)
+        if slot is None:
+            return 0
+        return int(slot.value.value)
+
+    def stalled(self, key, window_s: float, now: float | None = None) -> bool:
+        """True when ``key``'s counter has not moved for ``window_s``.
+
+        Progress resets the window: any counter change observed here
+        stamps a fresh ``last_change``, so only a genuinely frozen
+        worker accumulates a full window of silence.
+        """
+        if now is None:
+            now = time.monotonic()
+        with self._lock:
+            slot = self._slots.get(key)
+        if slot is None:
+            return False
+        # sample the cross-process counter outside the board lock: the
+        # Value getter takes the child-shared lock and must never be
+        # held-for while parent bookkeeping is locked
+        count = int(slot.value.value)
+        with self._lock:
+            if self._slots.get(key) is not slot:
+                return False  # deregistered/replaced between samples
+            if count != slot.last_count:
+                slot.last_count = count
+                slot.last_change = now
+                slot.beaten = True
+                return False
+            if not slot.beaten:
+                window_s = max(window_s, BOOT_GRACE_S)
+            return (now - slot.last_change) >= window_s
+
+
+class Beater:
+    """Child-side daemon thread that increments the shared counter.
+
+    Runs in the worker process; a chaos ``stall`` stops it (without
+    killing the process) to exercise the monitor's miss detection.
+    """
+
+    def __init__(self, value, interval_s: float) -> None:
+        self._value = value
+        self._interval_s = interval_s
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="proc-beater", daemon=True
+        )
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            with self._value.get_lock():
+                self._value.value += 1
+            self._stop.wait(self._interval_s)
+
+    def stop(self) -> None:
+        self._stop.set()
+
+
+class HeartbeatMonitor:
+    """Parent-side thread that turns missed liveness into callbacks.
+
+    Each tick, for every registered key: ``liveness(key)`` false →
+    ``on_dead(key)`` (the PID is gone — SIGKILL, OOM-kill); else a
+    stalled counter → ``on_stall(key)`` (exists but frozen). Callbacks
+    run on the monitor thread with **no board lock held**; the pool's
+    death handler owns its own state transition guard, so a key that
+    keeps failing until it is deregistered only escalates once.
+    """
+
+    def __init__(
+        self,
+        board: HeartbeatBoard,
+        *,
+        interval_s: float,
+        miss_limit: int,
+        liveness,
+        on_dead,
+        on_stall,
+        metrics=NULL_METRICS,
+    ) -> None:
+        self.board = board
+        self.interval_s = interval_s
+        self.window_s = interval_s * miss_limit
+        self.liveness = liveness
+        self.on_dead = on_dead
+        self.on_stall = on_stall
+        self.metrics = metrics
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="proc-heartbeat-monitor", daemon=True
+        )
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            self.tick()
+            self._stop.wait(self.interval_s)
+
+    def tick(self) -> None:
+        """One sweep over the board (also called directly by tests)."""
+        self.metrics.inc("serve.proc.heartbeat_ticks")
+        for key in self.board.keys():
+            if not self.liveness(key):
+                self.on_dead(key)
+            elif self.board.stalled(key, self.window_s):
+                self.on_stall(key)
+
+    def stop(self, timeout_s: float = 2.0) -> None:
+        self._stop.set()
+        if self._thread.is_alive():
+            self._thread.join(timeout=timeout_s)

@@ -1,0 +1,286 @@
+"""Shared-memory operand transport with a leak-tracked registry.
+
+Matrices never cross the process boundary through pickle: the parent
+stages every A/B/C0 panel into a named ``multiprocessing.shared_memory``
+segment and ships only a small *ref* dict (name, shape, dtype) through
+the control pipe; the child attaches, computes, writes the result into a
+parent-allocated result segment, and replies with another small message.
+The pipe stays a control plane — operand bytes move exactly once, from
+parent memory into the segment, and are read in place by the child.
+
+Ownership is deliberately one-sided: **only the parent ever creates or
+unlinks segments**. Children attach and close. That makes the
+:class:`ShmRegistry` a complete account of every segment in existence —
+graceful shutdown unlinks them as batches complete, and the death path
+can sweep a killed worker's in-flight segments because the parent named
+them all. ``live()`` / ``assert_clean()`` are what the lifecycle tests
+pin: no ``/dev/shm`` residue survives the service, whichever way a
+worker left.
+
+Fallbacks keep the transport total: an operand larger than
+``max_segment_bytes`` (or any segment-creation failure) degrades to an
+inline-bytes ref carried in the pickled message — slower, counted
+separately in the metrics, and exercised by the oversized-operand test.
+The pure-pickle mode (``mode="pickle"``) exists as the benchmark
+baseline the shm path is measured against.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.obs.metrics import NULL_METRICS
+from repro.util.errors import ConfigError
+
+#: transport modes: shared-memory segments vs. everything-inline (the
+#: benchmark baseline that pickles operand bytes through the pipe)
+TRANSPORT_MODES = ("shm", "pickle")
+
+#: prefix of every segment name this process creates; short so names fit
+#: conservative POSIX limits, unique per parent PID so concurrent
+#: services never collide
+def _name_prefix() -> str:
+    return f"ftg{os.getpid():x}"
+
+
+class ShmRegistry:
+    """Accounts for every shared-memory segment the parent created.
+
+    ``create`` hands out a fresh segment and records it; ``unlink``
+    removes the name from the OS and the books. ``sweep`` is the death
+    path: best-effort unlink of names whose owner may already have
+    unlinked them (idempotent — a missing segment is not an error).
+    """
+
+    def __init__(self, metrics=NULL_METRICS) -> None:
+        self.metrics = metrics
+        self._lock = threading.Lock()
+        self._live: dict[str, int] = {}
+        self._seq = 0
+        self.created = 0
+        self.unlinked = 0
+
+    def create(self, nbytes: int) -> shared_memory.SharedMemory:
+        with self._lock:
+            name = f"{_name_prefix()}s{self._seq:06x}"
+            self._seq += 1
+        # the allocation itself happens outside the lock (it can fault);
+        # registration is re-entered only on success
+        segment = shared_memory.SharedMemory(
+            create=True, name=name, size=max(1, nbytes)
+        )
+        with self._lock:
+            self._live[segment.name] = nbytes
+            self.created += 1
+        self.metrics.inc("serve.proc.shm_segments")
+        return segment
+
+    def unlink(self, name: str) -> bool:
+        """Unlink ``name``; True when this call removed a live segment."""
+        with self._lock:
+            known = self._live.pop(name, None) is not None
+            if known:
+                self.unlinked += 1
+        try:
+            segment = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            return False
+        segment.close()
+        segment.unlink()
+        return known
+
+    def sweep(self, names: list[str]) -> int:
+        """Death-path cleanup: unlink every listed name still live."""
+        return sum(1 for name in names if self.unlink(name))
+
+    def live(self) -> list[str]:
+        with self._lock:
+            return sorted(self._live)
+
+    def unlink_all(self) -> int:
+        """Final backstop at pool retirement; returns the leak count (0
+        when every batch path released its segments, which is what the
+        lifecycle tests assert)."""
+        return self.sweep(self.live())
+
+    def assert_clean(self) -> None:
+        leaked = self.live()
+        if leaked:
+            raise AssertionError(
+                f"shared-memory segments leaked: {leaked}"
+            )
+
+
+class ShmTransport:
+    """Stages arrays into segments (parent side) and fetches them back.
+
+    Refs are small picklable dicts:
+
+    - ``{"kind": "shm", "name", "shape", "dtype"}`` — a named segment;
+    - ``{"kind": "bytes", "data", "shape", "dtype"}`` — inline fallback
+      (oversized operand, creation failure, or pure-pickle mode);
+    - ``{"kind": "inline", "shape", "dtype"}`` — a result slot whose
+      bytes will ride back inside the reply message instead of a
+      segment.
+    """
+
+    def __init__(
+        self,
+        registry: ShmRegistry,
+        *,
+        mode: str = "shm",
+        max_segment_bytes: int | None = None,
+        metrics=NULL_METRICS,
+    ) -> None:
+        if mode not in TRANSPORT_MODES:
+            raise ConfigError(
+                f"unknown transport mode {mode!r}; "
+                f"choose from {TRANSPORT_MODES}"
+            )
+        if max_segment_bytes is not None and max_segment_bytes < 1:
+            raise ConfigError(
+                f"max_segment_bytes must be >= 1 or None, "
+                f"got {max_segment_bytes}"
+            )
+        self.registry = registry
+        self.mode = mode
+        self.max_segment_bytes = max_segment_bytes
+        self.metrics = metrics
+
+    # --------------------------------------------------------------- staging
+    def _fits(self, nbytes: int) -> bool:
+        return (
+            self.mode == "shm"
+            and (
+                self.max_segment_bytes is None
+                or nbytes <= self.max_segment_bytes
+            )
+        )
+
+    def stage(self, arr: np.ndarray) -> dict:
+        """Copy ``arr`` into a fresh segment (or inline bytes) and return
+        the ref the child materializes it from."""
+        arr = np.ascontiguousarray(arr)
+        if self._fits(arr.nbytes):
+            try:
+                segment = self.registry.create(arr.nbytes)
+            except OSError:
+                self.metrics.inc("serve.proc.shm_fallbacks")
+            else:
+                view = np.ndarray(
+                    arr.shape, dtype=arr.dtype, buffer=segment.buf
+                )
+                view[...] = arr
+                ref = {
+                    "kind": "shm",
+                    "name": segment.name,
+                    "shape": arr.shape,
+                    "dtype": str(arr.dtype),
+                }
+                # close the parent mapping immediately: the name (not the
+                # mapping) is the handle; unlink() works on names
+                segment.close()
+                self.metrics.inc("serve.proc.shm_bytes", float(arr.nbytes))
+                return ref
+        self.metrics.inc("serve.proc.inline_bytes", float(arr.nbytes))
+        return {
+            "kind": "bytes",
+            "data": arr.tobytes(),
+            "shape": arr.shape,
+            "dtype": str(arr.dtype),
+        }
+
+    def alloc_result(self, shape: tuple[int, ...], dtype=np.float64) -> dict:
+        """A writable result slot the child fills: a segment when it
+        fits, otherwise an inline marker telling the child to ship the
+        bytes back inside its reply."""
+        nbytes = int(np.prod(shape)) * np.dtype(dtype).itemsize
+        if self._fits(nbytes):
+            try:
+                segment = self.registry.create(nbytes)
+            except OSError:
+                self.metrics.inc("serve.proc.shm_fallbacks")
+            else:
+                ref = {
+                    "kind": "shm",
+                    "name": segment.name,
+                    "shape": tuple(shape),
+                    "dtype": str(np.dtype(dtype)),
+                }
+                segment.close()
+                self.metrics.inc("serve.proc.shm_bytes", float(nbytes))
+                return ref
+        return {
+            "kind": "inline",
+            "shape": tuple(shape),
+            "dtype": str(np.dtype(dtype)),
+        }
+
+    # -------------------------------------------------------------- fetching
+    def fetch(self, ref: dict, payload: bytes | None = None) -> np.ndarray:
+        """Materialize a ref back into parent memory (an owned copy).
+
+        ``payload`` carries the bytes of an ``inline`` result ref (they
+        arrived inside the reply message)."""
+        if ref["kind"] == "shm":
+            segment = shared_memory.SharedMemory(name=ref["name"])
+            try:
+                view = np.ndarray(
+                    ref["shape"], dtype=np.dtype(ref["dtype"]),
+                    buffer=segment.buf,
+                )
+                return np.array(view)  # owned copy; segment may die after
+            finally:
+                segment.close()
+        data = ref["data"] if ref["kind"] == "bytes" else payload
+        if data is None:
+            raise ConfigError("inline result ref arrived without payload")
+        return np.frombuffer(
+            bytearray(data), dtype=np.dtype(ref["dtype"])
+        ).reshape(ref["shape"])
+
+    def release(self, ref: dict | None) -> None:
+        """Unlink the segment behind a ref (no-op for inline refs)."""
+        if ref is not None and ref.get("kind") == "shm":
+            self.registry.unlink(ref["name"])
+
+
+# ---------------------------------------------------------------- child side
+def attach(ref: dict) -> tuple[np.ndarray, shared_memory.SharedMemory | None]:
+    """Child-side materialization: a readable array plus the segment
+    holder the caller must ``close()`` once the array is dead (inline
+    refs return ``None`` — nothing to close)."""
+    if ref["kind"] == "shm":
+        segment = shared_memory.SharedMemory(name=ref["name"])
+        view = np.ndarray(
+            ref["shape"], dtype=np.dtype(ref["dtype"]), buffer=segment.buf
+        )
+        return view, segment
+    return (
+        np.frombuffer(
+            bytearray(ref["data"]), dtype=np.dtype(ref["dtype"])
+        ).reshape(ref["shape"]),
+        None,
+    )
+
+
+def write_result(ref: dict, arr: np.ndarray) -> bytes | None:
+    """Child-side result delivery: copy ``arr`` into the result slot.
+
+    Returns the inline payload to embed in the reply when the slot is an
+    ``inline`` ref, None when the bytes went through shared memory."""
+    if ref["kind"] == "shm":
+        segment = shared_memory.SharedMemory(name=ref["name"])
+        try:
+            view = np.ndarray(
+                ref["shape"], dtype=np.dtype(ref["dtype"]), buffer=segment.buf
+            )
+            view[...] = arr
+            return None
+        finally:
+            segment.close()
+    return np.ascontiguousarray(arr).tobytes()

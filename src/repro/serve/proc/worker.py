@@ -1,0 +1,412 @@
+"""Worker-process entry point: engines, caches, faults, chaos kills.
+
+``worker_main`` is what :class:`~repro.serve.proc.pool.ProcWorkerPool`
+spawns. The child is a loop over a command pipe: ``probe`` (probation
+health check), ``batch`` (execute and write results into shared memory),
+``stop`` (ship the child's metrics snapshot home and exit). One reply
+message per command keeps the parent's exactly-once accounting atomic —
+a batch either produces its single ``result`` message or the process
+dies and the parent's death protocol claims every in-flight request.
+
+The child never constructs a :class:`~repro.serve.request.GemmResponse`
+— terminal responses exist only in the parent, where the analyzer's
+complete-funnel rule can see them route through ``_complete``. The child
+returns raw evidence (verified flag, counters, verification reports,
+recovery report) and writes C panels into the parent-allocated result
+slots; the parent reassembles per-request ``FTGemmResult`` objects.
+
+Determinism: the bootstrap carries an explicit seed derived from
+(service seed, slot, incarnation) — see
+:func:`~repro.serve.proc.spawnctx.worker_seed` — and every fault an
+execution sees is rebuilt in-child from a plain *fault spec* dict the
+parent derived from the workload seed. Nothing in a process-tier run
+depends on spawn timing or platform RNG state.
+
+Chaos self-kills: a batch message may carry a ``kill`` phase. The child
+then SIGKILLs **itself** at that phase boundary — ``pack`` (operands
+materialized), ``compute`` (first tile callback), ``reduce`` (product
+done, result not yet written), ``reply`` (result written, message not
+yet sent) — or ``stall``\\ s (stops its heartbeat and idles) so the
+monitor's miss detection, not PID death, has to notice. Each phase
+leaves the protocol in a different half-finished state, which is exactly
+what the replay path must be indifferent to.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import signal
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.faults.campaign import (
+    plan_for_gemm,
+    site_invocation_counts_parallel,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.models import BitFlip, FailStop, StuckBit
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.pool import Worker
+from repro.serve.proc.heartbeat import Beater
+from repro.serve.proc.shm import attach, write_result
+from repro.util.errors import ReproError
+from repro.util.rng import make_rng
+
+
+@dataclass(frozen=True)
+class WorkerBootstrap:
+    """Everything a spawned worker needs (must stay picklable)."""
+
+    slot: int
+    incarnation: int
+    #: explicit RNG seed (probe operands; never platform state)
+    seed: int
+    #: the service's :class:`~repro.serve.service.ServiceConfig` (typed
+    #: loosely: importing the service here would cycle through the proc
+    #: package the service itself constructs)
+    service_config: object
+    beat_interval_s: float = 0.05
+
+
+def _self_kill() -> None:
+    """The chaos kill: immediate, uncatchable, exactly like the OOM
+    killer or an operator's ``kill -9``."""
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _send(conn, msg: dict) -> None:
+    conn.send_bytes(pickle.dumps(msg, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def _portable(obj):
+    """``obj`` if it survives pickling, else None — evidence objects ride
+    home best-effort; correctness never depends on them."""
+    try:
+        pickle.dumps(obj)
+    except Exception:
+        return None
+    return obj
+
+
+def injector_from_spec(spec: dict | None, shape, service_config):
+    """Rebuild the deterministic in-child injector from a plain spec.
+
+    The parent derives the spec (model choice, plan seed, optional
+    fail-stop) from the workload seed; the child re-derives the full
+    site plan from it so the injector never crosses the process boundary
+    as a live object. Mirrors the thread tier's
+    :func:`~repro.serve.workload.make_injector_factory` fault mix.
+    """
+    if spec is None:
+        return None
+    m, n, k = shape
+    blocking = service_config.ft.blocking
+    counts = None
+    if service_config.gemm_threads > 1:
+        counts = site_invocation_counts_parallel(
+            m, n, k, blocking, service_config.gemm_threads
+        )
+    model = (
+        StuckBit(bit=spec["bit"]) if spec["model"] == "stuck"
+        else BitFlip(bit=spec["bit"])
+    )
+    plan = plan_for_gemm(
+        m, n, k, blocking,
+        spec["errors_per_call"],
+        model=model,
+        seed=spec["plan_seed"],
+        counts=counts,
+    )
+    fail_stop = spec.get("fail_stop")
+    if fail_stop is not None and service_config.gemm_threads >= 2:
+        plan = replace(
+            plan,
+            fail_stops=(
+                FailStop(
+                    thread=fail_stop["thread"], barrier=fail_stop["barrier"]
+                ),
+            ),
+        )
+    return FaultInjector(plan)
+
+
+class _ChildState:
+    """Per-process serving state: engines, hot-B cache, panel cache."""
+
+    def __init__(self, bootstrap: WorkerBootstrap) -> None:
+        self.bootstrap = bootstrap
+        self.config = bootstrap.service_config
+        self.metrics = MetricsRegistry()
+        self.rng = make_rng(bootstrap.seed)
+        # reuse the thread tier's driver construction wholesale: same
+        # schemes, same degraded (checksum-only) wiring
+        self.engines = Worker(bootstrap.slot, self.config)
+        #: hot-B cache mirrored with the parent dispatcher: the parent
+        #: only sends ``{"kind": "cached"}`` refs for keys it inserted
+        #: earlier on this same (ordered) pipe, with the same bound and
+        #: eviction discipline on both sides
+        self.b_cache: OrderedDict[str, np.ndarray] = OrderedDict()
+        self.b_cache_entries = int(
+            getattr(self.config, "proc_b_cache_entries", 0) or 0
+        )
+        self.panel_cache = None
+        if (
+            getattr(self.config, "panel_cache_bytes", None) is not None
+            and self.config.gemm_threads == 1
+        ):
+            from repro.gemm.panelcache import PanelCache
+
+            self.panel_cache = PanelCache(
+                self.config.panel_cache_bytes, metrics=self.metrics
+            )
+
+    def remember_b(self, key: str, b: np.ndarray) -> None:
+        self.b_cache[key] = b
+        self.b_cache.move_to_end(key)
+        while len(self.b_cache) > self.b_cache_entries:
+            self.b_cache.popitem(last=False)
+
+    def _panels_for(self, b: np.ndarray, resident: bool):
+        """Packed panels for a *resident* (cache-owned) B. Transient shm
+        views are never encoded: the cache would pin the dying segment's
+        buffer and the next request re-encodes anyway."""
+        if self.panel_cache is None or not resident:
+            return None
+        return self.panel_cache.acquire(b, self.config.ft.blocking)
+
+
+def _attempt_loop(state: _ChildState, driver, spec, shape, request_id,
+                  run, kill_phase):
+    """The in-child mirror of the thread pool's retry loop: faults on
+    attempt 0 only, exponential backoff, verified-or-retry."""
+    config = state.config
+    error = ""
+    for attempt in range(config.retry_budget + 1):
+        if attempt:
+            state.metrics.inc("serve.proc.child_retries")
+            time.sleep(config.backoff_base_s * 2 ** (attempt - 1))
+        injector = None
+        if attempt == 0:
+            injector = injector_from_spec(spec, shape, config)
+        on_tile = None
+        if attempt == 0 and kill_phase == "compute":
+            def on_tile(*_args, **_kwargs):
+                _self_kill()
+        try:
+            result = run(driver, injector, on_tile)
+        except ReproError as exc:
+            error = f"{type(exc).__name__}: {exc}"
+            continue
+        except Exception as exc:  # substrate faults may raise anything
+            error = f"{type(exc).__name__}: {exc}"
+            continue
+        if attempt == 0 and kill_phase == "reduce":
+            _self_kill()
+        if result.verified:
+            return result, attempt + 1, ""
+        error = "verification failed"
+    return None, config.retry_budget + 1, error
+
+
+def _evidence(result) -> dict:
+    """The picklable slice of an FTGemmResult (C travels via shm)."""
+    return {
+        "verified": bool(result.verified),
+        "ft_enabled": bool(result.ft_enabled),
+        "counters": _portable(result.counters),
+        "reports": _portable(result.reports) or [],
+        "recovery": _portable(result.recovery),
+    }
+
+
+def _materialize_b(state: _ChildState, msg: dict):
+    """Resolve the batch's B operand: child-cache hit, cache insert, or
+    a transient segment view. Returns (b, resident, segment|None) —
+    ``resident`` marks a cache-owned array safe to encode panels for."""
+    ref = msg["b"]
+    if ref.get("kind") == "cached":
+        b = state.b_cache.get(ref["key"])
+        if b is None:
+            raise KeyError(f"b-cache miss for {ref['key']!r}")
+        state.b_cache.move_to_end(ref["key"])
+        state.metrics.inc("serve.proc.b_cache_hits")
+        return b, True, None
+    view, segment = attach(ref)
+    key = msg.get("b_cache_key")
+    if key is not None and state.b_cache_entries > 0:
+        b = np.array(view)  # owned: outlives the segment
+        if segment is not None:
+            segment.close()
+        state.remember_b(key, b)
+        return b, True, None
+    return view, False, segment
+
+
+def _execute_coalesced(state: _ChildState, msg: dict, b) -> dict:
+    driver = state.engines.driver_for(msg["scheme"], msg["degraded"])
+    a_view, a_segment = attach(msg["a_stack"])
+    packed = state._panels_for(b, msg["b_resident"])
+    shape = (a_view.shape[0], b.shape[1], b.shape[0])
+    if msg["kill_phase"] == "pack":
+        _self_kill()
+
+    def run(drv, injector, on_tile):
+        return drv.gemm(
+            a_view,
+            b,
+            alpha=msg["alpha"],
+            injector=injector,
+            on_tile=on_tile,
+            request_id=msg["batch_id"],
+            packed_b=packed if injector is None else None,
+        )
+
+    try:
+        result, attempts, error = _attempt_loop(
+            state, driver, msg["fault"], shape, msg["batch_id"],
+            run, msg["kill_phase"],
+        )
+    finally:
+        if a_segment is not None:
+            a_segment.close()
+    if result is None:
+        return {"ok": False, "error": error, "attempts": attempts,
+                "meta": None, "payload": None}
+    payload = write_result(msg["result"], result.c)
+    return {"ok": True, "error": "", "attempts": attempts,
+            "meta": _evidence(result), "payload": payload}
+
+
+def _execute_single(state: _ChildState, item: dict, msg: dict, b) -> dict:
+    driver = state.engines.driver_for(msg["scheme"], msg["degraded"])
+    a_view, a_segment = attach(item["a"])
+    c0_view = c0_segment = None
+    if item["c0"] is not None:
+        c0_view, c0_segment = attach(item["c0"])
+    packed = state._panels_for(b, msg["b_resident"])
+    shape = (a_view.shape[0], b.shape[1], b.shape[0])
+    if msg["kill_phase"] == "pack":
+        _self_kill()
+
+    def run(drv, injector, on_tile):
+        c = np.array(c0_view) if c0_view is not None else None
+        return drv.gemm(
+            a_view,
+            b,
+            c,
+            alpha=msg["alpha"],
+            beta=item["beta"],
+            injector=injector,
+            on_tile=on_tile,
+            request_id=item["request_id"],
+            packed_b=packed if injector is None else None,
+        )
+
+    try:
+        result, attempts, error = _attempt_loop(
+            state, driver, item["fault"], shape, item["request_id"],
+            run, msg["kill_phase"],
+        )
+    finally:
+        if a_segment is not None:
+            a_segment.close()
+        if c0_segment is not None:
+            c0_segment.close()
+    if result is None:
+        return {"request_id": item["request_id"], "ok": False,
+                "error": error, "attempts": attempts,
+                "meta": None, "payload": None}
+    payload = write_result(item["result"], result.c)
+    return {"request_id": item["request_id"], "ok": True, "error": "",
+            "attempts": attempts, "meta": _evidence(result),
+            "payload": payload}
+
+
+def _serve_batch(state: _ChildState, msg: dict) -> dict:
+    """Execute one batch message; returns the single result reply."""
+    state.metrics.inc("serve.proc.child_batches")
+    kill_phase = msg["kill_phase"]
+    b_segment = None
+    try:
+        b, resident, b_segment = _materialize_b(state, msg)
+        msg["b_resident"] = resident
+        if kill_phase == "stall":
+            # exist-but-frozen: heartbeat stops, PID stays alive; only
+            # the monitor's miss detection can rescue this batch
+            state.beater.stop()
+            while True:
+                time.sleep(3600.0)
+        if msg["coalesced"]:
+            body = _execute_coalesced(state, msg, b)
+            reply = {"op": "result", "batch_id": msg["batch_id"],
+                     "kind": "coalesced", **body}
+        else:
+            items = [
+                _execute_single(state, item, msg, b)
+                for item in msg["items"]
+            ]
+            reply = {"op": "result", "batch_id": msg["batch_id"],
+                     "kind": "single", "items": items}
+    except Exception as exc:
+        # a broken message or cache-mirror miss must still produce the
+        # batch's one reply: the parent turns it into retry/replay
+        reply = {"op": "result", "batch_id": msg["batch_id"],
+                 "kind": "error",
+                 "error": f"{type(exc).__name__}: {exc}"}
+    finally:
+        if b_segment is not None:
+            b_segment.close()
+    if kill_phase == "reply":
+        _self_kill()
+    return reply
+
+
+def _probe(state: _ChildState, msg: dict) -> dict:
+    """Probation health check: one small verified GEMM vs the oracle."""
+    rng = make_rng(msg["seed"])
+    size = msg.get("size", 16)
+    a = rng.standard_normal((size, size))
+    b = rng.standard_normal((size, size))
+    driver = state.engines.driver_for("dual", False)
+    try:
+        result = driver.gemm(a, b)
+        ok = bool(result.verified) and np.allclose(
+            result.c, a @ b, atol=1e-8
+        )
+    except Exception:
+        ok = False
+    return {"op": "probe_ok", "ok": ok, "slot": state.bootstrap.slot,
+            "incarnation": state.bootstrap.incarnation}
+
+
+def worker_main(bootstrap: WorkerBootstrap, cmd_conn, res_conn,
+                beat_value) -> None:
+    """The spawned process's main loop (also its module-level pickle
+    anchor: spawn imports this module fresh in the child)."""
+    state = _ChildState(bootstrap)
+    state.beater = Beater(beat_value, bootstrap.beat_interval_s)
+    state.beater.start()
+    while True:
+        try:
+            raw = cmd_conn.recv_bytes()
+        except (EOFError, OSError):
+            break  # parent died or closed: nothing left to serve
+        msg = pickle.loads(raw)
+        op = msg.get("op")
+        try:
+            if op == "stop":
+                _send(res_conn, {"op": "stopped",
+                                 "slot": bootstrap.slot,
+                                 "metrics": state.metrics.snapshot()})
+                break
+            if op == "probe":
+                _send(res_conn, _probe(state, msg))
+            elif op == "batch":
+                _send(res_conn, _serve_batch(state, msg))
+        except (BrokenPipeError, OSError):
+            break
+    state.beater.stop()

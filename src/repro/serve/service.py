@@ -103,6 +103,41 @@ class ServiceConfig:
     #: collect serve-layer spans/metrics (drivers stay untraced — their
     #: spans would collide with the serve lanes)
     trace: bool = False
+    #: worker **processes** (the process tier). 0 — the default — keeps
+    #: execution in the thread tier above; > 0 replaces the thread pool
+    #: with a :class:`~repro.serve.proc.pool.ProcWorkerPool` of this many
+    #: spawned processes (``workers`` is then ignored: the process is the
+    #: worker)
+    processes: int = 0
+    #: child heartbeat interval (seconds); also the monitor's tick
+    proc_heartbeat_s: float = 0.05
+    #: heartbeat intervals without progress before a live-but-frozen
+    #: worker is declared dead (window = heartbeat_s * miss_limit)
+    proc_miss_limit: int = 40
+    #: times one batch may lose its worker process before its requests
+    #: are answered ``failed`` (bounds the replay loop)
+    proc_max_replays: int = 3
+    #: worker deaths on one shape bucket before that bucket is pinned to
+    #: degraded (checksum-only) execution
+    proc_bucket_degraded_after: int = 2
+    #: total replacement processes the pool may spawn over its lifetime
+    proc_respawn_budget: int = 16
+    #: batches in flight per worker process (pipelines dispatch against
+    #: execution; the ready lane stays bounded by the scheduler)
+    proc_inflight_per_worker: int = 2
+    #: operand transport: "shm" (named SharedMemory segments) or
+    #: "pickle" (operand bytes inline in the control pipe — the
+    #: benchmark baseline)
+    proc_transport: str = "shm"
+    #: largest operand staged through a segment; bigger falls back to
+    #: inline bytes (None = no limit)
+    proc_shm_max_bytes: int | None = None
+    #: hot-B operands mirrored into each worker process (0 = off)
+    proc_b_cache_entries: int = 8
+    #: respawned workers must pass a probation probe before readmission
+    proc_probation: bool = True
+    #: seed for per-worker RNG derivation (determinism across platforms)
+    proc_seed: int = 0
 
     def validate(self) -> "ServiceConfig":
         problems: list[str] = []
@@ -135,6 +170,57 @@ class ServiceConfig:
                 f"degraded_cache_relief must be >= 1.0, got "
                 f"{self.degraded_cache_relief}"
             )
+        if self.processes < 0:
+            problems.append(
+                f"processes must be >= 0, got {self.processes}"
+            )
+        if self.proc_heartbeat_s <= 0:
+            problems.append(
+                f"proc_heartbeat_s must be positive, got "
+                f"{self.proc_heartbeat_s}"
+            )
+        if self.proc_miss_limit < 1:
+            problems.append(
+                f"proc_miss_limit must be >= 1, got {self.proc_miss_limit}"
+            )
+        if self.proc_max_replays < 0:
+            problems.append(
+                f"proc_max_replays must be >= 0, got "
+                f"{self.proc_max_replays}"
+            )
+        if self.proc_bucket_degraded_after < 1:
+            problems.append(
+                f"proc_bucket_degraded_after must be >= 1, got "
+                f"{self.proc_bucket_degraded_after}"
+            )
+        if self.proc_respawn_budget < 0:
+            problems.append(
+                f"proc_respawn_budget must be >= 0, got "
+                f"{self.proc_respawn_budget}"
+            )
+        if self.proc_inflight_per_worker < 1:
+            problems.append(
+                f"proc_inflight_per_worker must be >= 1, got "
+                f"{self.proc_inflight_per_worker}"
+            )
+        if self.proc_transport not in ("shm", "pickle"):
+            problems.append(
+                f"proc_transport must be 'shm' or 'pickle', got "
+                f"{self.proc_transport!r}"
+            )
+        if (
+            self.proc_shm_max_bytes is not None
+            and self.proc_shm_max_bytes < 1
+        ):
+            problems.append(
+                f"proc_shm_max_bytes must be >= 1 or None, got "
+                f"{self.proc_shm_max_bytes}"
+            )
+        if self.proc_b_cache_entries < 0:
+            problems.append(
+                f"proc_b_cache_entries must be >= 0, got "
+                f"{self.proc_b_cache_entries}"
+            )
         if problems:
             raise ConfigError(
                 "inconsistent ServiceConfig: " + "; ".join(problems)
@@ -144,6 +230,12 @@ class ServiceConfig:
             n_threads=self.gemm_threads if self.gemm_threads > 1 else None
         )
         return self
+
+    @property
+    def effective_workers(self) -> int:
+        """Execution-unit count of the selected tier: processes when the
+        process tier is on, threads otherwise (sizes the ready lane)."""
+        return self.processes if self.processes > 0 else self.workers
 
 
 class GemmService:
@@ -160,7 +252,12 @@ class GemmService:
     ``injector_factory(shape, attempt, request_id, config)`` — when given —
     is consulted before every execution attempt and may return a
     :class:`~repro.faults.injector.FaultInjector` (or None) to exercise
-    the fault-tolerance machinery with live traffic.
+    the fault-tolerance machinery with live traffic. It is a thread-tier
+    construct (a live injector cannot cross a process boundary); with
+    ``processes > 0`` pass ``fault_spec_factory(request_id, config)``
+    instead — a picklable spec dict each worker process rebuilds its
+    injector from — and optionally ``chaos(batch_id, deaths)`` returning
+    a process-kill phase for the chaos storm.
     """
 
     def __init__(
@@ -168,11 +265,25 @@ class GemmService:
         config: ServiceConfig | None = None,
         *,
         injector_factory=None,
+        fault_spec_factory=None,
+        chaos=None,
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
         clock=time.monotonic,
     ) -> None:
         self.config = (config or ServiceConfig()).validate()
+        if self.config.processes > 0 and injector_factory is not None:
+            raise ConfigError(
+                "injector_factory cannot cross the process boundary; "
+                "use fault_spec_factory with processes > 0"
+            )
+        if self.config.processes == 0 and (
+            fault_spec_factory is not None or chaos is not None
+        ):
+            raise ConfigError(
+                "fault_spec_factory/chaos require the process tier "
+                "(processes > 0); the thread tier takes injector_factory"
+            )
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         if tracer is None and self.config.trace:
             tracer = Tracer(metrics=self.metrics)
@@ -202,7 +313,7 @@ class GemmService:
             window_s=self.config.window_s,
             # one batch in flight per worker plus one forming keeps every
             # worker busy while leaving the backlog under queue policy
-            max_ready=self.config.workers + 1,
+            max_ready=self.config.effective_workers + 1,
             on_expired=lambda req: self._complete(
                 req,
                 GemmResponse(request_id=req.request_id, status="expired",
@@ -212,16 +323,33 @@ class GemmService:
             clock=clock,
             panel_cache=self.panel_cache,
         )
-        self.pool = WorkerPool(
-            self.scheduler,
-            self.config,
-            complete=self._complete,
-            injector_factory=injector_factory,
-            use_degraded=self._use_degraded,
-            metrics=self.metrics,
-            tracer=self.tracer,
-            panel_cache=self.panel_cache,
-        )
+        if self.config.processes > 0:
+            # the process tier: same scheduler, same _complete contract,
+            # but the execution fault domain is a spawned process (import
+            # here keeps serve.service out of the proc package's graph)
+            from repro.serve.proc.pool import ProcWorkerPool
+
+            self.pool = ProcWorkerPool(
+                self.scheduler,
+                self.config,
+                complete=self._complete,
+                use_degraded=self._use_degraded,
+                metrics=self.metrics,
+                tracer=self.tracer,
+                fault_spec_factory=fault_spec_factory,
+                chaos=chaos,
+            )
+        else:
+            self.pool = WorkerPool(
+                self.scheduler,
+                self.config,
+                complete=self._complete,
+                injector_factory=injector_factory,
+                use_degraded=self._use_degraded,
+                metrics=self.metrics,
+                tracer=self.tracer,
+                panel_cache=self.panel_cache,
+            )
         self._ids = itertools.count()
         self._lane_seq = itertools.count()
         self._lock = threading.Lock()
@@ -442,4 +570,6 @@ class GemmService:
         }
         if self.panel_cache is not None:
             snapshot["panel_cache"] = self.panel_cache.stats()
+        if self.config.processes > 0:
+            snapshot["proc"] = self.pool.stats()
         return snapshot

@@ -97,6 +97,12 @@ class WorkloadConfig:
     #: skew exponent of the hot-B popularity distribution (larger =
     #: hotter head); only read when ``hot_b_pool`` is set
     zipf_s: float = 1.2
+    #: process-kill chaos (process tier only): probability a dispatched
+    #: batch's worker SIGKILLs itself mid-batch at a random phase
+    #: (pack / compute / reduce / reply). Halved per replay of the same
+    #: batch so a chaos storm converges instead of deterministically
+    #: re-killing its own replays.
+    proc_kill_rate: float = 0.0
 
     def __post_init__(self) -> None:
         if self.duration_s <= 0:
@@ -120,6 +126,11 @@ class WorkloadConfig:
         if self.zipf_s <= 0:
             raise ConfigError(
                 f"zipf_s must be positive, got {self.zipf_s}"
+            )
+        if not 0.0 <= self.proc_kill_rate <= 1.0:
+            raise ConfigError(
+                f"proc_kill_rate must be in [0, 1], got "
+                f"{self.proc_kill_rate}"
             )
 
 
@@ -241,6 +252,74 @@ def make_injector_factory(workload: WorkloadConfig):
         return FaultInjector(plan)
 
     return factory
+
+
+def make_fault_spec_factory(workload: WorkloadConfig):
+    """The process-tier twin of :func:`make_injector_factory`: returns a
+    ``fault_spec_factory(request_id, service_config)`` producing the plain
+    picklable spec dict a worker process rebuilds its injector from
+    (:func:`repro.serve.proc.worker.injector_from_spec`).
+
+    The RNG draws mirror :func:`make_injector_factory` draw-for-draw —
+    same seed derivation, same gate, same model split, same fail-stop
+    tail — so a workload replayed on the process tier strikes the same
+    requests with the same faults as the thread tier. Children fault
+    first attempts only, matching the thread tier's retry semantics.
+    """
+    if workload.fault_rate <= 0.0:
+        return None
+
+    def factory(request_id, service_config):
+        rng = make_rng(derive_seed(workload.seed, "serve", request_id))
+        if rng.random() >= workload.fault_rate:
+            return None
+        spec = {
+            "model": "stuck" if rng.random() < 0.3 else "flip",
+            "errors_per_call": workload.errors_per_call,
+            "plan_seed": derive_seed(workload.seed, "plan", request_id),
+            "fail_stop": None,
+        }
+        spec["bit"] = 51 if spec["model"] == "stuck" else 50
+        if (
+            service_config.gemm_threads >= 2
+            and rng.random() < workload.fail_stop_fraction
+        ):
+            spec["fail_stop"] = {
+                "thread": int(rng.integers(1, service_config.gemm_threads)),
+                "barrier": int(rng.integers(1, 4)),
+            }
+        return spec
+
+    return factory
+
+
+def make_proc_chaos(workload: WorkloadConfig):
+    """A deterministic process-kill schedule for the process tier: returns
+    ``chaos(batch_id, deaths)`` yielding a kill phase (or ``None``) for
+    each dispatch of a batch.
+
+    Each (batch, dispatch-attempt) pair draws independently from the
+    workload seed, so the storm replays exactly; the kill probability is
+    halved per prior death of the batch (``deaths``) so a storm at high
+    rate still converges — replays are progressively less likely to be
+    re-killed rather than deterministically doomed. Draws span the four
+    mid-batch phases; ``stall`` is exercised by a dedicated heartbeat
+    test, not the storm, because a stall costs a full miss window of
+    wall-clock per strike.
+    """
+    if workload.proc_kill_rate <= 0.0:
+        return None
+    phases = ("pack", "compute", "reduce", "reply")
+
+    def chaos(batch_id, deaths):
+        rng = make_rng(
+            derive_seed(workload.seed, "prockill", batch_id, deaths)
+        )
+        if rng.random() >= workload.proc_kill_rate * (0.5 ** deaths):
+            return None
+        return phases[int(rng.integers(len(phases)))]
+
+    return chaos
 
 
 def _build_requests(workload: WorkloadConfig) -> list[GemmRequest]:
@@ -369,6 +448,20 @@ def run_workload(
         "rejected": int(metrics.get("serve.rejected", 0)),
         "expired": int(metrics.get("serve.expired", 0)),
     }
+    if "proc" in stats:
+        report.recovery.update(
+            proc_deaths=int(metrics.get("serve.proc.deaths", 0)),
+            proc_replays=int(metrics.get("serve.proc.replays", 0)),
+            proc_respawns=stats["proc"]["respawns"],
+            proc_child_retries=int(
+                metrics.get("serve.proc.child_retries", 0)
+            ),
+            proc_degraded_buckets=stats["proc"]["degraded_buckets"],
+            proc_late_results=int(
+                metrics.get("serve.proc.late_results", 0)
+            ),
+            proc_leaked_segments=stats["proc"]["segments"]["live"],
+        )
     report.panel_cache = stats.get("panel_cache", {})
     return report
 
@@ -379,10 +472,22 @@ def run_serve_workload(
     *,
     timeout_s: float = 60.0,
 ) -> WorkloadReport:
-    """Convenience wrapper: build, start, drive, drain, audit."""
-    service = GemmService(
-        service_config,
-        injector_factory=make_injector_factory(workload),
-    )
+    """Convenience wrapper: build, start, drive, drain, audit.
+
+    Fault plumbing follows the tier: in-process services take a live
+    ``injector_factory``; process tiers (``processes > 0``) take the
+    picklable spec factory plus the process-kill chaos schedule.
+    """
+    if service_config.processes > 0:
+        service = GemmService(
+            service_config,
+            fault_spec_factory=make_fault_spec_factory(workload),
+            chaos=make_proc_chaos(workload),
+        )
+    else:
+        service = GemmService(
+            service_config,
+            injector_factory=make_injector_factory(workload),
+        )
     service.start()
     return run_workload(service, workload, timeout_s=timeout_s)

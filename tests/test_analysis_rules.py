@@ -373,6 +373,65 @@ class Gate:
     assert len(found) == 1
 
 
+def test_lock_blocking_flags_pipe_send_recv_under_lock(tmp_path):
+    bad = """\
+import threading
+
+class Shard:
+    def __init__(self, cmd_conn, res_conn):
+        self._lock = threading.Lock()
+        self.cmd_conn = cmd_conn
+        self.res_conn = res_conn
+
+    def roundtrip(self, payload):
+        with self._lock:
+            self.cmd_conn.send_bytes(payload)
+            return self.res_conn.recv_bytes()
+"""
+    messages = [f.message for f in findings_for(tmp_path, bad, "lock-blocking")]
+    assert len(messages) == 2
+    assert any("send_bytes" in m for m in messages)
+    assert any("recv_bytes" in m for m in messages)
+
+
+def test_lock_blocking_flags_process_reap_under_lock(tmp_path):
+    bad = """\
+import threading
+
+class Reaper:
+    def __init__(self, proc):
+        self._lock = threading.Lock()
+        self.proc = proc
+
+    def reap(self):
+        with self._lock:
+            self.proc.kill()
+            self.proc.join(5.0)
+"""
+    messages = [f.message for f in findings_for(tmp_path, bad, "lock-blocking")]
+    assert len(messages) == 2
+    assert any("kill" in m for m in messages)
+    assert any("join" in m for m in messages)
+
+
+def test_lock_blocking_pipe_methods_on_other_receivers_pass(tmp_path):
+    good = """\
+import threading
+
+class Mailer:
+    def __init__(self, sink):
+        self._lock = threading.Lock()
+        self.sink = sink
+        self.sent = 0
+
+    def record(self, payload):
+        with self._lock:
+            self.sink.send(payload)  # not a pipe/conn receiver
+            self.sent += 1
+"""
+    assert findings_for(tmp_path, good, "lock-blocking") == []
+
+
 def test_lock_blocking_outside_lock_is_fine(tmp_path):
     good = """\
 import threading

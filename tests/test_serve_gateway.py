@@ -1,0 +1,117 @@
+"""Asyncio gateway: awaiting service responses on an event loop without
+a waiter thread per request, against both serving tiers.
+"""
+
+import asyncio
+
+import numpy as np
+
+from repro.core.config import FTGemmConfig
+from repro.gemm.blocking import BlockingConfig
+from repro.serve import GemmService, GemmRequest, ServiceConfig
+from repro.serve.proc import AsyncGateway
+
+
+def _thread_service() -> GemmService:
+    return GemmService(
+        ServiceConfig(
+            workers=2, ft=FTGemmConfig(blocking=BlockingConfig.small())
+        )
+    ).start()
+
+
+def test_gateway_call_roundtrip(rng):
+    service = _thread_service()
+    gateway = AsyncGateway(service)
+    a = rng.standard_normal((12, 16))
+    b = rng.standard_normal((16, 10))
+
+    async def go():
+        return await gateway.call(GemmRequest(a, b), timeout=30.0)
+
+    response = asyncio.run(go())
+    assert response.status == "ok"
+    np.testing.assert_allclose(response.result.c, a @ b, atol=1e-9)
+    service.shutdown()
+
+
+def test_gateway_holds_many_open_loop_futures(rng):
+    """Open-loop: submit everything first, then await the lot; every
+    request resolves exactly once with a correct answer."""
+    service = _thread_service()
+    gateway = AsyncGateway(service)
+    operands = [
+        (rng.standard_normal((8, 12)), rng.standard_normal((12, 6)))
+        for _ in range(12)
+    ]
+
+    async def go():
+        pending = []
+        for a, b in operands:
+            request_id, future = await gateway.submit(GemmRequest(a, b))
+            assert request_id
+            pending.append(future)
+        return await asyncio.gather(*pending)
+
+    responses = asyncio.run(go())
+    assert len(responses) == len(operands)
+    for (a, b), response in zip(operands, responses):
+        assert response.status == "ok"
+        np.testing.assert_allclose(response.result.c, a @ b, atol=1e-9)
+    assert service.duplicates == 0
+    service.shutdown()
+
+
+def test_gateway_resolves_already_completed_future(rng):
+    """A response that lands before the callback is attached must still
+    resolve the asyncio future (the one-shot guard's immediate path)."""
+    service = _thread_service()
+    a = rng.standard_normal((6, 8))
+    b = rng.standard_normal((8, 4))
+    ticket = service.submit(GemmRequest(a, b))
+    ticket.result(30.0)  # response already delivered
+    gateway = AsyncGateway(service)
+
+    async def go():
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        ticket.future.add_done_callback(
+            lambda response: loop.call_soon_threadsafe(
+                future.set_result, response
+            )
+            if not future.done() else None
+        )
+        return await asyncio.wait_for(future, 5.0)
+
+    response = asyncio.run(go())
+    assert response.status == "ok"
+    assert gateway.service is service
+    service.shutdown()
+
+
+def test_gateway_over_process_tier(rng):
+    service = GemmService(
+        ServiceConfig(
+            processes=2,
+            workers=2,
+            ft=FTGemmConfig(blocking=BlockingConfig.small()),
+        )
+    ).start()
+    gateway = AsyncGateway(service)
+    operands = [
+        (rng.standard_normal((10, 16)), rng.standard_normal((16, 12)))
+        for _ in range(6)
+    ]
+
+    async def go():
+        futures = [
+            (await gateway.submit(GemmRequest(a, b)))[1]
+            for a, b in operands
+        ]
+        return await asyncio.gather(*futures)
+
+    responses = asyncio.run(go())
+    for (a, b), response in zip(operands, responses):
+        assert response.status == "ok"
+        np.testing.assert_allclose(response.result.c, a @ b, atol=1e-9)
+    service.shutdown()

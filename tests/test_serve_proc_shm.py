@@ -1,0 +1,204 @@
+"""Shared-memory transport lifecycle: every segment the parent creates
+is unlinked again — on graceful shutdown *and* on the worker-death path —
+and the fallbacks (oversized operands, pure-pickle mode) keep the
+transport total without touching ``/dev/shm`` at all.
+"""
+
+import glob
+
+import numpy as np
+import pytest
+
+from repro.core.config import FTGemmConfig
+from repro.gemm.blocking import BlockingConfig
+from repro.serve import GemmService, GemmRequest, ServiceConfig
+from repro.serve.proc.shm import (
+    ShmRegistry,
+    ShmTransport,
+    attach,
+    write_result,
+)
+from repro.util.errors import ConfigError
+
+
+def _shm_residue() -> list[str]:
+    return glob.glob("/dev/shm/ftg*")
+
+
+def _proc_config(**kw) -> ServiceConfig:
+    kw.setdefault("processes", 2)
+    kw.setdefault("workers", 2)
+    kw.setdefault("ft", FTGemmConfig(blocking=BlockingConfig.small()))
+    return ServiceConfig(**kw)
+
+
+# ------------------------------------------------------------------ registry
+def test_registry_accounts_for_every_segment():
+    reg = ShmRegistry()
+    segs = [reg.create(64) for _ in range(3)]
+    names = [s.name for s in segs]
+    for s in segs:
+        s.close()
+    assert reg.created == 3
+    assert sorted(reg.live()) == sorted(names)
+    assert reg.unlink(names[0]) is True
+    assert reg.unlink(names[0]) is False  # idempotent
+    assert reg.unlink_all() == 2
+    assert reg.live() == []
+    assert reg.unlinked == 3
+    reg.assert_clean()
+
+
+def test_registry_assert_clean_raises_on_leak():
+    reg = ShmRegistry()
+    seg = reg.create(32)
+    seg.close()
+    with pytest.raises(AssertionError, match="leaked"):
+        reg.assert_clean()
+    reg.unlink_all()
+    reg.assert_clean()
+
+
+def test_registry_sweep_tolerates_already_unlinked_names():
+    reg = ShmRegistry()
+    seg = reg.create(32)
+    name = seg.name
+    seg.close()
+    assert reg.sweep([name, "ftgnonexistent"]) == 1
+    assert reg.live() == []
+
+
+# ----------------------------------------------------------------- transport
+def test_transport_roundtrip_through_segment(rng):
+    reg = ShmRegistry()
+    tx = ShmTransport(reg)
+    a = rng.standard_normal((13, 7))
+    ref = tx.stage(a)
+    assert ref["kind"] == "shm"
+    view, segment = attach(ref)
+    np.testing.assert_array_equal(view, a)
+    segment.close()
+    out = tx.fetch(ref)
+    np.testing.assert_array_equal(out, a)
+    tx.release(ref)
+    reg.assert_clean()
+
+
+def test_transport_result_slot_roundtrip(rng):
+    reg = ShmRegistry()
+    tx = ShmTransport(reg)
+    ref = tx.alloc_result((5, 4))
+    c = rng.standard_normal((5, 4))
+    assert write_result(ref, c) is None  # bytes went through the segment
+    np.testing.assert_array_equal(tx.fetch(ref), c)
+    tx.release(ref)
+    reg.assert_clean()
+
+
+def test_oversized_operand_falls_back_inline(rng):
+    reg = ShmRegistry()
+    tx = ShmTransport(reg, max_segment_bytes=128)
+    big = rng.standard_normal((16, 16))  # 2 KiB > 128 B cap
+    ref = tx.stage(big)
+    assert ref["kind"] == "bytes"
+    view, segment = attach(ref)
+    assert segment is None
+    np.testing.assert_array_equal(view, big)
+    result_ref = tx.alloc_result((16, 16))
+    assert result_ref["kind"] == "inline"
+    payload = write_result(result_ref, big)
+    assert isinstance(payload, bytes)
+    np.testing.assert_array_equal(tx.fetch(result_ref, payload), big)
+    tx.release(ref)
+    tx.release(result_ref)
+    assert reg.created == 0  # nothing ever touched /dev/shm
+    reg.assert_clean()
+
+
+def test_pickle_mode_never_creates_segments(rng):
+    reg = ShmRegistry()
+    tx = ShmTransport(reg, mode="pickle")
+    ref = tx.stage(rng.standard_normal((8, 8)))
+    assert ref["kind"] == "bytes"
+    assert tx.alloc_result((8, 8))["kind"] == "inline"
+    assert reg.created == 0
+
+
+def test_inline_result_without_payload_is_an_error():
+    tx = ShmTransport(ShmRegistry(), mode="pickle")
+    ref = tx.alloc_result((2, 2))
+    with pytest.raises(ConfigError, match="without payload"):
+        tx.fetch(ref, None)
+
+
+def test_transport_rejects_unknown_mode():
+    with pytest.raises(ConfigError, match="transport mode"):
+        ShmTransport(ShmRegistry(), mode="carrier-pigeon")
+
+
+def test_stage_preserves_noncontiguous_input(rng):
+    reg = ShmRegistry()
+    tx = ShmTransport(reg)
+    a = rng.standard_normal((12, 12))[::2, ::3]  # strided view
+    ref = tx.stage(a)
+    np.testing.assert_array_equal(tx.fetch(ref), a)
+    tx.release(ref)
+    reg.assert_clean()
+
+
+# ------------------------------------------------------- service-level leaks
+def test_graceful_shutdown_unlinks_every_segment(rng):
+    before = set(_shm_residue())
+    service = GemmService(_proc_config()).start()
+    tickets = [
+        service.submit(
+            GemmRequest(
+                rng.standard_normal((10, 16)), rng.standard_normal((16, 12))
+            )
+        )
+        for _ in range(6)
+    ]
+    service.drain()
+    for t in tickets:
+        assert t.result(30.0).status == "ok"
+    segs = service.stats()["proc"]["segments"]
+    assert segs["created"] >= 1
+    assert segs["live"] == 0
+    assert segs["created"] == segs["unlinked"]
+    service.pool.registry.assert_clean()
+    service.shutdown()
+    assert set(_shm_residue()) <= before
+
+
+def test_worker_death_path_unlinks_every_segment(rng):
+    """SIGKILL mid-compute: the dead worker's in-flight segments are
+    released on replay and nothing survives in /dev/shm."""
+    before = set(_shm_residue())
+    armed = []
+
+    def chaos(batch_id, deaths):
+        if deaths == 0 and not armed:
+            armed.append(batch_id)
+            return "compute"
+        return None
+
+    service = GemmService(_proc_config(proc_seed=9), chaos=chaos).start()
+    tickets = [
+        service.submit(
+            GemmRequest(
+                rng.standard_normal((10, 16)), rng.standard_normal((16, 12))
+            )
+        )
+        for _ in range(6)
+    ]
+    service.drain()
+    for t in tickets:
+        assert t.result(60.0).status == "ok"
+    counters = service.stats()["metrics"]["counters"]
+    assert counters.get("serve.proc.deaths", 0) >= 1
+    segs = service.stats()["proc"]["segments"]
+    assert segs["live"] == 0
+    assert segs["created"] == segs["unlinked"]
+    service.pool.registry.assert_clean()
+    service.shutdown()
+    assert set(_shm_residue()) <= before
