@@ -178,6 +178,19 @@ def _cmd_inject(args) -> int:
 
 
 def _cmd_tune(args) -> int:
+    # "derive" is the historic analytic path below; the DSE actions live
+    # in repro.tune.cli (search/show/apply over the persistent TuningDB)
+    if args.smoke:
+        args.action = "search"
+    if args.action != "derive":
+        from repro.tune import cli as tune_cli
+
+        fn = {
+            "search": tune_cli.cmd_search,
+            "show": tune_cli.cmd_show,
+            "apply": tune_cli.cmd_apply,
+        }[args.action]
+        return fn(args)
     from repro.gemm.tuning import blocking_footprints, tune_blocking, tune_micro_tile
     from repro.simcpu.machine import MachineSpec
     from repro.util.formatting import format_bytes
@@ -372,6 +385,17 @@ def _cmd_serve(args) -> int:
 
     if args.proc_kill_rate and not args.processes:
         raise ConfigError("--proc-kill-rate requires --processes > 0")
+    tune_db = None
+    if args.tune_db is not None:
+        from repro.tune.cli import machine_for
+        from repro.tune.db import TuningDB
+
+        tune_db = TuningDB.load(args.tune_db, machine=machine_for(args.machine))
+        if tune_db.stale:
+            print(f"tune-db  : STALE ({tune_db.stale_reason}) — serving on "
+                  f"the static config")
+        else:
+            print(f"tune-db  : {len(tune_db)} entries from {args.tune_db}")
     service_config = ServiceConfig(
         workers=args.workers,
         processes=args.processes,
@@ -407,10 +431,13 @@ def _cmd_serve(args) -> int:
             service_config,
             fault_spec_factory=make_fault_spec_factory(workload),
             chaos=make_proc_chaos(workload),
+            tune_db=tune_db,
         )
     else:
         service = GemmService(
-            service_config, injector_factory=make_injector_factory(workload)
+            service_config,
+            injector_factory=make_injector_factory(workload),
+            tune_db=tune_db,
         )
     service.start()
     report = run_workload(service, workload)
@@ -522,9 +549,43 @@ def main(argv: list[str] | None = None) -> int:
                    help="write a Chrome/Perfetto trace of the run to PATH")
     p.set_defaults(fn=_cmd_inject)
 
-    p = sub.add_parser("tune", help="derive blocking parameters")
+    p = sub.add_parser(
+        "tune",
+        help="derive blocking parameters, or search/show/apply a tuning DB",
+    )
+    p.add_argument("action", nargs="?", default="derive",
+                   choices=("derive", "search", "show", "apply"),
+                   help="derive (default): analytic blocking for a machine "
+                        "model; search: run the DSE funnel and persist "
+                        "winners into --db; show: print a DB; apply: "
+                        "resolve one --shape and race tuned vs static")
     p.add_argument("--l2-kib", type=int, default=None)
     p.add_argument("--l3-mib", type=int, default=None)
+    p.add_argument("--shape", action="append", default=None, metavar="MxNxK",
+                   help="shape class to search/apply (repeatable)")
+    p.add_argument("--space", choices=("small", "default"), default="default",
+                   help="candidate grid (small: seconds-scale CI grid)")
+    p.add_argument("--db", default="tune_db.json", metavar="PATH",
+                   help="tuning database path (default: tune_db.json)")
+    p.add_argument("--machine", choices=("cascade-lake", "small-test"),
+                   default="cascade-lake",
+                   help="machine model the DB is fingerprinted against")
+    p.add_argument("--top-k", type=int, default=3,
+                   help="model-ranked candidates to measure per shape")
+    p.add_argument("--measure", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="run top-K on real hardware (--no-measure keeps "
+                        "the search purely model-ranked)")
+    p.add_argument("--repeats", type=int, default=2,
+                   help="timing repeats per measured candidate")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--smoke", action="store_true",
+                   help="CI smoke: search the small space over two small "
+                        "shape classes with one repeat")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write per-shape search reports as JSON to PATH")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="write a Chrome/Perfetto trace of the search")
     p.set_defaults(fn=_cmd_tune)
 
     p = sub.add_parser("validate", help="counters vs analytic accounting")
@@ -618,6 +679,13 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--zipf-s", type=float, default=1.2,
                    help="skew exponent of the hot-B popularity distribution")
     p.add_argument("--scheme", choices=("dual", "weighted"), default="dual")
+    p.add_argument("--tune-db", default=None, metavar="PATH",
+                   help="consult this tuning database at admission (from "
+                        "`repro tune search`); omitted = static config")
+    p.add_argument("--machine", choices=("cascade-lake", "small-test"),
+                   default="cascade-lake",
+                   help="machine model used to validate --tune-db's "
+                        "fingerprint")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--json", default=None, metavar="PATH",
                    help="write the workload report as JSON to PATH")

@@ -44,7 +44,21 @@ class BlockingConfig:
     def __post_init__(self) -> None:
         for name in ("mc", "kc", "nc", "mr", "nr"):
             value = getattr(self, name)
-            if not isinstance(value, int) or value <= 0:
+            # bool is an int subclass but never a meaningful block size;
+            # numpy integers (tuning sweeps enumerate grids with numpy)
+            # are coerced so a frozen config always holds plain ints and
+            # hashes/serialises identically however it was built
+            if isinstance(value, bool):
+                raise ConfigError(f"{name} must be a positive int, got {value!r}")
+            if not isinstance(value, int):
+                index = getattr(value, "__index__", None)
+                if index is None:
+                    raise ConfigError(
+                        f"{name} must be a positive int, got {value!r}"
+                    )
+                value = index()
+                object.__setattr__(self, name, value)
+            if value <= 0:
                 raise ConfigError(f"{name} must be a positive int, got {value!r}")
         if self.dispatch not in DISPATCH_MODES:
             raise ConfigError(

@@ -73,6 +73,16 @@ class Workspace:
     def a_view(self, i0: int, n_panels: int, plen: int) -> np.ndarray:
         """The ``out=`` buffer for packing the A block whose first row is
         ``i0`` (``i0`` is a multiple of ``M_C``, hence of ``M_R``)."""
+        if i0 % self.config.mr:
+            # a misaligned block start would silently land on the panels
+            # of the *previous* block: the batched kernel masks the
+            # aliasing (its flat projections are memoized copies) while
+            # tile mode consumes the live, overlapping views — fail loud
+            # here instead of computing garbage three layers down
+            raise ShapeError(
+                f"A block start {i0} is not aligned to the {self.config.mr}-row "
+                f"panel grid (mc must be a multiple of mr)"
+            )
         first = i0 // self.config.mr
         if first + n_panels > self.a_panels or plen > self.depth:
             raise ShapeError(

@@ -41,6 +41,7 @@ import numpy as np
 from repro.core.ftgemm import FTGemm
 from repro.core.parallel import ParallelFTGemm
 from repro.core.results import FTGemmResult
+from repro.gemm.blocking import BlockingConfig
 from repro.obs.metrics import NULL_METRICS
 from repro.serve.request import GemmRequest, GemmResponse
 from repro.serve.scheduler import Batch, BatchScheduler
@@ -54,6 +55,27 @@ from repro.util.errors import ReproError
 SEED_LOCK_INVERSION = False
 
 
+def tuned_parts(tuned) -> tuple[BlockingConfig, int]:
+    """``(blocking, threads)`` of a resolved tuning-DB entry.
+
+    Accepts either the :class:`~repro.tune.db.TunedConfig` object the
+    thread tier carries on requests or the plain dict the proc tier ships
+    over its pipe — the serve layer stays structurally decoupled from the
+    tune package's types.
+    """
+    if hasattr(tuned, "blocking"):
+        return tuned.blocking(), max(1, int(getattr(tuned, "threads", 1) or 1))
+    blocking = BlockingConfig(
+        mc=int(tuned["mc"]),
+        kc=int(tuned["kc"]),
+        nc=int(tuned["nc"]),
+        mr=int(tuned.get("mr", 16)),
+        nr=int(tuned.get("nr", 14)),
+        dispatch=str(tuned.get("dispatch", "auto")),
+    )
+    return blocking, max(1, int(tuned.get("threads", 1) or 1))
+
+
 class Worker:
     """Per-thread execution state: cached drivers and a failure streak."""
 
@@ -61,13 +83,23 @@ class Worker:
         self.index = index
         self.config = service_config
         self.consecutive_failures = 0
-        self._drivers: dict[tuple[str, bool], object] = {}
+        self._drivers: dict[tuple, object] = {}
 
-    def driver_for(self, scheme: str, degraded: bool):
-        key = (scheme, degraded)
+    def driver_for(self, scheme: str, degraded: bool, tuned=None):
+        blocking = None
+        threads = self.config.gemm_threads
+        if tuned is not None:
+            blocking, threads = tuned_parts(tuned)
+        key = (
+            (scheme, degraded)
+            if blocking is None
+            else (scheme, degraded, blocking, threads)
+        )
         driver = self._drivers.get(key)
         if driver is None:
             ft = self.config.ft.with_(checksum_scheme=scheme, strict=True)
+            if blocking is not None:
+                ft = ft.with_(blocking=blocking)
             if degraded:
                 # checksum-only verification: no escalation ladder, no
                 # recompute fallback; unverified results surface (non-
@@ -77,10 +109,10 @@ class Worker:
                     recompute_fallback=False,
                     strict=False,
                 )
-            if self.config.gemm_threads > 1:
+            if threads > 1:
                 driver = ParallelFTGemm(
                     ft,
-                    n_threads=self.config.gemm_threads,
+                    n_threads=threads,
                     backend=self.config.team_backend,
                 )
             else:
@@ -300,35 +332,61 @@ class WorkerPool:
             error = "verification failed"
         return None, budget + 1, error
 
-    def _consult_cache(self, b):
+    def _consult_cache(self, b, tuned=None):
         """The admission-path cache consult: a verified resident encoding
         of ``b``, or None (cache off, parallel drivers, or oversize).
         Drivers with intra-request threads ignore packed panels — their
         fail-stop recovery epochs rebuild every buffer from source — so
-        consulting would only burn encode work."""
+        consulting would only burn encode work. A tuned entry keys the
+        cache under *its* blocking, so tuned and static encodings of the
+        same B coexist without ever cross-matching."""
         cache = self.panel_cache
-        if cache is None or self.config.gemm_threads > 1:
+        blocking = self.config.ft.blocking
+        threads = self.config.gemm_threads
+        if tuned is not None:
+            blocking, threads = tuned_parts(tuned)
+        if cache is None or threads > 1:
             return None
-        return cache.acquire(b, self.config.ft.blocking)
+        return cache.acquire(b, blocking)
+
+    def _pick_drivers(self, worker: Worker, scheme: str, degraded: bool,
+                      tuned):
+        """(static driver, execution driver) for one batch.
+
+        Injected attempts always run on the static driver: fault campaign
+        plans derive their site/invocation schedules from the *static*
+        blocking, and re-deriving them per tuned config would silently
+        shift every scheduled fault. Clean attempts get the tuned driver.
+        """
+        static = worker.driver_for(scheme, degraded)
+        if tuned is None:
+            return static, static
+        self.metrics.inc("tune.applied")
+        return static, worker.driver_for(scheme, degraded, tuned=tuned)
 
     def _run_coalesced(self, worker: Worker, batch: Batch,
                        degraded: bool) -> bool:
         head = batch.items[0]
-        driver = worker.driver_for(head.scheme, degraded)
+        tuned = head.tuned
+        driver, exec_driver = self._pick_drivers(
+            worker, head.scheme, degraded, tuned
+        )
         a_stack = np.vstack([r.a for r in batch.items])
         shape = (a_stack.shape[0], head.n, head.k)
-        packed = self._consult_cache(head.b)
+        packed = self._consult_cache(head.b, tuned)
 
         def run(drv, injector):
-            return drv.gemm(
+            # injected attempts decline both the cached panels and the
+            # tuned driver (the drv the retry loop hands back is the
+            # static one): campaigns keep exact schedules and the cache
+            # is never consulted around a live injector
+            use = exec_driver if injector is None else drv
+            return use.gemm(
                 a_stack,
                 head.b,
                 alpha=head.alpha,
                 injector=injector,
                 request_id=batch.batch_id,
-                # injected attempts decline the cached panels (the driver
-                # enforces this too): campaigns keep exact schedules and
-                # the cache is never consulted around a live injector
                 packed_b=packed if injector is None else None,
             )
 
@@ -382,13 +440,17 @@ class WorkerPool:
 
     def _run_single(self, worker: Worker, request: GemmRequest,
                     batch: Batch, degraded: bool) -> bool:
-        driver = worker.driver_for(request.scheme, degraded)
+        tuned = request.tuned
+        driver, exec_driver = self._pick_drivers(
+            worker, request.scheme, degraded, tuned
+        )
         shape = (request.m, request.n, request.k)
-        packed = self._consult_cache(request.b)
+        packed = self._consult_cache(request.b, tuned)
 
         def run(drv, injector):
+            use = exec_driver if injector is None else drv
             c = request.c0.copy() if request.c0 is not None else None
-            return drv.gemm(
+            return use.gemm(
                 request.a,
                 request.b,
                 c,

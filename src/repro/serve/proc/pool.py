@@ -418,6 +418,9 @@ class ProcWorkerPool:
             "kill_phase": kill_phase,
             "b": b_field,
             "b_cache_key": b_cache_key,
+            # the resolved tuning entry crosses the pipe as a plain dict
+            # (no tune types in the child's unpickle path); None = static
+            "tuned": head.tuned.to_dict() if head.tuned is not None else None,
         }
         if batch.coalesced:
             a_stack = np.vstack([r.a for r in batch.items])

@@ -50,7 +50,7 @@ from repro.faults.campaign import (
 from repro.faults.injector import FaultInjector
 from repro.faults.models import BitFlip, FailStop, StuckBit
 from repro.obs.metrics import MetricsRegistry
-from repro.serve.pool import Worker
+from repro.serve.pool import Worker, tuned_parts
 from repro.serve.proc.heartbeat import Beater
 from repro.serve.proc.shm import attach, write_result
 from repro.util.errors import ReproError
@@ -170,13 +170,21 @@ class _ChildState:
         while len(self.b_cache) > self.b_cache_entries:
             self.b_cache.popitem(last=False)
 
-    def _panels_for(self, b: np.ndarray, resident: bool):
+    def _panels_for(self, b: np.ndarray, resident: bool, tuned=None):
         """Packed panels for a *resident* (cache-owned) B. Transient shm
         views are never encoded: the cache would pin the dying segment's
-        buffer and the next request re-encodes anyway."""
+        buffer and the next request re-encodes anyway. A tuned batch keys
+        the cache under its own blocking (matching the driver that will
+        consume the panels); tuned team execution skips panels entirely,
+        like the thread tier."""
         if self.panel_cache is None or not resident:
             return None
-        return self.panel_cache.acquire(b, self.config.ft.blocking)
+        blocking = self.config.ft.blocking
+        if tuned is not None:
+            blocking, threads = tuned_parts(tuned)
+            if threads > 1:
+                return None
+        return self.panel_cache.acquire(b, blocking)
 
 
 def _attempt_loop(state: _ChildState, driver, spec, shape, request_id,
@@ -246,16 +254,37 @@ def _materialize_b(state: _ChildState, msg: dict):
     return view, False, segment
 
 
+def _child_drivers(state: _ChildState, msg: dict):
+    """(static driver, execution driver) for one batch message.
+
+    ``msg["tuned"]`` is the plain-dict form of the resolved tuning entry
+    (or None); the Worker engine cache rebuilds and memoizes the tuned
+    driver on first sight, so steady-state batches pay one dict lookup.
+    """
+    static = state.engines.driver_for(msg["scheme"], msg["degraded"])
+    tuned = msg.get("tuned")
+    if tuned is None:
+        return static, static
+    state.metrics.inc("tune.applied")
+    return static, state.engines.driver_for(
+        msg["scheme"], msg["degraded"], tuned=tuned
+    )
+
+
 def _execute_coalesced(state: _ChildState, msg: dict, b) -> dict:
-    driver = state.engines.driver_for(msg["scheme"], msg["degraded"])
+    driver, exec_driver = _child_drivers(state, msg)
     a_view, a_segment = attach(msg["a_stack"])
-    packed = state._panels_for(b, msg["b_resident"])
+    packed = state._panels_for(b, msg["b_resident"], msg.get("tuned"))
     shape = (a_view.shape[0], b.shape[1], b.shape[0])
     if msg["kill_phase"] == "pack":
         _self_kill()
 
     def run(drv, injector, on_tile):
-        return drv.gemm(
+        # mirror the thread tier: injected attempts run on the static
+        # driver (fault plans derive their schedules from the static
+        # blocking), clean attempts on the tuned one
+        use = exec_driver if injector is None else drv
+        return use.gemm(
             a_view,
             b,
             alpha=msg["alpha"],
@@ -282,19 +311,20 @@ def _execute_coalesced(state: _ChildState, msg: dict, b) -> dict:
 
 
 def _execute_single(state: _ChildState, item: dict, msg: dict, b) -> dict:
-    driver = state.engines.driver_for(msg["scheme"], msg["degraded"])
+    driver, exec_driver = _child_drivers(state, msg)
     a_view, a_segment = attach(item["a"])
     c0_view = c0_segment = None
     if item["c0"] is not None:
         c0_view, c0_segment = attach(item["c0"])
-    packed = state._panels_for(b, msg["b_resident"])
+    packed = state._panels_for(b, msg["b_resident"], msg.get("tuned"))
     shape = (a_view.shape[0], b.shape[1], b.shape[0])
     if msg["kill_phase"] == "pack":
         _self_kill()
 
     def run(drv, injector, on_tile):
+        use = exec_driver if injector is None else drv
         c = np.array(c0_view) if c0_view is not None else None
-        return drv.gemm(
+        return use.gemm(
             a_view,
             b,
             c,

@@ -74,6 +74,11 @@ class GemmRequest:
     # stamped by the service at admission (monotonic seconds)
     submitted_at: float = 0.0
     expires_at: float | None = None
+    #: resolved tuning-DB entry for this request's shape class
+    #: (:class:`~repro.tune.db.TunedConfig`), stamped by the service at
+    #: admission when it was built with a ``tune_db``; None means "run on
+    #: the static config" — the untuned service never sets it
+    tuned: object | None = field(default=None, repr=False)
     #: memoized coalescing key — derived once, then shared by every
     #: consumer (the scheduler's head bucket, the queue's compatibility
     #: scan over the whole backlog, and the panel cache's admission

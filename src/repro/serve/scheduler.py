@@ -230,13 +230,22 @@ class BatchScheduler:
         bucket = head.bucket()
         if self.panel_cache is not None:
             self.panel_cache.touch(bucket[0])
+        # a tuning-DB entry may cap coalescing below the global max_batch:
+        # stacking more A operands than the tuned config's footprint
+        # analysis allows would push the batched call out of cache
+        limit = self.max_batch
+        tuned = head.tuned
+        if tuned is not None:
+            cap = int(getattr(tuned, "coalesce_limit", 0) or 0)
+            if cap > 0:
+                limit = min(limit, cap)
         items = [head]
-        want = self.max_batch - 1
+        want = limit - 1
         if want > 0:
             items += self.queue.take_compatible(bucket, want)
             window_end = now + self.window_s
             while (
-                len(items) < self.max_batch
+                len(items) < limit
                 # stale read tolerated: worst case one extra window wait
                 and not self._stopping  # analysis: ignore[lock-discipline]
                 and not self.queue.closed
@@ -247,7 +256,7 @@ class BatchScheduler:
                 if not self.queue.wait_nonempty(remaining):
                     break
                 more = self.queue.take_compatible(
-                    bucket, self.max_batch - len(items)
+                    bucket, limit - len(items)
                 )
                 if not more:
                     # an incompatible request is waiting: ship this batch

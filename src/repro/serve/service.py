@@ -270,8 +270,14 @@ class GemmService:
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
         clock=time.monotonic,
+        tune_db=None,
     ) -> None:
         self.config = (config or ServiceConfig()).validate()
+        #: optional :class:`~repro.tune.db.TuningDB` consulted once per
+        #: request at admission; ``None`` (the default) leaves every
+        #: request on the static config — byte-for-byte the untuned
+        #: service's behavior (pinned by the A/B test)
+        self.tune_db = tune_db
         if self.config.processes > 0 and injector_factory is not None:
             raise ConfigError(
                 "injector_factory cannot cross the process boundary; "
@@ -437,6 +443,15 @@ class GemmService:
             )
         if request.request_id is None:
             request.request_id = f"r{next(self._ids):06d}"
+        if self.tune_db is not None:
+            # one dict lookup per admission: resolve the shape class to a
+            # tuned config (or fall back to static on a miss / stale DB)
+            tuned = self.tune_db.resolve(request.m, request.n, request.k)
+            if tuned is not None:
+                request.tuned = tuned
+                self.metrics.inc("tune.resolve_hits")
+            else:
+                self.metrics.inc("tune.resolve_misses")
         future = ResponseFuture()
         with self._lock:
             self._futures[request.request_id] = future
@@ -570,6 +585,12 @@ class GemmService:
         }
         if self.panel_cache is not None:
             snapshot["panel_cache"] = self.panel_cache.stats()
+        if self.tune_db is not None:
+            snapshot["tune_db"] = {
+                "entries": len(self.tune_db),
+                "stale": self.tune_db.stale,
+                "fingerprint": self.tune_db.fingerprint,
+            }
         if self.config.processes > 0:
             snapshot["proc"] = self.pool.stats()
         return snapshot

@@ -1,0 +1,110 @@
+"""Measurement confirmation: run the top-K candidates on real hardware.
+
+Everything before this stage is a model; this stage is the ground truth
+that keeps the model honest. Each candidate executes the *actual* protected
+GEMM (``FTGemm`` / ``ParallelFTGemm`` with a threads backend) on seeded
+operands, best-of-N wall clock, and the search reports the Spearman rank
+correlation between predicted and measured orderings so a drifting host
+model is visible rather than silently mis-ranking winners.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.config import FTGemmConfig
+from repro.core.ftgemm import FTGemm
+from repro.core.parallel import ParallelFTGemm
+from repro.tune.db import TunedConfig
+from repro.util.errors import ConfigError
+from repro.util.rng import derive_seed, make_rng
+
+__all__ = ["Measurement", "measure_candidate", "spearman"]
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Best-of-N wall clock of one candidate on one shape."""
+
+    seconds: float
+    gflops: float
+    verified: bool
+    repeats: int
+
+
+def _driver(cand: TunedConfig, *, scheme: str):
+    config = FTGemmConfig(blocking=cand.blocking(), checksum_scheme=scheme)
+    if cand.threads > 1:
+        return ParallelFTGemm(config, n_threads=cand.threads, backend="threads")
+    return FTGemm(config)
+
+
+def measure_candidate(
+    cand: TunedConfig,
+    m: int,
+    n: int,
+    k: int,
+    *,
+    seed: int = 0,
+    repeats: int = 2,
+    warmup: int = 1,
+    scheme: str = "dual",
+) -> Measurement:
+    """Time ``cand`` on seeded ``m x n x k`` operands (best of ``repeats``)."""
+    if repeats < 1:
+        raise ConfigError(f"repeats must be >= 1, got {repeats}")
+    rng = make_rng(derive_seed(seed, "tune.measure", m, n, k))
+    a = rng.standard_normal((m, k))
+    b = rng.standard_normal((k, n))
+    driver = _driver(cand, scheme=scheme)
+    verified = True
+    for _ in range(warmup):
+        driver.gemm(a, b)
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = driver.gemm(a, b)
+        elapsed = time.perf_counter() - t0
+        best = min(best, elapsed)
+        verified = verified and bool(getattr(result, "verified", True))
+    return Measurement(
+        seconds=best,
+        gflops=2.0 * m * n * k / best / 1e9,
+        verified=verified,
+        repeats=repeats,
+    )
+
+
+def _ranks(values: list[float]) -> list[float]:
+    """Average ranks (1-based), ties sharing their mean rank."""
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    i = 0
+    while i < len(order):
+        j = i
+        while j + 1 < len(order) and values[order[j + 1]] == values[order[i]]:
+            j += 1
+        mean_rank = (i + j) / 2.0 + 1.0
+        for idx in order[i : j + 1]:
+            ranks[idx] = mean_rank
+        i = j + 1
+    return ranks
+
+
+def spearman(xs: list[float], ys: list[float]) -> float:
+    """Spearman rank correlation; 0.0 when undefined (n < 2 or constant)."""
+    if len(xs) != len(ys):
+        raise ConfigError(f"length mismatch: {len(xs)} vs {len(ys)}")
+    n = len(xs)
+    if n < 2:
+        return 0.0
+    rx, ry = _ranks(list(xs)), _ranks(list(ys))
+    mx = sum(rx) / n
+    my = sum(ry) / n
+    cov = sum((a - mx) * (b - my) for a, b in zip(rx, ry))
+    vx = sum((a - mx) ** 2 for a in rx)
+    vy = sum((b - my) ** 2 for b in ry)
+    if vx == 0.0 or vy == 0.0:
+        return 0.0
+    return cov / (vx * vy) ** 0.5

@@ -1,0 +1,316 @@
+"""The DSE orchestrator: enumerate → prune → score → measure → persist.
+
+One :func:`run_search` call walks a list of shape classes through the
+funnel and records each winner in a :class:`~repro.tune.db.TuningDB`. The
+static configuration is always measured alongside the predicted top-K, and
+the winner is whatever actually ran fastest — so a recorded entry can never
+be slower than the fallback it replaces (if the static config wins, the
+entry *is* the static config, tagged ``source="static"``).
+
+Observability mirrors every other subsystem: ``tune.*`` counters count the
+funnel stages, and each stage runs under a trace span so a search shows up
+in Perfetto like a serve run does.
+
+Determinism: with ``measure=False`` the search is a pure function of
+(space, shapes, machine) — scoring ties break on the config key — and with
+measurement enabled the operands are derived from ``seed``, so repeated
+runs on the same machine agree up to timer noise.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.gemm.blocking import BlockingConfig
+from repro.obs.metrics import NULL_METRICS
+from repro.obs.tracer import NULL_TRACER
+from repro.perfmodel.constants import ModelConstants
+from repro.simcpu.machine import DOUBLE, MachineSpec
+from repro.tune.db import TunedConfig, TuningDB, shape_bucket
+from repro.tune.measure import Measurement, measure_candidate, spearman
+from repro.tune.prune import prune
+from repro.tune.score import ScoredCandidate, score, score_all
+from repro.tune.space import SearchSpace
+from repro.util.errors import ConfigError
+
+__all__ = ["ShapeClass", "ShapeSearchResult", "choose_coalesce_limit", "run_search"]
+
+
+@dataclass(frozen=True)
+class ShapeClass:
+    """One representative problem the search tunes for."""
+
+    m: int
+    n: int
+    k: int
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if min(self.m, self.n, self.k) <= 0:
+            raise ConfigError(f"invalid shape {self.m}x{self.n}x{self.k}")
+
+    @property
+    def label(self) -> str:
+        return self.name or f"{self.m}x{self.n}x{self.k}"
+
+    @classmethod
+    def parse(cls, text: str) -> "ShapeClass":
+        """Parse the CLI's ``MxNxK`` / ``M,N,K`` shape syntax."""
+        parts = text.replace("x", ",").split(",")
+        if len(parts) != 3:
+            raise ConfigError(f"shape must be MxNxK, got {text!r}")
+        try:
+            m, n, k = (int(p) for p in parts)
+        except ValueError as exc:
+            raise ConfigError(f"shape must be MxNxK of ints, got {text!r}") from exc
+        return cls(m=m, n=n, k=k)
+
+
+@dataclass(frozen=True)
+class ShapeSearchResult:
+    """Everything one shape's walk through the funnel produced."""
+
+    shape: ShapeClass
+    bucket: str
+    n_candidates: int
+    rejected: dict[str, int]
+    n_scored: int
+    top: tuple[ScoredCandidate, ...]
+    measurements: tuple[Measurement, ...]  # parallel to ``top``; empty if unmeasured
+    static_scored: ScoredCandidate
+    static_measurement: Measurement | None
+    winner: TunedConfig
+    rank_correlation: float | None  # Spearman(predicted, measured) over top-K
+
+    @property
+    def measured(self) -> bool:
+        return bool(self.measurements)
+
+    @property
+    def speedup_vs_static(self) -> float | None:
+        """Measured static/winner time ratio (>1 means the DB entry wins)."""
+        if self.static_measurement is None:
+            return None
+        winner_seconds = min(
+            (meas.seconds for meas in self.measurements), default=None
+        )
+        if winner_seconds is None:
+            return None
+        return self.static_measurement.seconds / min(
+            winner_seconds, self.static_measurement.seconds
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-friendly summary (the CLI's ``--json`` and the benchmark)."""
+        return {
+            "shape": {"m": self.shape.m, "n": self.shape.n, "k": self.shape.k,
+                      "name": self.shape.label},
+            "bucket": self.bucket,
+            "candidates": self.n_candidates,
+            "rejected": dict(sorted(self.rejected.items())),
+            "scored": self.n_scored,
+            "top": [
+                {
+                    "config": s.config.to_dict(),
+                    "predicted_seconds": s.predicted_seconds,
+                    "measured_seconds": (
+                        self.measurements[i].seconds if self.measured else None
+                    ),
+                }
+                for i, s in enumerate(self.top)
+            ],
+            "static": {
+                "config": self.static_scored.config.to_dict(),
+                "predicted_seconds": self.static_scored.predicted_seconds,
+                "measured_seconds": (
+                    self.static_measurement.seconds
+                    if self.static_measurement is not None
+                    else None
+                ),
+            },
+            "winner": self.winner.to_dict(),
+            "rank_correlation": self.rank_correlation,
+            "speedup_vs_static": self.speedup_vs_static,
+        }
+
+
+def choose_coalesce_limit(
+    shape: ShapeClass,
+    machine: MachineSpec,
+    options: tuple[int, ...],
+    *,
+    constants: ModelConstants | None = None,
+) -> int:
+    """Pick the scheduler's batch cap for this class analytically.
+
+    Coalescing stacks the A operands of compatible requests into one tall
+    GEMM; a single call cannot measure it, but its constraint is plain
+    footprint arithmetic: the stacked ``limit * m x k`` operand should stay
+    within the effective last-level cache or the batched call starts paying
+    DRAM for what separate calls kept resident. We return the largest
+    option whose stack fits — or 0 ("no extra cap") when even the largest
+    fits, since capping below feasibility only costs batching wins.
+    """
+    constants = constants or ModelConstants()
+    budget = machine.last_level.size_bytes * constants.l3_effective_fraction
+    per_request = shape.m * shape.k * DOUBLE
+    caps = sorted(o for o in options if o > 0)
+    if not caps or per_request * caps[-1] <= budget:
+        return 0
+    fitting = [o for o in caps if per_request * o <= budget]
+    return fitting[-1] if fitting else caps[0]
+
+
+def run_search(
+    shapes: list[ShapeClass],
+    *,
+    machine: MachineSpec | None = None,
+    space: SearchSpace | None = None,
+    db: TuningDB | None = None,
+    static: BlockingConfig | None = None,
+    top_k: int = 3,
+    measure: bool = True,
+    repeats: int = 2,
+    seed: int = 0,
+    mode: str = "ft",
+    constants: ModelConstants | None = None,
+    metrics=NULL_METRICS,
+    tracer=NULL_TRACER,
+) -> list[ShapeSearchResult]:
+    """Tune every shape class; record winners into ``db`` when given."""
+    if top_k < 1:
+        raise ConfigError(f"top_k must be >= 1, got {top_k}")
+    machine = machine or MachineSpec.cascade_lake_w2255()
+    space = space or SearchSpace.default()
+    static = static or BlockingConfig()
+    constants = constants or ModelConstants()
+    tr = tracer if tracer.enabled else None
+    results: list[ShapeSearchResult] = []
+
+    candidates = space.candidates()
+    for shape in shapes:
+        metrics.inc("tune.shapes")
+        span = tr.span("tune.search", cat="tune", args={
+            "shape": shape.label, "space": space.name,
+        }) if tr else _NULL_CTX
+        with span:
+            metrics.inc("tune.candidates", len(candidates))
+            with tr.span("tune.prune", cat="tune") if tr else _NULL_CTX:
+                report = prune(
+                    candidates, machine, shape.m, shape.n, shape.k,
+                    constants=constants,
+                )
+            metrics.inc("tune.pruned", report.n_rejected)
+
+            with tr.span("tune.score", cat="tune") if tr else _NULL_CTX:
+                scored = score_all(
+                    report.survivors, shape.m, shape.n, shape.k, machine,
+                    mode=mode, constants=constants,
+                )
+            metrics.inc("tune.scored", len(scored))
+            if not scored:
+                raise ConfigError(
+                    f"search space {space.name!r} has no feasible candidate "
+                    f"for shape {shape.label} on {machine.name}"
+                )
+            top = tuple(scored[:top_k])
+            static_cand = TunedConfig.from_blocking(static, source="static")
+            static_scored = score(
+                static_cand, shape.m, shape.n, shape.k, machine,
+                mode=mode, constants=constants,
+            )
+
+            measurements: tuple[Measurement, ...] = ()
+            static_meas: Measurement | None = None
+            rank_corr: float | None = None
+            if measure:
+                with tr.span("tune.measure", cat="tune",
+                             args={"top_k": len(top)}) if tr else _NULL_CTX:
+                    measurements = tuple(
+                        measure_candidate(
+                            s.config, shape.m, shape.n, shape.k,
+                            seed=seed, repeats=repeats,
+                        )
+                        for s in top
+                    )
+                    static_meas = measure_candidate(
+                        static_cand, shape.m, shape.n, shape.k,
+                        seed=seed, repeats=repeats,
+                    )
+                metrics.inc("tune.measured", len(measurements) + 1)
+                if len(top) >= 2:
+                    rank_corr = spearman(
+                        [s.predicted_seconds for s in top],
+                        [meas.seconds for meas in measurements],
+                    )
+                best_i = min(
+                    range(len(top)), key=lambda i: measurements[i].seconds
+                )
+                if static_meas.seconds <= measurements[best_i].seconds:
+                    winner, winner_meas = static_cand, static_meas
+                    winner_pred = static_scored
+                    metrics.inc("tune.winner_static")
+                else:
+                    winner = top[best_i].config
+                    winner_meas = measurements[best_i]
+                    winner_pred = top[best_i]
+                    metrics.inc("tune.winner_search")
+            else:
+                winner, winner_meas, winner_pred = top[0].config, None, top[0]
+                metrics.inc("tune.winner_search")
+
+            winner = _finalize(
+                winner, winner_pred, winner_meas, shape, machine,
+                space.coalesce_limits, constants,
+            )
+            bucket = shape_bucket(shape.m, shape.n, shape.k)
+            if db is not None:
+                db.put(shape.m, shape.n, shape.k, winner)
+                metrics.inc("tune.db_entries")
+
+            results.append(ShapeSearchResult(
+                shape=shape,
+                bucket=bucket,
+                n_candidates=len(candidates),
+                rejected=dict(report.rejected),
+                n_scored=len(scored),
+                top=top,
+                measurements=measurements,
+                static_scored=static_scored,
+                static_measurement=static_meas,
+                winner=winner,
+                rank_correlation=rank_corr,
+            ))
+    return results
+
+
+def _finalize(
+    winner: TunedConfig,
+    predicted: ScoredCandidate,
+    measured: Measurement | None,
+    shape: ShapeClass,
+    machine: MachineSpec,
+    coalesce_options: tuple[int, ...],
+    constants: ModelConstants,
+) -> TunedConfig:
+    """Attach the analytic coalesce cap and the perf metadata to a winner."""
+    return dataclasses.replace(
+        winner,
+        coalesce_limit=choose_coalesce_limit(
+            shape, machine, coalesce_options, constants=constants
+        ),
+        predicted_gflops=predicted.predicted_gflops(shape.m, shape.n, shape.k),
+        measured_gflops=measured.gflops if measured is not None else 0.0,
+    )
+
+
+class _NullCtx:
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_CTX = _NullCtx()

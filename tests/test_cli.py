@@ -91,3 +91,65 @@ def test_bench_forwarding_through_top_level(tmp_path, capsys):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         repro_main(["frobnicate"])
+
+
+def test_tune_search_show_apply_round_trip(tmp_path, capsys):
+    db = str(tmp_path / "db.json")
+    code = repro_main(
+        ["tune", "search", "--space", "small", "--shape", "64x32x16",
+         "--db", db, "--repeats", "1", "--json", str(tmp_path / "r.json")]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "winner" in out and "rank rho" in out
+    assert (tmp_path / "r.json").exists()
+
+    assert repro_main(["tune", "show", "--db", db]) == 0
+    out = capsys.readouterr().out
+    assert "entries   : 1" in out and "m64n32k16" in out
+
+    code = repro_main(
+        ["tune", "apply", "--shape", "64x32x16", "--space", "small",
+         "--db", db, "--repeats", "1"]
+    )
+    assert code == 0
+    assert "speedup" in capsys.readouterr().out
+
+
+def test_tune_smoke_writes_db_artifact(tmp_path, capsys):
+    db = str(tmp_path / "smoke.json")
+    assert repro_main(["tune", "--smoke", "--db", db]) == 0
+    out = capsys.readouterr().out
+    assert "db       : 2 entries" in out
+    assert (tmp_path / "smoke.json").exists()
+
+
+def test_tune_apply_without_entry_reports_fallback(tmp_path, capsys):
+    db = str(tmp_path / "db.json")
+    assert repro_main(
+        ["tune", "search", "--space", "small", "--shape", "64x32x16",
+         "--db", db, "--no-measure"]
+    ) == 0
+    capsys.readouterr()
+    code = repro_main(
+        ["tune", "apply", "--shape", "4000x4000x4000", "--db", db]
+    )
+    assert code == 1
+    assert "static config" in capsys.readouterr().out
+
+
+def test_serve_with_tune_db(tmp_path, capsys):
+    db = str(tmp_path / "db.json")
+    assert repro_main(
+        ["tune", "search", "--space", "small", "--shape", "24x32x32",
+         "--shape", "16x48x24", "--db", db, "--repeats", "1"]
+    ) == 0
+    capsys.readouterr()
+    code = repro_main(
+        ["serve", "--duration", "0.5", "--arrival-rate", "30",
+         "--tune-db", db, "--seed", "1"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "tune-db  : 2 entries" in out
+    assert "workload OK" in out

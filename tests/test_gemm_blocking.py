@@ -88,3 +88,39 @@ def test_small_config_is_valid_and_small():
     cfg = BlockingConfig.small()
     assert cfg.mc <= 16 and cfg.kc <= 16
     assert cfg.mc % cfg.mr == 0
+
+
+def test_accepts_numpy_integers_as_plain_ints():
+    np_ = pytest.importorskip("numpy")
+    cfg = BlockingConfig(
+        mc=np_.int64(32), kc=np_.int32(16), nc=np_.int64(28),
+        mr=np_.int64(16), nr=np_.int64(14),
+    )
+    # coerced at construction: the frozen config holds plain ints and
+    # hashes/serialises identically however the values were produced
+    assert all(
+        type(v) is int for v in (cfg.mc, cfg.kc, cfg.nc, cfg.mr, cfg.nr)
+    )
+    assert cfg == BlockingConfig(mc=32, kc=16, nc=28, mr=16, nr=14)
+
+
+def test_rejects_bool_block_sizes():
+    with pytest.raises(ConfigError):
+        BlockingConfig(kc=True)
+
+
+def test_rejects_non_integral_block_sizes():
+    with pytest.raises(ConfigError):
+        BlockingConfig(kc=384.0)
+
+
+def test_misaligned_workspace_view_fails_loud():
+    """The a_view guard behind the mc % mr constructor check: a block
+    start off the panel grid must raise, not alias the previous block."""
+    from repro.gemm.workspace import Workspace
+    from repro.util.errors import ShapeError
+
+    ws = Workspace(BlockingConfig.small(), 32, 16, 16)
+    ws.a_view(ws.config.mr, 1, 4)  # aligned: fine
+    with pytest.raises(ShapeError, match="aligned"):
+        ws.a_view(ws.config.mr - 1, 1, 4)

@@ -1,0 +1,155 @@
+"""The DSE funnel: space enumeration, analytic pruning, model scoring,
+measurement, seeded determinism, and the rank-correlation helper."""
+
+import pytest
+
+from repro.gemm.blocking import BlockingConfig
+from repro.obs.metrics import MetricsRegistry
+from repro.simcpu.machine import MachineSpec
+from repro.tune.db import TunedConfig, TuningDB
+from repro.tune.measure import measure_candidate, spearman
+from repro.tune.prune import prune
+from repro.tune.search import ShapeClass, choose_coalesce_limit, run_search
+from repro.tune.space import SearchSpace
+from repro.util.errors import ConfigError, ReproError
+
+CASCADE = MachineSpec.cascade_lake_w2255()
+SMALL_MACHINE = MachineSpec.small_test_machine()
+
+
+# -------------------------------------------------------------------- space
+def test_small_space_enumerates_only_legal_configs():
+    candidates = SearchSpace.small().candidates()
+    assert candidates
+    for cand in candidates:
+        cand.blocking()  # would raise ConfigError on an illegal combo
+        assert cand.mc % cand.mr == 0
+
+
+def test_named_space_lookup():
+    assert SearchSpace.named("small").name == "small"
+    assert SearchSpace.named("default").name == "default"
+    with pytest.raises(ReproError):
+        SearchSpace.named("nope")
+
+
+def test_default_space_contains_the_paper_config():
+    keys = {
+        (c.mc, c.kc, c.nc, c.mr, c.nr) for c in SearchSpace.default().candidates()
+    }
+    assert (192, 384, 9216, 16, 14) in keys
+
+
+# -------------------------------------------------------------------- prune
+def test_prune_keeps_the_paper_default_feasible():
+    paper = TunedConfig.from_blocking(BlockingConfig())
+    report = prune([paper], CASCADE, 1024, 1024, 1024)
+    assert len(report.survivors) == 1
+
+
+def test_prune_rejects_register_spill_and_oversized_blocks():
+    spill = TunedConfig(mc=32, kc=32, nc=32, mr=32, nr=32)
+    huge = TunedConfig(mc=65536, kc=65536, nc=64, mr=4, nr=4)
+    report = prune([spill, huge], CASCADE, 1024, 1024, 1024)
+    assert not report.survivors
+    assert report.rejected.get("register_spill") == 1
+    assert report.rejected.get("a_block_exceeds_l2") == 1
+
+
+def test_prune_rejects_oversubscribed_threads():
+    cand = TunedConfig(mc=8, kc=8, nc=16, mr=4, nr=4, threads=64)
+    report = prune([cand], CASCADE, 64, 64, 64)
+    assert report.rejected.get("threads_exceed_cores") == 1
+
+
+# ------------------------------------------------------------------- search
+def test_seeded_search_is_deterministic(tmp_path):
+    def one_run(name):
+        db = TuningDB.for_machine(CASCADE, path=tmp_path / name)
+        results = run_search(
+            [ShapeClass.parse("96x48x24")],
+            machine=CASCADE,
+            space=SearchSpace.small(),
+            db=db,
+            static=BlockingConfig.small(),
+            measure=False,  # model-ranked only: fully deterministic
+            seed=7,
+        )
+        return results[0], db
+
+    r1, db1 = one_run("a.json")
+    r2, db2 = one_run("b.json")
+    assert r1.winner == r2.winner
+    assert [s.config for s in r1.top] == [s.config for s in r2.top]
+    assert db1.to_json() == db2.to_json()
+
+
+def test_measured_search_never_regresses_below_static(tmp_path):
+    db = TuningDB.for_machine(CASCADE, path=tmp_path / "db.json")
+    metrics = MetricsRegistry()
+    results = run_search(
+        [ShapeClass.parse("64x32x16")],
+        machine=CASCADE,
+        space=SearchSpace.small(),
+        db=db,
+        static=BlockingConfig.small(),
+        measure=True,
+        repeats=1,
+        seed=0,
+        metrics=metrics,
+    )
+    result = results[0]
+    assert result.speedup_vs_static >= 1.0
+    assert db.resolve(64, 32, 16) == result.winner
+    counters = metrics.snapshot()["counters"]
+    assert counters["tune.shapes"] == 1
+    assert counters["tune.scored"] == result.n_scored
+    assert counters["tune.db_entries"] == 1
+
+
+def test_search_with_no_feasible_candidate_raises(tmp_path):
+    spill_only = SearchSpace(
+        name="spill", mc=(32,), kc=(32,), nc=(32,), tiles=((32, 32),)
+    )
+    with pytest.raises(ConfigError, match="feasible"):
+        run_search(
+            [ShapeClass.parse("64x64x64")],
+            machine=CASCADE,
+            space=spill_only,
+            measure=False,
+        )
+
+
+# -------------------------------------------------------------- shape class
+def test_shape_class_parses_both_separators():
+    assert ShapeClass.parse("96x48x24") == ShapeClass(96, 48, 24)
+    assert ShapeClass.parse("96,48,24") == ShapeClass(96, 48, 24)
+    with pytest.raises(ReproError):
+        ShapeClass.parse("96x48")
+    with pytest.raises(ReproError):
+        ShapeClass.parse("0x48x24")
+
+
+# ----------------------------------------------------------- coalesce limit
+def test_choose_coalesce_limit_caps_large_stacked_footprints():
+    shape = ShapeClass(4096, 64, 4096)  # one A is 128 MiB: must cap
+    capped = choose_coalesce_limit(shape, CASCADE, (0, 4, 16))
+    assert capped != 0
+    tiny = ShapeClass(8, 8, 8)
+    assert choose_coalesce_limit(tiny, CASCADE, (0, 4, 16)) == 0
+
+
+# -------------------------------------------------------------- measurement
+def test_measure_candidate_verifies_numerics():
+    tuned = TunedConfig(mc=8, kc=8, nc=16, mr=4, nr=4)
+    measurement = measure_candidate(tuned, 24, 16, 12, repeats=1)
+    assert measurement.verified
+    assert measurement.seconds > 0
+    assert measurement.gflops > 0
+
+
+def test_spearman_rank_correlation():
+    assert spearman([1.0, 2.0, 3.0], [10.0, 20.0, 30.0]) == pytest.approx(1.0)
+    assert spearman([1.0, 2.0, 3.0], [30.0, 20.0, 10.0]) == pytest.approx(-1.0)
+    assert spearman([1.0], [2.0]) == 0.0
+    assert spearman([1.0, 1.0], [2.0, 3.0]) == 0.0  # zero variance
