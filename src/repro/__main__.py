@@ -3,7 +3,8 @@
 Subcommands:
 
 - ``bench``    — regenerate the paper's figures (delegates to repro.bench);
-- ``inject``   — one protected GEMM under a chosen number of faults, with a
+- ``inject``   — one protected kernel (GEMM by default; ``--kernel`` picks
+  GEMV/TRSM/FFT from the registry) under a chosen number of faults, with a
   human-readable account of what was detected/corrected;
 - ``tune``     — derive blocking parameters for the (or a scaled) machine;
 - ``validate`` — diff a real run's counters against the analytic accounting;
@@ -84,7 +85,85 @@ def _write_trace(tracer, path, *, breakdown=None, phases=True) -> None:
         print(phase_report(tracer.events, breakdown=breakdown).to_table())
 
 
+KERNEL_CHOICES = ("gemm", "gemv", "trsm", "fft")
+
+
+def _kernel_shape(kernel: str, size: int) -> tuple:
+    """Map the CLI's single ``--size`` knob onto a kernel shape: a square
+    GEMV, a well-populated TRSM (size unknowns, size//16 right-hand
+    sides), and an FFT of the next power-of-two length."""
+    if kernel == "gemv":
+        return (size, size)
+    if kernel == "trsm":
+        return (size, max(1, size // 16))
+    if kernel == "fft":
+        return (1 << max(1, size - 1).bit_length(),)
+    raise SystemExit(f"no standalone shape rule for kernel {kernel!r}")
+
+
+def _print_site_outcomes(injector) -> None:
+    outcomes = injector.site_outcomes()
+    if outcomes:
+        print("per-site : site         injected detected corrected uncorrected")
+        for site in sorted(outcomes):
+            row = outcomes[site]
+            print(
+                f"           {site:<12s} {row['injected']:8d} "
+                f"{row['detected']:8d} {row['corrected']:9d} "
+                f"{row['uncorrected']:11d}"
+            )
+
+
+def _inject_kernel(args) -> int:
+    """``repro inject --kernel {gemv,trsm,fft}``: one protected non-GEMM
+    kernel under faults, through the registry's own plan/run/oracle."""
+    from repro.faults.injector import FaultInjector
+    from repro.kernels import get_kernel
+
+    if args.fail_stop:
+        print("fail-stop faults are a GEMM thread-team feature; "
+              f"--kernel {args.kernel} runs single-threaded")
+        return 2
+    kern = get_kernel(args.kernel)
+    shape = _kernel_shape(args.kernel, args.size)
+    rng = np.random.default_rng(args.seed)
+    request = kern.sample_request(shape, rng)
+    tracer = None
+    if args.trace:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+    plan = kern.plan(
+        shape,
+        args.errors,
+        model=_inject_model(args.model) if args.model else None,
+        seed=args.seed,
+    )
+    injector = FaultInjector(plan)
+    result = kern.run(request, injector=injector, tracer=tracer)
+    expected = kern.oracle(request)
+    err = float(np.abs(result.c - expected).max())
+    dims = "x".join(str(d) for d in shape)
+    print(f"kernel {args.kernel} {dims}, scheme={args.scheme}")
+    print(f"injected : {injector.n_injected} faults ({injector.summary()})")
+    print(f"verified : {result.verified}")
+    print(
+        f"repairs  : {result.corrected} corrected in place, "
+        f"{result.recomputed} recomputed, "
+        f"{result.escalations} escalations"
+    )
+    _print_site_outcomes(injector)
+    print(f"max |error| vs oracle: {err:.3e}")
+    if tracer is not None:
+        _write_trace(tracer, args.trace, phases=False)
+    if not result.verified:
+        return 2
+    return 0 if err < 1e-8 else 1
+
+
 def _cmd_inject(args) -> int:
+    if args.kernel != "gemm":
+        return _inject_kernel(args)
     from dataclasses import replace
 
     from repro.core.config import FTGemmConfig
@@ -157,16 +236,7 @@ def _cmd_inject(args) -> int:
         f"{result.recomputed_blocks} lines recomputed, "
         f"{len(result.reports)} verification rounds"
     )
-    outcomes = injector.site_outcomes()
-    if outcomes:
-        print("per-site : site         injected detected corrected uncorrected")
-        for site in sorted(outcomes):
-            row = outcomes[site]
-            print(
-                f"           {site:<12s} {row['injected']:8d} "
-                f"{row['detected']:8d} {row['corrected']:9d} "
-                f"{row['uncorrected']:11d}"
-            )
+    _print_site_outcomes(injector)
     if result.recovery is not None:
         print(f"recovery : {result.recovery.summary()}")
     print(f"max |error| vs oracle: {err:.3e}")
@@ -294,7 +364,48 @@ def _cmd_dispatch(args) -> int:
     return 0 if same and totals["tile"] == totals["batched"] else 1
 
 
+def _trace_kernel(args) -> int:
+    """``repro trace --kernel {gemv,trsm,fft}``: one traced protected
+    kernel run; ``--no-ft`` maps to the degraded (no-escalation) ladder."""
+    from repro.faults.injector import FaultInjector
+    from repro.kernels import get_kernel
+    from repro.obs import Tracer
+
+    if args.fail_stop:
+        print("fail-stop faults are a GEMM thread-team feature; "
+              f"--kernel {args.kernel} runs single-threaded")
+        return 2
+    kern = get_kernel(args.kernel)
+    shape = _kernel_shape(args.kernel, args.size)
+    rng = np.random.default_rng(args.seed)
+    request = kern.sample_request(shape, rng)
+    tracer = Tracer()
+    injector = None
+    if args.errors:
+        injector = FaultInjector(
+            kern.plan(shape, args.errors, seed=args.seed)
+        )
+    result = kern.run(
+        request, injector=injector, degraded=not args.ft, tracer=tracer
+    )
+    err = float(np.abs(result.c - kern.oracle(request)).max())
+    dims = "x".join(str(d) for d in shape)
+    print(f"kernel {args.kernel} {dims}, ft={args.ft}")
+    if injector is not None:
+        print(f"injected : {injector.n_injected} faults "
+              f"({injector.summary()})")
+    print(f"verified : {result.verified}")
+    print(f"max |error| vs oracle: {err:.3e}")
+    # kernel spans are not GEMM phases — skip the phase table
+    _write_trace(tracer, args.out, phases=False)
+    if not result.verified:
+        return 2
+    return 0 if err < 1e-8 else 1
+
+
 def _cmd_trace(args) -> int:
+    if args.kernel != "gemm":
+        return _trace_kernel(args)
     from dataclasses import replace
 
     from repro.core.config import FTGemmConfig
@@ -373,6 +484,7 @@ def _cmd_serve(args) -> int:
     from repro.core.config import FTGemmConfig
     from repro.gemm.blocking import BlockingConfig
     from repro.serve import (
+        MIXED_SHAPES,
         GemmService,
         ServiceConfig,
         WorkloadConfig,
@@ -385,6 +497,18 @@ def _cmd_serve(args) -> int:
 
     if args.proc_kill_rate and not args.processes:
         raise ConfigError("--proc-kill-rate requires --processes > 0")
+    if args.kernel_mix and args.kernel != "gemm":
+        raise ConfigError("--kernel-mix already blends every kernel; "
+                          "drop --kernel")
+    workload_kwargs = {}
+    if args.kernel_mix:
+        workload_kwargs["shapes"] = MIXED_SHAPES
+    elif args.kernel != "gemm":
+        # the single-kernel workload reuses that kernel's stock shape
+        # class from the mixed blend
+        workload_kwargs["shapes"] = tuple(
+            s for s in MIXED_SHAPES if s.kernel == args.kernel
+        )
     tune_db = None
     if args.tune_db is not None:
         from repro.tune.cli import machine_for
@@ -425,6 +549,7 @@ def _cmd_serve(args) -> int:
         hot_b_pool=args.hot_b_pool,
         zipf_s=args.zipf_s,
         proc_kill_rate=args.proc_kill_rate,
+        **workload_kwargs,
     )
     if args.processes > 0:
         service = GemmService(
@@ -442,6 +567,14 @@ def _cmd_serve(args) -> int:
     service.start()
     report = run_workload(service, workload)
     print(report.summary())
+    if report.kernels and set(report.kernels) != {"gemm"}:
+        # per-kernel audit tallies; a pure-GEMM run keeps its old output
+        mix = ", ".join(
+            f"{name} {tally['ok']}/{tally['submitted']} ok"
+            + (f" ({tally['wrong']} wrong)" if tally["wrong"] else "")
+            for name, tally in sorted(report.kernels.items())
+        )
+        print(f"kernels  : {mix}")
     sched = report.scheduler
     print(
         f"batches  : {sched.get('batches', 0)} total, "
@@ -517,7 +650,11 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--out", default="results")
     p.set_defaults(fn=_cmd_bench)
 
-    p = sub.add_parser("inject", help="one protected GEMM under faults")
+    p = sub.add_parser("inject", help="one protected kernel under faults")
+    p.add_argument("--kernel", choices=KERNEL_CHOICES, default="gemm",
+                   help="protected kernel to run (non-gemm kernels are "
+                        "single-threaded and use their own site maps; "
+                        "--size maps onto each kernel's shape rule)")
     p.add_argument("--size", type=int, default=160)
     p.add_argument("--errors", type=int, default=5)
     p.add_argument("--threads", type=int, default=1)
@@ -615,8 +752,11 @@ def main(argv: list[str] | None = None) -> int:
 
     p = sub.add_parser(
         "trace",
-        help="run one traced FT-GEMM and write a Chrome/Perfetto trace",
+        help="run one traced FT kernel and write a Chrome/Perfetto trace",
     )
+    p.add_argument("--kernel", choices=KERNEL_CHOICES, default="gemm",
+                   help="protected kernel to trace (for non-gemm kernels "
+                        "--no-ft runs the degraded, no-escalation ladder)")
     p.add_argument("--size", type=int, default=160)
     p.add_argument("--threads", type=int, default=1)
     p.add_argument("--backend", choices=("simulated", "threads"),
@@ -642,6 +782,12 @@ def main(argv: list[str] | None = None) -> int:
         "serve",
         help="open-loop workload against the serving subsystem",
     )
+    p.add_argument("--kernel", choices=KERNEL_CHOICES, default="gemm",
+                   help="serve a single-kernel workload (non-gemm kernels "
+                        "use their stock shape class from the mixed blend)")
+    p.add_argument("--kernel-mix", action="store_true",
+                   help="serve the stock four-kernel heterogeneous blend "
+                        "(gemm+gemv+trsm+fft) with per-kernel oracle audit")
     p.add_argument("--duration", type=float, default=2.0,
                    help="workload duration in seconds")
     p.add_argument("--arrival-rate", type=float, default=50.0,

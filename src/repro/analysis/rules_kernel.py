@@ -34,6 +34,13 @@ HOT_NAMES = {
     # encode_b, outside these functions)
     "acquire",
     "_consult_cache",
+    # the non-GEMM kernel family's per-iteration loops: the FFT stage
+    # loop (its checkpoint buffer is preallocated), the blocked TRSM
+    # diagonal sweep, and the DMR solve it calls per block
+    "ft_fft",
+    "ft_trsm",
+    "ft_gemv",
+    "_dmr_block_solve",
 }
 
 #: prefixes marking internal hot helpers in the drivers

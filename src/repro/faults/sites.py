@@ -18,6 +18,9 @@ SITE_CHECKSUM = "checksum"
 #: compute results of the protected L1/L2 BLAS routines (repro.blas) —
 #: the FT-BLAS substrate's DMR-protected kernels
 SITE_BLAS = "blas_compute"
+#: per-stage butterfly output of the checksum-protected FFT
+#: (:mod:`repro.kernels.fft`); one invocation per radix-2 stage
+SITE_FFT = "fft_stage"
 
 #: every instrumented site
 ALL_SITES: tuple[str, ...] = (
@@ -27,6 +30,7 @@ ALL_SITES: tuple[str, ...] = (
     SITE_SCALE,
     SITE_CHECKSUM,
     SITE_BLAS,
+    SITE_FFT,
 )
 
 #: the compute-kernel sites the paper's Fig. 2(c)/(d) campaigns target

@@ -116,7 +116,10 @@ def site_coverage(
     from repro.gemm.reference import gemm_reference
 
     base = config or FTGemmConfig.small()
-    sites = [s for s in ALL_SITES if s != "blas_compute"]
+    # the matrix covers the GEMM pipeline; sites owned by other kernels
+    # (blas_compute, fft_stage) have their own campaigns
+    gemm_sites = site_invocation_counts(n, n, n, base.blocking)
+    sites = [s for s in ALL_SITES if s in gemm_sites]
     fig = FigureSeries(
         figure_id="coverage_sites",
         title=f"Coverage by injection site (n={n}, {runs}x{errors_per_run} errors)",

@@ -1,0 +1,146 @@
+"""GemmKernel: the registry face of the existing FT-GEMM drivers.
+
+The serving hot path does **not** route GEMM through this class — the
+worker pools dispatch GEMM batches straight to their per-worker cached
+:class:`~repro.core.ftgemm.FTGemm` / ParallelFTGemm drivers exactly as
+before the kernel family broadened (coalesced stacking, panel cache,
+tuned-driver selection all live there). ``GemmKernel`` exists so the
+*rest* of the machinery treats GEMM uniformly: the mixed workload's
+oracle audit, the CLI's ``--kernel gemm`` campaigns, and the registry
+contract tests all go through the same interface as the other kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import FTGemmConfig
+from repro.core.ftgemm import FTGemm
+from repro.faults.campaign import plan_for_gemm, site_invocation_counts
+from repro.faults.models import FaultModel
+from repro.gemm.reference import gemm_reference
+from repro.kernels.base import KernelResult, ProtectedKernel
+
+
+class GemmKernel(ProtectedKernel):
+    """``C = alpha * A @ B + beta * C0`` under fused ABFT."""
+
+    name = "gemm"
+
+    def __init__(self, config: FTGemmConfig | None = None) -> None:
+        self.config = config or FTGemmConfig()
+
+    # ------------------------------------------------------------ descriptors
+    def unit_operand(self, request) -> np.ndarray:
+        return request.a
+
+    def aux_operand(self, request) -> np.ndarray | None:
+        return request.c0
+
+    def wire_params(self, request) -> dict:
+        return {"alpha": request.alpha, "beta": request.beta}
+
+    # ---------------------------------------------------------- fault surface
+    def site_invocations(self, shape: tuple) -> dict[str, int]:
+        m, n, k = shape
+        return site_invocation_counts(m, n, k, self.config.blocking)
+
+    def plan(self, shape, n_errors, *, model: FaultModel | None = None,
+             seed: int = 0):
+        # delegate to the canonical GEMM plan builder so standalone
+        # campaigns and the serving fault storm sample identical slots
+        m, n, k = shape
+        return plan_for_gemm(
+            m, n, k, self.config.blocking, n_errors, model=model, seed=seed
+        )
+
+    # -------------------------------------------------------------- execution
+    def run(self, request, *, injector=None, degraded: bool = False,
+            tracer=None, tid: int = 0):
+        """Standalone execution through a fresh FTGemm driver (the pools
+        use their own cached drivers; this entry serves the CLI and
+        tests). Returns the driver's own FTGemmResult — duck-compatible
+        with :class:`KernelResult` where the serving layer looks
+        (``.c`` / ``.verified``)."""
+        ft = self.config.with_(checksum_scheme=request.scheme)
+        if degraded:
+            ft = ft.with_(
+                enable_supervisor=False,
+                recompute_fallback=False,
+                strict=False,
+            )
+        driver = FTGemm(ft)
+        t0 = tracer.now_us() if tracer is not None else 0.0
+        c = request.c0.copy() if request.c0 is not None else None
+        result = driver.gemm(
+            request.a,
+            request.b,
+            c,
+            alpha=request.alpha,
+            beta=request.beta,
+            injector=injector,
+            request_id=request.request_id,
+        )
+        if tracer is not None:
+            tracer.complete(
+                "kernel.gemm.execute",
+                cat="kernel",
+                tid=tid,
+                t0_us=t0,
+                args={"verified": result.verified},
+            )
+        return result
+
+    def verify(self, request, value: np.ndarray) -> bool:
+        """Independent dual-checksum probe: row/column sums of the result
+        against sums predicted from the operands (O(mn + mk + kn))."""
+        expected_rows = request.alpha * (request.a @ request.b.sum(axis=1))
+        if request.beta != 0.0:
+            expected_rows += request.beta * request.c0.sum(axis=1)
+        env = (
+            abs(request.alpha)
+            * (np.abs(request.a) @ np.abs(request.b).sum(axis=1))
+            + (
+                abs(request.beta) * np.abs(request.c0).sum(axis=1)
+                if request.beta != 0.0
+                else 0.0
+            )
+        )
+        tol = 64.0 * np.finfo(np.float64).eps * (request.k + request.n)
+        return bool(
+            np.all(
+                np.abs(value.sum(axis=1) - expected_rows)
+                <= tol * (env + np.finfo(np.float64).tiny)
+            )
+        )
+
+    def escalate(self, request) -> np.ndarray:
+        first = gemm_reference(
+            request.a, request.b, request.c0,
+            alpha=request.alpha, beta=request.beta,
+        )
+        duplicate = gemm_reference(
+            request.a, request.b, request.c0,
+            alpha=request.alpha, beta=request.beta,
+        )
+        return duplicate if not np.array_equal(first, duplicate) else first
+
+    # ----------------------------------------------------------------- oracle
+    def oracle(self, request) -> np.ndarray:
+        return gemm_reference(
+            request.a, request.b, request.c0,
+            alpha=request.alpha, beta=request.beta,
+        )
+
+    def sample_request(self, shape: tuple, rng: np.random.Generator):
+        from repro.serve.request import GemmRequest  # serving type, late bind
+
+        m, n, k = shape
+        return GemmRequest(
+            rng.standard_normal((m, k)), rng.standard_normal((k, n))
+        )
+
+
+#: retained for interface parity; nothing here converts GEMM results —
+#: the pools keep returning FTGemmResult untouched
+__all__ = ["GemmKernel", "KernelResult"]

@@ -1,0 +1,50 @@
+"""The kernel registry: name → stateless ProtectedKernel singleton.
+
+Population happens once, at :mod:`repro.kernels` import time — the
+four built-in kernels register there. ``register`` stays public so tests
+and extensions can add kernels; names are unique and immutable once
+taken (re-registering a name is a configuration error, not a silent
+replacement — the serving tiers cache routing decisions on the name).
+
+The registry is *not* on the GEMM hot path: the worker pools route GEMM
+batches straight to their cached FTGemm drivers on a plain string
+compare and only consult :func:`get_kernel` for the other kernels, so a
+GEMM-only service never pays a registry lookup (pinned by the A/B test,
+which poisons the registry and serves GEMM traffic unharmed).
+"""
+
+from __future__ import annotations
+
+from repro.kernels.base import ProtectedKernel
+from repro.util.errors import ConfigError
+
+_REGISTRY: dict[str, ProtectedKernel] = {}
+
+
+def register(kernel: ProtectedKernel) -> ProtectedKernel:
+    """Add a kernel under its ``name``; returns it for chaining."""
+    name = kernel.name
+    if not name or name == "?":
+        raise ConfigError(
+            f"kernel {kernel!r} must define a non-empty name"
+        )
+    if name in _REGISTRY:
+        raise ConfigError(f"kernel {name!r} is already registered")
+    _REGISTRY[name] = kernel
+    return kernel
+
+
+def get_kernel(name: str) -> ProtectedKernel:
+    """Resolve a kernel by name (KeyError-free: unknown names raise a
+    ConfigError naming the known family)."""
+    kernel = _REGISTRY.get(name)
+    if kernel is None:
+        raise ConfigError(
+            f"unknown kernel {name!r}; registered: {kernel_names()}"
+        )
+    return kernel
+
+
+def kernel_names() -> tuple[str, ...]:
+    """Registered kernel names, in registration order."""
+    return tuple(_REGISTRY)

@@ -36,6 +36,7 @@ from repro.serve.pool import Worker, WorkerPool
 from repro.serve.service import GemmService, ServiceConfig
 from repro.serve.workload import (
     DEFAULT_SHAPES,
+    MIXED_SHAPES,
     ShapeSpec,
     WorkloadConfig,
     WorkloadReport,
@@ -52,6 +53,7 @@ __all__ = [
     "Batch",
     "BatchScheduler",
     "DEFAULT_SHAPES",
+    "MIXED_SHAPES",
     "GemmClient",
     "GemmRequest",
     "GemmResponse",

@@ -305,9 +305,16 @@ class WorkerPool:
             worker.consecutive_failures += 1
 
     def _attempts(self, worker: Worker, shape, request_id: str, driver,
-                  run) -> tuple[FTGemmResult | None, int, str]:
+                  run, kernel: str | None = None
+                  ) -> tuple[FTGemmResult | None, int, str]:
         """Run ``run(injector)`` with retries; returns (result, attempts,
-        last error message)."""
+        last error message).
+
+        ``kernel`` is forwarded to the injector factory as a fifth
+        positional argument *only* for the non-GEMM kernels — existing
+        four-argument factories (every pre-mixed-workload caller) keep
+        working unchanged, and GEMM fault plans stay byte-identical.
+        """
         budget = self.config.retry_budget
         error = ""
         for attempt in range(budget + 1):
@@ -317,9 +324,14 @@ class WorkerPool:
             try:
                 injector = None
                 if self.injector_factory is not None:
-                    injector = self.injector_factory(
-                        shape, attempt, request_id, self.config
-                    )
+                    if kernel is None:
+                        injector = self.injector_factory(
+                            shape, attempt, request_id, self.config
+                        )
+                    else:
+                        injector = self.injector_factory(
+                            shape, attempt, request_id, self.config, kernel
+                        )
                 result = run(driver, injector)
             except ReproError as exc:
                 error = f"{type(exc).__name__}: {exc}"
@@ -438,8 +450,62 @@ class WorkerPool:
             )
         return True
 
+    def _run_kernel(self, worker: Worker, request, batch: Batch,
+                    degraded: bool) -> bool:
+        """Non-GEMM execution: resolve the registry kernel and run it
+        under the same retry/degraded/injector envelope as GEMM. The
+        registry import lives here — a GEMM-only service never touches
+        it (pinned by the poisoned-registry A/B test)."""
+        from repro.kernels import get_kernel
+
+        kern = get_kernel(request.kernel)
+        shape = request.shape
+
+        def run(_driver, injector):
+            return kern.run(
+                request,
+                injector=injector,
+                degraded=degraded,
+                tracer=self.tracer,
+                tid=1000 + worker.index,
+            )
+
+        result, attempts, error = self._attempts(
+            worker, shape, request.request_id, None, run,
+            kernel=request.kernel,
+        )
+        if result is None:
+            self.complete(
+                request,
+                GemmResponse(
+                    request_id=request.request_id,
+                    status="failed",
+                    error=error,
+                    worker=worker.index,
+                    attempts=attempts,
+                    batch_size=len(batch),
+                    degraded=degraded,
+                ),
+            )
+            return False
+        self.complete(
+            request,
+            GemmResponse(
+                request_id=request.request_id,
+                status="ok",
+                result=result,
+                worker=worker.index,
+                attempts=attempts,
+                batch_size=len(batch),
+                degraded=degraded,
+            ),
+        )
+        return True
+
     def _run_single(self, worker: Worker, request: GemmRequest,
                     batch: Batch, degraded: bool) -> bool:
+        if request.kernel != "gemm":
+            return self._run_kernel(worker, request, batch, degraded)
         tuned = request.tuned
         driver, exec_driver = self._pick_drivers(
             worker, request.scheme, degraded, tuned

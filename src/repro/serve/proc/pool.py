@@ -406,15 +406,20 @@ class ProcWorkerPool:
                        degraded: bool, kill_phase: str | None) -> dict:
         batch = flight.batch
         head = batch.items[0]
-        spec_of = self.fault_spec_factory or (lambda rid, cfg: None)
-        b_field, b_cache_key = self._stage_b(flight, handle, head.b)
+        spec_of = self.fault_spec_factory or (lambda rid, cfg, *a: None)
+        # batches form per bucket and every bucket carries the kernel
+        # discriminator, so the head's kernel is the whole batch's kernel
+        b_field, b_cache_key = self._stage_b(
+            flight, handle, head.shared_operand
+        )
         msg = {
             "op": "batch",
             "batch_id": batch.batch_id,
+            "kernel": head.kernel,
             "coalesced": batch.coalesced,
             "degraded": degraded,
             "scheme": head.scheme,
-            "alpha": head.alpha,
+            "alpha": getattr(head, "alpha", None),
             "kill_phase": kill_phase,
             "b": b_field,
             "b_cache_key": b_cache_key,
@@ -422,6 +427,41 @@ class ProcWorkerPool:
             # (no tune types in the child's unpickle path); None = static
             "tuned": head.tuned.to_dict() if head.tuned is not None else None,
         }
+        if head.kernel != "gemm":
+            # kernel items: unit/aux operands through the same transport
+            # slots GEMM uses ("a"/"c0"), plus the kernel's scalar params
+            from repro.kernels import get_kernel
+
+            kern = get_kernel(head.kernel)
+            items = []
+            for request in batch.items:
+                unit_ref = self.transport.stage(
+                    np.ascontiguousarray(kern.unit_operand(request))
+                )
+                flight.refs.append(unit_ref)
+                aux = kern.aux_operand(request)
+                aux_ref = None
+                if aux is not None:
+                    aux_ref = self.transport.stage(np.ascontiguousarray(aux))
+                    flight.refs.append(aux_ref)
+                result_ref = self.transport.alloc_result(request.result_shape)
+                flight.refs.append(result_ref)
+                flight.item_results[request.request_id] = result_ref
+                items.append({
+                    "request_id": request.request_id,
+                    "a": unit_ref,
+                    "c0": aux_ref,
+                    "params": kern.wire_params(request),
+                    # third positional arg only on the kernel path:
+                    # existing two-arg factories never see it
+                    "fault": spec_of(
+                        request.request_id, self.config, head.kernel
+                    ),
+                    "result": result_ref,
+                })
+            flight.kind = "single"
+            msg["items"] = items
+            return msg
         if batch.coalesced:
             a_stack = np.vstack([r.a for r in batch.items])
             a_ref = self.transport.stage(a_stack)
@@ -467,10 +507,14 @@ class ProcWorkerPool:
         return msg
 
     def _stage_b(self, flight: _Flight, handle: _Handle, b):
-        """B through the per-worker cache mirror: a key the child already
-        holds ships as a tiny ``cached`` ref; otherwise the full operand
-        is staged (and offered for caching on first flights only —
-        replays always restage, since they may land anywhere)."""
+        """The shared operand through the per-worker cache mirror: a key
+        the child already holds ships as a tiny ``cached`` ref; otherwise
+        the full operand is staged (and offered for caching on first
+        flights only — replays always restage, since they may land
+        anywhere). ``b`` is B for GEMM, A for GEMV/TRSM; kernels without
+        a shared operand (FFT) ship a ``none`` marker."""
+        if b is None:
+            return {"kind": "none"}, None
         entries = self.config.proc_b_cache_entries
         use_cache = entries > 0 and flight.deaths == 0
         key = f"K{id(b):x}"
@@ -607,7 +651,24 @@ class ProcWorkerPool:
         with self._lock:
             self._replay.append(flight)
 
-    def _result_from(self, meta: dict, c, request_id: str) -> FTGemmResult:
+    def _result_from(self, meta: dict, c, request_id: str):
+        if meta.get("kernel"):
+            # non-GEMM evidence: rebuild the kernel-family result (the
+            # GEMM meta never carries a "kernel" key, so the original
+            # path below is byte-identical for GEMM traffic)
+            from repro.kernels.base import KernelResult
+
+            return KernelResult(
+                value=c,
+                kernel=meta["kernel"],
+                verified=bool(meta.get("verified")),
+                detected=int(meta.get("detected", 0)),
+                corrected=int(meta.get("corrected", 0)),
+                recomputed=int(meta.get("recomputed", 0)),
+                escalations=int(meta.get("escalations", 0)),
+                protection_flops=int(meta.get("protection_flops", 0)),
+                request_id=request_id,
+            )
         return FTGemmResult(
             c=c,
             counters=meta.get("counters") or Counters(),

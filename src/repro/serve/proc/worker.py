@@ -103,6 +103,22 @@ def injector_from_spec(spec: dict | None, shape, service_config):
     """
     if spec is None:
         return None
+    kernel = spec.get("kernel", "gemm")
+    if kernel != "gemm":
+        # non-GEMM plans come from the kernel's own site map; the model
+        # mix mirrors the GEMM path (no fail-stop rung — the kernels run
+        # single-threaded, and FailStop needs a thread team)
+        from repro.kernels import get_kernel
+
+        model = (
+            StuckBit(bit=spec["bit"]) if spec["model"] == "stuck"
+            else BitFlip(bit=spec["bit"])
+        )
+        plan = get_kernel(kernel).plan(
+            tuple(shape), spec["errors_per_call"],
+            model=model, seed=spec["plan_seed"],
+        )
+        return FaultInjector(plan)
     m, n, k = shape
     blocking = service_config.ft.blocking
     counts = None
@@ -236,6 +252,8 @@ def _materialize_b(state: _ChildState, msg: dict):
     a transient segment view. Returns (b, resident, segment|None) —
     ``resident`` marks a cache-owned array safe to encode panels for."""
     ref = msg["b"]
+    if ref.get("kind") == "none":
+        return None, False, None  # kernel without a shared operand (FFT)
     if ref.get("kind") == "cached":
         b = state.b_cache.get(ref["key"])
         if b is None:
@@ -356,6 +374,73 @@ def _execute_single(state: _ChildState, item: dict, msg: dict, b) -> dict:
             "payload": payload}
 
 
+def _kernel_evidence(result) -> dict:
+    """The picklable slice of a KernelResult (the value travels via shm).
+    The ``kernel`` key doubles as the parent's routing discriminator —
+    GEMM evidence never carries one."""
+    return {
+        "kernel": result.kernel,
+        "verified": bool(result.verified),
+        "detected": int(result.detected),
+        "corrected": int(result.corrected),
+        "recomputed": int(result.recomputed),
+        "escalations": int(result.escalations),
+        "protection_flops": int(result.protection_flops),
+    }
+
+
+def _execute_kernel_item(state: _ChildState, item: dict, msg: dict,
+                         shared) -> dict:
+    """One non-GEMM request: rebuild it from wire operands, run it through
+    the registry kernel under the shared retry loop, write the canonical
+    2-D float64 value into the parent-allocated result slot."""
+    from repro.kernels import get_kernel
+    from repro.serve.request import request_from_wire
+
+    kern = get_kernel(msg["kernel"])
+    unit_view, unit_segment = attach(item["a"])
+    aux_view = aux_segment = None
+    if item["c0"] is not None:
+        aux_view, aux_segment = attach(item["c0"])
+    request = request_from_wire(
+        msg["kernel"], unit_view, shared, aux_view, item["params"],
+        scheme=msg["scheme"], request_id=item["request_id"],
+    )
+    shape = request.shape
+    if msg["kill_phase"] == "pack":
+        _self_kill()
+
+    def run(_drv, injector, on_tile):
+        if on_tile is not None:
+            # the "compute" chaos phase: the registry kernels take no
+            # tile callback, so dying at dispatch is the closest analogue
+            # of dying at the first tile (attempt 0 only, like GEMM)
+            _self_kill()
+        return kern.run(request, injector=injector,
+                        degraded=msg["degraded"])
+
+    try:
+        result, attempts, error = _attempt_loop(
+            state, None, item["fault"], shape, item["request_id"],
+            run, msg["kill_phase"],
+        )
+    finally:
+        if unit_segment is not None:
+            unit_segment.close()
+        if aux_segment is not None:
+            aux_segment.close()
+    if result is None:
+        return {"request_id": item["request_id"], "ok": False,
+                "error": error, "attempts": attempts,
+                "meta": None, "payload": None}
+    payload = write_result(
+        item["result"], np.asarray(result.c, dtype=np.float64)
+    )
+    return {"request_id": item["request_id"], "ok": True, "error": "",
+            "attempts": attempts, "meta": _kernel_evidence(result),
+            "payload": payload}
+
+
 def _serve_batch(state: _ChildState, msg: dict) -> dict:
     """Execute one batch message; returns the single result reply."""
     state.metrics.inc("serve.proc.child_batches")
@@ -370,7 +455,14 @@ def _serve_batch(state: _ChildState, msg: dict) -> dict:
             state.beater.stop()
             while True:
                 time.sleep(3600.0)
-        if msg["coalesced"]:
+        if msg.get("kernel", "gemm") != "gemm":
+            items = [
+                _execute_kernel_item(state, item, msg, b)
+                for item in msg["items"]
+            ]
+            reply = {"op": "result", "batch_id": msg["batch_id"],
+                     "kind": "single", "items": items}
+        elif msg["coalesced"]:
             body = _execute_coalesced(state, msg, b)
             reply = {"op": "result", "batch_id": msg["batch_id"],
                      "kind": "coalesced", **body}

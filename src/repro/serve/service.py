@@ -443,9 +443,11 @@ class GemmService:
             )
         if request.request_id is None:
             request.request_id = f"r{next(self._ids):06d}"
-        if self.tune_db is not None:
+        if self.tune_db is not None and request.kernel == "gemm":
             # one dict lookup per admission: resolve the shape class to a
-            # tuned config (or fall back to static on a miss / stale DB)
+            # tuned config (or fall back to static on a miss / stale DB);
+            # the DB is keyed on GEMM (m, n, k) classes, so other kernels
+            # stay on their static configs
             tuned = self.tune_db.resolve(request.m, request.n, request.k)
             if tuned is not None:
                 request.tuned = tuned

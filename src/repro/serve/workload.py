@@ -13,10 +13,16 @@ injection, then audit the outcome:
 - **performance**: throughput, latency percentiles, batch-size mix.
 
 Shapes are drawn from a weighted mix. Requests of one shape class share
-one B operand (the inference pattern: many activations against one
-weight matrix), which is what gives the scheduler something to coalesce;
-classes marked ``private_b`` get a fresh B per request and always execute
-as singletons — the control group.
+one operand (the inference pattern: many activations against one weight
+matrix — B for GEMM, the A factor for GEMV/TRSM), which is what gives
+the scheduler something to coalesce and the caches something to reuse;
+classes marked ``private_b`` get fresh operands per request and always
+execute as singletons — the control group.
+
+A shape class may name any registered kernel (``ShapeSpec.kernel``), so
+one open-loop run can storm a heterogeneous mix — :data:`MIXED_SHAPES`
+is the stock four-kernel blend — and the audit checks each ``ok``
+response against *its own kernel's* NumPy oracle.
 
 Fault injection is deterministic per (request, attempt): the factory
 derives every choice from the workload seed, so a failing soak replays
@@ -36,8 +42,14 @@ from repro.faults.campaign import (
 )
 from repro.faults.injector import FaultInjector
 from repro.faults.models import BitFlip, FailStop, StuckBit
-from repro.gemm.reference import gemm_reference
-from repro.serve.request import GemmRequest
+from repro.kernels import get_kernel
+from repro.serve.request import (
+    FftRequest,
+    GemmRequest,
+    GemvRequest,
+    KernelRequest,
+    TrsmRequest,
+)
 from repro.serve.service import GemmService, ServiceConfig
 from repro.util.errors import ConfigError
 from repro.util.rng import derive_seed, make_rng
@@ -46,13 +58,27 @@ from repro.util.rng import derive_seed, make_rng
 @dataclass(frozen=True)
 class ShapeSpec:
     """One shape class in the mix: ``weight`` is its draw probability
-    mass; ``private_b`` forces a per-request B (no coalescing)."""
+    mass; ``private_b`` forces per-request operands (no sharing, no
+    coalescing); ``kernel`` names the registered kernel the class
+    exercises.
+
+    Dimension conventions per kernel (the three fields are positional
+    for GEMM history; other kernels read the ones they need):
+
+    - ``gemm`` — A is ``m×k``, B is ``k×n``;
+    - ``gemv`` — A is ``m×k``, x has length ``k`` (``n`` unused);
+    - ``trsm`` — the triangular factor is ``k×k``, ``n`` right-hand
+      sides (``m`` unused);
+    - ``fft`` — signals of power-of-two length ``n`` (``m``/``k``
+      unused; every signal is private).
+    """
 
     m: int
     k: int
     n: int
     weight: float = 1.0
     private_b: bool = False
+    kernel: str = "gemm"
 
 
 #: default mixed-shape workload: two coalescible classes sharing a B each,
@@ -61,6 +87,17 @@ DEFAULT_SHAPES = (
     ShapeSpec(24, 32, 32, weight=0.5),
     ShapeSpec(16, 48, 24, weight=0.3),
     ShapeSpec(20, 40, 28, weight=0.2, private_b=True),
+)
+
+#: the stock heterogeneous blend: every registered kernel in one storm —
+#: a coalescible GEMM class, GEMV and TRSM classes sharing their A
+#: factors (the many-solves-per-factorization pattern), and private FFT
+#: signals
+MIXED_SHAPES = (
+    ShapeSpec(24, 32, 32, weight=0.35),
+    ShapeSpec(40, 24, 1, weight=0.25, kernel="gemv"),
+    ShapeSpec(1, 40, 8, weight=0.2, kernel="trsm"),
+    ShapeSpec(1, 1, 64, weight=0.2, private_b=True, kernel="fft"),
 )
 
 
@@ -155,6 +192,9 @@ class WorkloadReport:
     recovery: dict = field(default_factory=dict)
     #: panel-cache view (empty when the cache is disabled)
     panel_cache: dict = field(default_factory=dict)
+    #: per-kernel audit tally: kernel -> {submitted, ok, wrong} (a
+    #: GEMM-only run reports a single "gemm" row)
+    kernels: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -192,6 +232,7 @@ class WorkloadReport:
             "scheduler": dict(self.scheduler),
             "recovery": dict(self.recovery),
             "panel_cache": dict(self.panel_cache),
+            "kernels": {k: dict(v) for k, v in self.kernels.items()},
             "ok": self.ok,
         }
 
@@ -209,12 +250,26 @@ def make_injector_factory(workload: WorkloadConfig):
     if workload.fault_rate <= 0.0:
         return None
 
-    def factory(shape, attempt, request_id, service_config):
+    def factory(shape, attempt, request_id, service_config, kernel="gemm"):
         if attempt > 0:
             return None
         rng = make_rng(derive_seed(workload.seed, "serve", request_id))
         if rng.random() >= workload.fault_rate:
             return None
+        model = (
+            StuckBit(bit=51) if rng.random() < 0.3 else BitFlip(bit=50)
+        )
+        if kernel != "gemm":
+            # the kernel's own site map; no fail-stop rung (the non-GEMM
+            # kernels run single-threaded — there is no thread team to
+            # lose a member of)
+            plan = get_kernel(kernel).plan(
+                tuple(shape),
+                workload.errors_per_call,
+                model=model,
+                seed=derive_seed(workload.seed, "plan", request_id),
+            )
+            return FaultInjector(plan)
         m, n, k = shape
         blocking = service_config.ft.blocking
         counts = None
@@ -222,9 +277,6 @@ def make_injector_factory(workload: WorkloadConfig):
             counts = site_invocation_counts_parallel(
                 m, n, k, blocking, service_config.gemm_threads
             )
-        model = (
-            StuckBit(bit=51) if rng.random() < 0.3 else BitFlip(bit=50)
-        )
         plan = plan_for_gemm(
             m, n, k, blocking,
             workload.errors_per_call,
@@ -269,7 +321,7 @@ def make_fault_spec_factory(workload: WorkloadConfig):
     if workload.fault_rate <= 0.0:
         return None
 
-    def factory(request_id, service_config):
+    def factory(request_id, service_config, kernel="gemm"):
         rng = make_rng(derive_seed(workload.seed, "serve", request_id))
         if rng.random() >= workload.fault_rate:
             return None
@@ -280,6 +332,11 @@ def make_fault_spec_factory(workload: WorkloadConfig):
             "fail_stop": None,
         }
         spec["bit"] = 51 if spec["model"] == "stuck" else 50
+        if kernel != "gemm":
+            # mirrors the thread tier: the non-GEMM branch ends after the
+            # model draw, so both tiers' RNG streams stay draw-for-draw
+            spec["kernel"] = kernel
+            return spec
         if (
             service_config.gemm_threads >= 2
             and rng.random() < workload.fail_stop_fraction
@@ -322,9 +379,32 @@ def make_proc_chaos(workload: WorkloadConfig):
     return chaos
 
 
-def _build_requests(workload: WorkloadConfig) -> list[GemmRequest]:
+def _trsm_factor(rng: np.random.Generator, dim: int) -> np.ndarray:
+    """A well-conditioned lower-triangular factor (diagonally dominant,
+    so solve error stays well under the audit tolerance)."""
+    return np.tril(rng.standard_normal((dim, dim))) + dim * np.eye(dim)
+
+
+def _shared_operand(rng: np.random.Generator, spec: ShapeSpec):
+    """The class's shareable operand: B for GEMM (byte-identical draw to
+    the GEMM-only driver), the A factor for GEMV/TRSM."""
+    if spec.kernel == "gemm":
+        return rng.standard_normal((spec.k, spec.n))
+    if spec.kernel == "gemv":
+        return rng.standard_normal((spec.m, spec.k))
+    if spec.kernel == "trsm":
+        return _trsm_factor(rng, spec.k)
+    return None  # fft: every signal is private
+
+
+def _build_requests(workload: WorkloadConfig) -> list[KernelRequest]:
     """Pre-build the whole arrival schedule so submission-time work is
-    only the sleep + submit (operand construction off the clock)."""
+    only the sleep + submit (operand construction off the clock).
+
+    GEMM-only shape mixes consume the RNG stream exactly as before the
+    kernel family broadened (pinned by the A/B test): the per-kernel
+    branches draw nothing unless their class is actually in the mix.
+    """
     rng = make_rng(derive_seed(workload.seed, "workload"))
     weights = np.array([s.weight for s in workload.shapes], dtype=float)
     weights /= weights.sum()
@@ -332,25 +412,16 @@ def _build_requests(workload: WorkloadConfig) -> list[GemmRequest]:
     if workload.max_requests is not None:
         n_requests = min(n_requests, workload.max_requests)
     n_requests = max(n_requests, 1)
-    if workload.hot_b_pool is None:
-        # one shared B per coalescible shape class
-        shared_b = {
-            i: [rng.standard_normal((spec.k, spec.n))]
-            for i, spec in enumerate(workload.shapes)
-            if not spec.private_b
-        }
-        zipf_p = None
-    else:
-        # hot-B mode: a pool of candidate operands per coalescible class,
-        # drawn with Zipf-rank popularity (rank 1 is the hot head)
-        shared_b = {
-            i: [
-                rng.standard_normal((spec.k, spec.n))
-                for _ in range(workload.hot_b_pool)
-            ]
-            for i, spec in enumerate(workload.shapes)
-            if not spec.private_b
-        }
+    pool = 1 if workload.hot_b_pool is None else workload.hot_b_pool
+    # one shared operand per coalescible class — or, in hot-B mode, a
+    # pool of candidates drawn with Zipf-rank popularity (rank 1 hot)
+    shared_b = {
+        i: [_shared_operand(rng, spec) for _ in range(pool)]
+        for i, spec in enumerate(workload.shapes)
+        if not spec.private_b and spec.kernel != "fft"
+    }
+    zipf_p = None
+    if workload.hot_b_pool is not None:
         ranks = np.arange(1.0, workload.hot_b_pool + 1.0)
         zipf_p = ranks ** -workload.zipf_s
         zipf_p /= zipf_p.sum()
@@ -358,19 +429,45 @@ def _build_requests(workload: WorkloadConfig) -> list[GemmRequest]:
     for _ in range(n_requests):
         i = int(rng.choice(len(workload.shapes), p=weights))
         spec = workload.shapes[i]
-        a = rng.standard_normal((spec.m, spec.k))
-        if spec.private_b:
-            b = rng.standard_normal((spec.k, spec.n))
-        elif zipf_p is None:
-            b = shared_b[i][0]
+        if spec.kernel == "gemm":
+            a = rng.standard_normal((spec.m, spec.k))
+            if spec.private_b:
+                b = rng.standard_normal((spec.k, spec.n))
+            elif zipf_p is None:
+                b = shared_b[i][0]
+            else:
+                b = shared_b[i][int(rng.choice(len(zipf_p), p=zipf_p))]
+            build = lambda **env: GemmRequest(a, b, **env)  # noqa: E731
+        elif spec.kernel == "gemv":
+            x = rng.standard_normal(spec.k)
+            if spec.private_b:
+                mat = rng.standard_normal((spec.m, spec.k))
+            elif zipf_p is None:
+                mat = shared_b[i][0]
+            else:
+                mat = shared_b[i][int(rng.choice(len(zipf_p), p=zipf_p))]
+            build = lambda **env: GemvRequest(mat, x, **env)  # noqa: E731
+        elif spec.kernel == "trsm":
+            rhs = rng.standard_normal((spec.k, spec.n))
+            if spec.private_b:
+                factor = _trsm_factor(rng, spec.k)
+            elif zipf_p is None:
+                factor = shared_b[i][0]
+            else:
+                factor = shared_b[i][int(rng.choice(len(zipf_p), p=zipf_p))]
+            build = lambda **env: TrsmRequest(factor, rhs, **env)  # noqa: E731
+        elif spec.kernel == "fft":
+            sig = rng.standard_normal(spec.n)
+            build = lambda **env: FftRequest(sig, **env)  # noqa: E731
         else:
-            b = shared_b[i][int(rng.choice(len(zipf_p), p=zipf_p))]
+            raise ConfigError(
+                f"unknown kernel {spec.kernel!r} in shape mix"
+            )
         priority = workload.priorities[
             int(rng.integers(len(workload.priorities)))
         ]
         requests.append(
-            GemmRequest(
-                a, b,
+            build(
                 priority=int(priority),
                 deadline_s=workload.deadline_s,
             )
@@ -406,6 +503,10 @@ def run_workload(
     latencies = []
     audit_deadline = time.perf_counter() + timeout_s
     for request, ticket in tickets:
+        tally = report.kernels.setdefault(
+            request.kernel, {"submitted": 0, "ok": 0, "wrong": 0}
+        )
+        tally["submitted"] += 1
         try:
             response = ticket.result(
                 max(0.0, audit_deadline - time.perf_counter())
@@ -418,14 +519,18 @@ def run_workload(
         )
         latencies.append(response.latency_s * 1e3)
         if response.ok:
-            expected = gemm_reference(
-                request.a, request.b, request.c0,
-                alpha=request.alpha, beta=request.beta,
-            )
+            tally["ok"] += 1
+            # each kernel's own NumPy oracle, recomputed from the
+            # request's operands (for GEMM this is gemm_reference —
+            # byte-identical to the audit before the family broadened)
+            expected = get_kernel(request.kernel).oracle(request)
             scale = float(np.max(np.abs(expected))) + 1.0
-            err = float(np.max(np.abs(response.result.c - expected)))
+            err = float(
+                np.max(np.abs(np.asarray(response.result.c) - expected))
+            )
             if err > 1e-8 * scale:
                 report.wrong += 1
+                tally["wrong"] += 1
     report.duplicates = service.duplicates
     n_ok = report.responses.get("ok", 0)
     report.throughput_rps = n_ok / elapsed if elapsed > 0 else 0.0

@@ -19,7 +19,7 @@ from repro.util.errors import ConfigError
 def test_registry_covers_every_panel_and_claim():
     assert set(ALL_FIGURES) == {
         "fig2a", "fig2b", "fig2c", "fig2d", "overhead", "reliability",
-        "scaling", "serve", "panel_cache",
+        "scaling", "serve", "panel_cache", "kernel_mix",
     }
 
 

@@ -1,0 +1,160 @@
+"""Schedule-independence of non-GEMM kernel fault injection.
+
+The GEMV/TRSM/FFT kernels derive their injection plans from a shape
+alone (no thread map — they run single-threaded), so the determinism
+contract is: identical (kernel, shape, errors, seed) inputs must strike
+identical (site, invocation, element) victims with identical values, no
+matter when the run happens, what ran before it, or which serving tier
+built the injector. These grids mirror ``test_injection_determinism``'s
+fingerprint idiom for the parallel GEMM thread map.
+"""
+
+import numpy as np
+import pytest
+
+from repro.faults.injector import FaultInjector
+from repro.faults.models import Additive, BitFlip, StuckBit
+from repro.kernels import get_kernel
+from repro.serve.request import GemvRequest, TrsmRequest
+
+SHAPES = {
+    "gemv": (24, 18),
+    "trsm": (72, 3),
+    "fft": (64,),
+}
+
+
+def _fingerprint(injector):
+    return [
+        (r.site, r.invocation, r.index, r.old_value, r.new_value,
+         r.n_elements)
+        for r in injector.canonical_records
+    ]
+
+
+def _run_with_plan(name, seed, errors, *, model=None):
+    kern = get_kernel(name)
+    request = kern.sample_request(SHAPES[name], np.random.default_rng(3))
+    plan = kern.plan(SHAPES[name], errors, model=model, seed=seed)
+    injector = FaultInjector(plan)
+    result = kern.run(request, injector=injector)
+    return result, injector
+
+
+@pytest.mark.parametrize("name", ["gemv", "trsm", "fft"])
+@pytest.mark.parametrize("seed", [0, 3, 8])
+@pytest.mark.parametrize("errors", [1, 2])
+def test_outcome_grid_is_reproducible(name, seed, errors):
+    """Same plan inputs → identical strikes, identical per-site outcome
+    table, identical (correct) answer — across independent runs."""
+    model = Additive(magnitude=30.0)
+    first, inj_a = _run_with_plan(name, seed, errors, model=model)
+    second, inj_b = _run_with_plan(name, seed, errors, model=model)
+    assert _fingerprint(inj_a) == _fingerprint(inj_b)
+    assert inj_a.site_outcomes() == inj_b.site_outcomes()
+    np.testing.assert_array_equal(first.c, second.c)
+    assert first.verified and second.verified
+
+
+@pytest.mark.parametrize("name", ["gemv", "trsm", "fft"])
+def test_strikes_are_independent_of_cohabiting_runs(name):
+    """Interleaving other kernels' faulted runs between two identical
+    runs must not shift where the strikes land (per-run injectors, no
+    shared global counters)."""
+    model = StuckBit(bit=50)
+    _, baseline = _run_with_plan(name, 5, 2, model=model)
+    for other in ("gemv", "trsm", "fft"):
+        _run_with_plan(other, 1, 2, model=Additive(magnitude=12.0))
+    _, after = _run_with_plan(name, 5, 2, model=model)
+    assert _fingerprint(baseline) == _fingerprint(after)
+
+
+@pytest.mark.parametrize("name", ["gemv", "trsm", "fft"])
+def test_thread_and_process_tiers_build_the_same_plan(name):
+    """The thread tier's live injector factory and the process tier's
+    spec-rebuilt injector (the ``injector_from_spec`` idiom) must derive
+    byte-identical schedules for the same request — the cross-tier
+    replay guarantee the mixed fault storm leans on."""
+    from repro.serve.workload import (
+        WorkloadConfig,
+        make_fault_spec_factory,
+        make_injector_factory,
+    )
+    from repro.serve.service import ServiceConfig
+
+    workload = WorkloadConfig(fault_rate=1.0, errors_per_call=2, seed=13)
+    service_config = ServiceConfig()
+    live_factory = make_injector_factory(workload)
+    spec_factory = make_fault_spec_factory(workload)
+    shape = SHAPES[name]
+    for request_id in ("r-1", "r-2", "r-9"):
+        live = live_factory(shape, 0, request_id, service_config, name)
+        spec = spec_factory(request_id, service_config, name)
+        assert (live is None) == (spec is None)
+        if live is None:
+            continue
+        assert spec["kernel"] == name
+        model = (
+            StuckBit(bit=spec["bit"]) if spec["model"] == "stuck"
+            else BitFlip(bit=spec["bit"])
+        )
+        rebuilt = get_kernel(name).plan(
+            tuple(shape),
+            spec["errors_per_call"],
+            model=model,
+            seed=spec["plan_seed"],
+        )
+        assert rebuilt.schedule == live.plan.schedule
+        assert rebuilt.seed == live.plan.seed
+        assert type(rebuilt.model) is type(live.plan.model)
+
+
+@pytest.mark.parametrize("name", ["gemv", "trsm", "fft"])
+def test_retries_are_never_faulted(name):
+    """Attempt > 0 models re-execution on healthy substrate on both
+    tiers; only the first attempt may carry an injector."""
+    from repro.serve.workload import WorkloadConfig, make_injector_factory
+    from repro.serve.service import ServiceConfig
+
+    factory = make_injector_factory(
+        WorkloadConfig(fault_rate=1.0, errors_per_call=1, seed=2)
+    )
+    assert factory(SHAPES[name], 1, "r-1", ServiceConfig(), name) is None
+
+
+def test_gemv_outcome_table_localizes_every_strike():
+    """GEMV's single fused compute site: every planned strike lands on
+    invocation 0 and the ABFT sweep detects and repairs it in place."""
+    kern = get_kernel("gemv")
+    request = GemvRequest(
+        np.random.default_rng(0).standard_normal((20, 16)),
+        np.random.default_rng(1).standard_normal(16),
+    )
+    plan = kern.plan((20, 16), 1, model=Additive(magnitude=40.0), seed=6)
+    injector = FaultInjector(plan)
+    result = kern.run(request, injector=injector)
+    table = injector.site_outcomes()
+    assert table == {
+        "blas_compute": {
+            "injected": 1, "detected": 1, "corrected": 1, "uncorrected": 0,
+        }
+    }
+    assert result.verified
+
+
+def test_trsm_plan_covers_distinct_diagonal_blocks():
+    """TRSM plans sample per-diagonal-block invocations without
+    replacement — three errors over a 3-block factor strike three
+    distinct solves, and the run repairs all of them."""
+    kern = get_kernel("trsm")
+    shape = (96, 2)
+    plan = kern.plan(shape, 3, model=Additive(magnitude=20.0), seed=4)
+    invocations = plan.schedule["blas_compute"]
+    assert len(invocations) == len(set(invocations)) == 3
+    rng = np.random.default_rng(7)
+    a = np.tril(rng.standard_normal((96, 96))) + 96.0 * np.eye(96)
+    request = TrsmRequest(a, rng.standard_normal((96, 2)))
+    injector = FaultInjector(plan)
+    result = kern.run(request, injector=injector)
+    assert result.verified
+    assert injector.site_outcomes()["blas_compute"]["uncorrected"] == 0

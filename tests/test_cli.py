@@ -153,3 +153,70 @@ def test_serve_with_tune_db(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "tune-db  : 2 entries" in out
     assert "workload OK" in out
+
+
+@pytest.mark.parametrize("kernel", ["gemv", "trsm", "fft"])
+def test_inject_kernel_flag(kernel, capsys):
+    code = repro_main(
+        ["inject", "--kernel", kernel, "--size", "48", "--errors", "2",
+         "--model", "additive", "--seed", "3"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert f"kernel {kernel}" in out
+    assert "verified : True" in out
+    assert "per-site" in out
+
+
+def test_inject_kernel_rejects_fail_stop(capsys):
+    code = repro_main(
+        ["inject", "--kernel", "gemv", "--size", "32",
+         "--fail-stop", "1:2"]
+    )
+    assert code == 2
+    assert "GEMM thread-team feature" in capsys.readouterr().out
+
+
+def test_trace_kernel_flag(tmp_path, capsys):
+    out_path = str(tmp_path / "fft.json")
+    code = repro_main(
+        ["trace", "--kernel", "fft", "--size", "32", "--errors", "1",
+         "--out", out_path]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "kernel fft" in out and "verified : True" in out
+    assert (tmp_path / "fft.json").exists()
+
+
+def test_serve_kernel_mix_flag(capsys):
+    code = repro_main(
+        ["serve", "--kernel-mix", "--duration", "0.6",
+         "--arrival-rate", "60", "--fault-rate", "0.3", "--seed", "5"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "workload OK" in out
+    assert "kernels  :" in out
+    for name in ("gemm", "gemv", "trsm", "fft"):
+        assert name in out
+
+
+def test_serve_single_kernel_flag(capsys):
+    code = repro_main(
+        ["serve", "--kernel", "trsm", "--duration", "0.5",
+         "--arrival-rate", "40", "--seed", "2"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "kernels  : trsm" in out
+
+
+def test_serve_rejects_kernel_with_kernel_mix():
+    from repro.util.errors import ConfigError
+
+    with pytest.raises(ConfigError, match="kernel-mix"):
+        repro_main(
+            ["serve", "--kernel-mix", "--kernel", "gemv",
+             "--duration", "0.1"]
+        )
