@@ -1,0 +1,48 @@
+"""Analyzer wall-clock: the whole-repo run CI gates on must stay fast.
+
+The dataflow engine (CFG + reaching-defs per function, fixpoints per
+class) replaced the per-line scan in PR 10; this benchmark pins its
+cost so a quadratic regression in the graph algorithms shows up as a
+benchmark delta, not as a slow CI queue. The full-repo run records
+files/findings counts in extra_info; the budget assertion keeps any
+single run under 10 s — the engine measures ~2-3 s on the repo today,
+so the bound is generous but real.
+"""
+
+from pathlib import Path
+
+from repro.analysis import analyze
+
+import repro
+
+PACKAGE_ROOT = Path(repro.__file__).resolve().parent
+REPO_ROOT = PACKAGE_ROOT.parent.parent
+
+ANALYSIS_BUDGET_S = 10.0
+
+
+def bench_analyze_full_repo(benchmark):
+    """One full analyzer pass over the package — the CI-gate workload."""
+    result = benchmark.pedantic(
+        lambda: analyze([PACKAGE_ROOT], root=REPO_ROOT),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.files > 100
+    assert result.findings == []
+    benchmark.extra_info["files"] = result.files
+    benchmark.extra_info["suppressions"] = result.suppressions_used
+    assert benchmark.stats.stats.max < ANALYSIS_BUDGET_S
+
+
+def bench_analyze_serve_layer(benchmark):
+    """The serve/ subtree alone — the lock/funnel fixpoints dominate
+    here, so this isolates the most expensive rule families."""
+    serve = PACKAGE_ROOT / "serve"
+    result = benchmark.pedantic(
+        lambda: analyze([serve], root=REPO_ROOT),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.files > 10
+    benchmark.extra_info["files"] = result.files

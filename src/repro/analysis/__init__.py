@@ -3,10 +3,16 @@
 Two complementary halves:
 
 - the **static analyzer** (:mod:`~repro.analysis.engine` plus the
-  ``rules_*`` modules) parses the source with stdlib ``ast`` and checks
-  the unwritten invariants the layers rely on — hot-loop allocation
-  discipline, barrier pairing, lock discipline, completion funnelling,
-  tracer hygiene — with per-line suppressions and a committed baseline;
+  ``rules_*`` modules) parses the source with stdlib ``ast``, builds a
+  statement-granularity CFG with explicit exception edges
+  (:mod:`~repro.analysis.cfg`: reaching definitions, dominators,
+  control dependences), and checks the unwritten invariants the layers
+  rely on — hot-loop allocation discipline, barrier pairing, inferred
+  lock discipline, completion funnelling across exception paths, shm
+  segment lifecycle, checksum-ledger coverage of FT writes, RNG draw
+  parity between the fault injector and spec factories, tracer
+  hygiene — with justified per-line suppressions, a committed baseline,
+  ``--diff REF`` changed-files mode, and SARIF 2.1.0 export;
 - the **runtime sanitizer** (:mod:`~repro.analysis.sanitize`) wraps
   ``threading`` locks inside a ``monitor()`` scope, records the per-
   thread lock acquisition graph, and reports lock-order cycles and
@@ -26,19 +32,24 @@ from repro.analysis.engine import (
     registered_rules,
     rule,
 )
-from repro.analysis.report import render_json, render_text
+from repro.analysis.cfg import CFG, Edge, Node
+from repro.analysis.report import render_json, render_sarif, render_text
 
 __all__ = [
     "AnalysisResult",
     "Baseline",
     "BaselineEntry",
+    "CFG",
     "Comparison",
+    "Edge",
     "Finding",
+    "Node",
     "RuleSpec",
     "SourceModule",
     "analyze",
     "registered_rules",
     "render_json",
+    "render_sarif",
     "render_text",
     "rule",
 ]

@@ -126,6 +126,44 @@ class Baseline:
                 comparison.stale.append(entry)
         return comparison
 
+    def prune(self, findings: list[Finding]) -> "tuple[Baseline, list[BaselineEntry]]":
+        """Drop entries the current findings no longer justify: stale
+        entries disappear, over-counted entries shrink to the number of
+        findings they still cover. Returns (pruned baseline, removed
+        entries) — an entry that only shrank is reported as removed with
+        the *excess* count, so the CLI can say what was dropped."""
+        counts: dict[tuple[str, str, str], int] = {}
+        for finding in findings:
+            key = _finding_key(finding)
+            counts[key] = counts.get(key, 0) + 1
+        kept: list[BaselineEntry] = []
+        removed: list[BaselineEntry] = []
+        for entry in self.entries:
+            live = min(entry.count, counts.get(entry.key(), 0))
+            if live == entry.count:
+                kept.append(entry)
+                continue
+            if live > 0:
+                kept.append(
+                    BaselineEntry(
+                        rule=entry.rule,
+                        file=entry.file,
+                        snippet=entry.snippet,
+                        count=live,
+                        justification=entry.justification,
+                    )
+                )
+            removed.append(
+                BaselineEntry(
+                    rule=entry.rule,
+                    file=entry.file,
+                    snippet=entry.snippet,
+                    count=entry.count - live,
+                    justification=entry.justification,
+                )
+            )
+        return Baseline(kept), removed
+
     @classmethod
     def from_findings(
         cls, findings: list[Finding], justification: str

@@ -3,21 +3,29 @@
 Exit status: 0 when every finding is covered by the committed baseline
 (and, under ``--strict``, no baseline entry is stale and no file failed
 to parse); 1 otherwise. ``--json`` emits the byte-stable report for
-diffing; ``--update-baseline`` rewrites the baseline to cover the
+diffing, ``--sarif`` the SARIF 2.1.0 log CI uploads as a scanning
+artifact; ``--update-baseline`` rewrites the baseline to cover the
 current findings (each entry still needs a human justification — the
 tool stamps a placeholder that the strict gate treats as valid JSON but
 reviewers should replace).
+
+``--diff REF`` restricts the run to files changed since the git ref
+(plus untracked files) — the PR-build mode: fast, and any finding it
+reports is attributable to the change under review. ``repro analyze
+baseline --prune`` re-runs the analysis and drops baseline entries the
+findings no longer justify, so the grandfather list can only shrink.
 """
 
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
 from pathlib import Path
 
 from repro.analysis.baseline import Baseline
 from repro.analysis.engine import analyze, registered_rules
-from repro.analysis.report import render_json, render_text
+from repro.analysis.report import render_json, render_sarif, render_text
 
 DEFAULT_BASELINE = ".analysis-baseline.json"
 
@@ -31,7 +39,60 @@ def find_repo_root(start: Path | None = None) -> Path:
     return here
 
 
+def changed_files(root: Path, ref: str) -> list[Path] | None:
+    """``.py`` files changed since ``ref`` plus untracked ones, absolute.
+
+    Returns None when git cannot answer (not a repo, unknown ref) — the
+    caller falls back to a full run rather than silently analyzing
+    nothing."""
+    out: set[str] = set()
+    for cmd in (
+        ["git", "diff", "--name-only", ref, "--"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        try:
+            proc = subprocess.run(
+                cmd, cwd=root, capture_output=True, text=True, timeout=30
+            )
+        except (OSError, subprocess.TimeoutExpired):
+            return None
+        if proc.returncode != 0:
+            return None
+        out.update(line.strip() for line in proc.stdout.splitlines())
+    return sorted(
+        path
+        for name in out
+        if name.endswith(".py") and (path := root / name).exists()
+    )
+
+
 def add_analyze_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "command",
+        nargs="?",
+        choices=["baseline"],
+        help="optional subcommand: 'baseline' manages the committed "
+        "baseline (use with --prune)",
+    )
+    parser.add_argument(
+        "--prune",
+        action="store_true",
+        help="with the 'baseline' subcommand: drop baseline entries the "
+        "current findings no longer justify",
+    )
+    parser.add_argument(
+        "--diff",
+        metavar="REF",
+        default=None,
+        help="only analyze files changed since this git ref "
+        "(plus untracked files)",
+    )
+    parser.add_argument(
+        "--sarif",
+        metavar="PATH",
+        default=None,
+        help="write a SARIF 2.1.0 log to PATH",
+    )
     parser.add_argument(
         "--paths",
         nargs="+",
@@ -93,6 +154,28 @@ def run_analyze(args: argparse.Namespace) -> int:
 
         paths = [Path(repro.__file__).resolve().parent]
 
+    if args.diff is not None:
+        changed = changed_files(root, args.diff)
+        if changed is None:
+            print(
+                f"warning: cannot diff against {args.diff!r}; "
+                "falling back to a full run",
+                file=sys.stderr,
+            )
+        else:
+            roots = [p.resolve() for p in paths]
+            paths = [
+                c
+                for c in changed
+                if any(
+                    c.resolve() == r or r in c.resolve().parents
+                    for r in roots
+                )
+            ]
+            if not paths:
+                print(f"no analyzed files changed since {args.diff}")
+                return 0
+
     try:
         result = analyze(paths, root=root, rules=args.rules)
     except ValueError as exc:
@@ -100,6 +183,34 @@ def run_analyze(args: argparse.Namespace) -> int:
         return 2
 
     baseline_path = Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE
+
+    if args.command == "baseline":
+        if not args.prune:
+            print(
+                "error: the 'baseline' subcommand requires --prune",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            baseline = Baseline.load(baseline_path)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        pruned, removed = baseline.prune(result.findings)
+        if removed:
+            pruned.dump(baseline_path)
+            for entry in removed:
+                print(
+                    f"pruned: {entry.rule} @ {entry.file} x{entry.count} "
+                    f"({entry.snippet!r})"
+                )
+            print(
+                f"baseline pruned: {len(removed)} entr(y/ies) dropped, "
+                f"{len(pruned.entries)} kept -> {baseline_path}"
+            )
+        else:
+            print("baseline already minimal: nothing to prune")
+        return 0
 
     if args.update_baseline:
         baseline = Baseline.from_findings(
@@ -128,6 +239,8 @@ def run_analyze(args: argparse.Namespace) -> int:
             sys.stdout.write(rendered)
         else:
             Path(args.json).write_text(rendered, encoding="utf-8")
+    if args.sarif is not None:
+        Path(args.sarif).write_text(render_sarif(result), encoding="utf-8")
     if args.json != "-":
         print(
             render_text(result, new=comparison.new, stale=comparison.stale)

@@ -16,10 +16,17 @@ Architecture:
   suppression map) so rules share the parse;
 - **suppressions** are per-line comments —
   ``# analysis: ignore[rule-a,rule-b]`` silences those rules on that
-  line, bare ``# analysis: ignore`` silences every rule — and a
-  suppression naming an unknown rule is itself reported (under the
-  reserved rule id ``suppression``) so typos cannot silently disable a
-  check;
+  line, bare ``# analysis: ignore`` silences every rule, and
+  ``# analysis: ignore[rule] -- why it is safe`` attaches a
+  justification. A suppression naming an unknown rule is itself reported
+  (under the reserved rule id ``suppression``) with the nearest valid
+  rule name suggested, so typos cannot silently disable a check; rules
+  registered with ``requires_justification=True`` (the ledger-coverage
+  family) additionally report any suppression of themselves that does
+  not say why;
+- :class:`SourceModule` also memoises one
+  :class:`~repro.analysis.cfg.CFG` per function (``module.cfg(fn)``) so
+  every dataflow rule shares the graph build;
 - :func:`analyze` walks files/directories, applies every (selected)
   rule, filters suppressed findings and returns them deterministically
   sorted, which is what keeps ``--json`` output diffable against the
@@ -29,6 +36,7 @@ Architecture:
 from __future__ import annotations
 
 import ast
+import difflib
 import io
 import re
 import tokenize
@@ -52,6 +60,7 @@ SUPPRESSION_RULE = "suppression"
 
 _SUPPRESS_RE = re.compile(
     r"#\s*analysis:\s*ignore(?:\[(?P<rules>[^\]]*)\])?"
+    r"(?:\s*--\s*(?P<why>.+))?"
 )
 
 #: annotation for helper methods whose contract is "caller holds the
@@ -82,23 +91,34 @@ class Finding:
 
 @dataclass(frozen=True)
 class RuleSpec:
-    """A registered rule: stable name, human description, check function."""
+    """A registered rule: stable name, human description, check function.
+
+    ``requires_justification`` marks rules whose inline suppressions must
+    carry a ``-- why`` justification (suppressing a checksum-coverage
+    finding without saying why is itself a finding).
+    """
 
     name: str
     description: str
     check: Callable[["SourceModule"], Iterable[Finding]]
+    requires_justification: bool = False
 
 
 _REGISTRY: dict[str, RuleSpec] = {}
 
 
-def rule(name: str, description: str):
+def rule(name: str, description: str, *, requires_justification: bool = False):
     """Register ``fn`` as the checker for rule ``name`` (decorator)."""
 
     def decorate(fn: Callable[["SourceModule"], Iterable[Finding]]):
         if name in _REGISTRY:
             raise ValueError(f"rule {name!r} registered twice")
-        _REGISTRY[name] = RuleSpec(name=name, description=description, check=fn)
+        _REGISTRY[name] = RuleSpec(
+            name=name,
+            description=description,
+            check=fn,
+            requires_justification=requires_justification,
+        )
         return fn
 
     return decorate
@@ -109,9 +129,13 @@ def registered_rules() -> dict[str, RuleSpec]:
     # the imports run the @rule decorators; keeping them lazy avoids an
     # import cycle (rules import engine for the decorator)
     from repro.analysis import (  # noqa: F401
+        rules_funnel,
         rules_kernel,
+        rules_ledger,
         rules_obs,
         rules_parallel,
+        rules_resource,
+        rules_rng,
         rules_serve,
     )
 
@@ -133,8 +157,11 @@ class SourceModule:
         self.tree = ast.parse(text, filename=str(path))
         #: line number -> set of suppressed rule names ("*" = all)
         self.suppressions: dict[int, set[str]] = {}
+        #: line number -> the ``-- why`` justification text ("" when none)
+        self.suppression_reasons: dict[int, str] = {}
         #: line numbers carrying a "caller holds the lock" annotation
         self.caller_holds_lock: set[int] = set()
+        self._cfg_cache: dict[int, "CFG"] = {}
         for lineno, comment in self._comments(text):
             match = _SUPPRESS_RE.search(comment)
             if match is not None:
@@ -145,8 +172,20 @@ class SourceModule:
                     self.suppressions[lineno] = {
                         n.strip() for n in names.split(",") if n.strip()
                     }
+                why = match.group("why")
+                self.suppression_reasons[lineno] = (why or "").strip()
             if _CALLER_HOLDS_RE.search(comment):
                 self.caller_holds_lock.add(lineno)
+
+    def cfg(self, fn: ast.FunctionDef | ast.AsyncFunctionDef) -> "CFG":
+        """The (memoised) control-flow graph of one function body."""
+        from repro.analysis.cfg import build_cfg
+
+        key = id(fn)
+        graph = self._cfg_cache.get(key)
+        if graph is None:
+            graph = self._cfg_cache[key] = build_cfg(fn)
+        return graph
 
     @staticmethod
     def _comments(text: str) -> Iterator[tuple[int, str]]:
@@ -257,17 +296,39 @@ def analyze(
         known_names = set(registry)
         for line, names in sorted(module.suppressions.items()):
             for name in sorted(names - {"*"} - known_names):
+                close = difflib.get_close_matches(
+                    name, sorted(known_names), n=1, cutoff=0.5
+                )
+                hint = f" (did you mean {close[0]!r}?)" if close else ""
                 result.findings.append(
                     module.finding(
                         SUPPRESSION_RULE,
                         line,
-                        f"suppression names unknown rule {name!r}",
+                        f"suppression names unknown rule {name!r}{hint}",
                     )
                 )
         for spec in selected:
             for found in spec.check(module):
                 if module.suppressed(found.rule, found.line):
                     result.suppressions_used += 1
+                    owner = registry.get(found.rule)
+                    if (
+                        owner is not None
+                        and owner.requires_justification
+                        and not module.suppression_reasons.get(
+                            found.line, ""
+                        )
+                    ):
+                        result.findings.append(
+                            module.finding(
+                                SUPPRESSION_RULE,
+                                found.line,
+                                f"suppressing {found.rule!r} requires a "
+                                "justification: write "
+                                f"`# analysis: ignore[{found.rule}] -- "
+                                "why this is safe`",
+                            )
+                        )
                     continue
                 result.findings.append(found)
     result.findings.sort()

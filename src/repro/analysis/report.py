@@ -1,9 +1,12 @@
-"""Reporters: human-readable text and machine-stable JSON.
+"""Reporters: human-readable text, machine-stable JSON, and SARIF.
 
-Both consume an already-sorted finding list (the engine sorts), so the
-JSON document is byte-stable across runs — ``repro analyze --json``
-output can be diffed directly against the committed baseline, and CI
-failures show exactly the findings that appeared.
+All consume an already-sorted finding list (the engine sorts), so each
+document is byte-stable across runs — ``repro analyze --json`` output
+can be diffed directly against the committed baseline, and CI failures
+show exactly the findings that appeared. ``render_sarif`` emits a SARIF
+2.1.0 log (one run, one ``repro-analyze`` driver, every registered rule
+listed with its description) for code-scanning UIs; line numbers and
+snippets ride along in each result's physical location.
 """
 
 from __future__ import annotations
@@ -13,6 +16,12 @@ import json
 from repro.analysis.engine import AnalysisResult, Finding, registered_rules
 
 JSON_SCHEMA_VERSION = 1
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
 
 
 def render_text(
@@ -78,5 +87,80 @@ def render_json(result: AnalysisResult) -> str:
             for path, error in sorted(result.errors)
         ],
         "suppressions_used": result.suppressions_used,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def render_sarif(result: AnalysisResult) -> str:
+    """SARIF 2.1.0 log for code-scanning UIs (one run, stable order).
+
+    Rule metadata comes from the registry (every registered rule is
+    listed, fired or not, so ``ruleIndex`` is stable as findings come
+    and go); parse errors surface as tool *notifications* rather than
+    results — they are about the run, not the code under test."""
+    rules = sorted(registered_rules().items())
+    rule_index = {name: i for i, (name, _spec) in enumerate(rules)}
+    results = []
+    for f in sorted(result.findings):
+        entry = {
+            "ruleId": f.rule,
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": f.file,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": max(1, f.line),
+                            "snippet": {"text": f.snippet},
+                        },
+                    }
+                }
+            ],
+        }
+        if f.rule in rule_index:
+            entry["ruleIndex"] = rule_index[f.rule]
+        results.append(entry)
+    notifications = [
+        {
+            "level": "error",
+            "message": {"text": f"{path}: {error}"},
+        }
+        for path, error in sorted(result.errors)
+    ]
+    payload = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-analyze",
+                        "rules": [
+                            {
+                                "id": name,
+                                "shortDescription": {
+                                    "text": spec.description
+                                },
+                            }
+                            for name, spec in rules
+                        ],
+                    }
+                },
+                "originalUriBaseIds": {
+                    "SRCROOT": {"uri": "file:///"}
+                },
+                "invocations": [
+                    {
+                        "executionSuccessful": not result.errors,
+                        "toolExecutionNotifications": notifications,
+                    }
+                ],
+                "results": results,
+            }
+        ],
     }
     return json.dumps(payload, indent=2, sort_keys=True) + "\n"

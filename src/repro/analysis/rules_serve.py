@@ -9,13 +9,21 @@ Three rules, all scoped to how this codebase actually uses locks:
   torn-read/lost-update hazard. Unguarded read-modify-write
   (``self.x += 1``) in a lock-owning class is flagged unconditionally —
   the GIL does not make ``+=`` atomic across the read and the store.
+  Guard state is computed on the CFG: each node's held set is the
+  enclosing ``with self.<lock>`` stack *plus the method's inferred
+  entry set* — a private method called only from under the lock (a
+  fixpoint over intra-class call sites) analyzes as guarded, which is
+  what retired the ``# analysis: caller-holds-lock`` annotations; the
+  annotation still works for helpers whose callers live elsewhere.
 - ``lock-blocking`` — no blocking call (queue get/put, ``future.result``,
   thread ``join``, ``sleep``, scheduler ``next_batch``/``take_compatible``,
   pipe ``send``/``recv`` on connection receivers, process
   ``join``/``kill`` on process receivers) while holding a lock; one slow
   caller would stall every thread behind the lock. ``Condition.wait`` on
   a condition tied to the held lock is the sanctioned exception (it
-  releases while waiting).
+  releases while waiting). Call summaries extend the reach one level:
+  a helper that blocks with no lock of its own is flagged at any call
+  site that does hold one.
 - ``complete-funnel`` — modules that *use* the response types (import
   them rather than define them) must route every terminal
   ``GemmResponse(...)`` through the service's ``_complete``/``complete``
@@ -159,17 +167,44 @@ def _held_lock(withitem: ast.withitem, topo: _ClassLocks) -> str | None:
     return topo.lock_of(attr)
 
 
-class _AccessCollector(ast.NodeVisitor):
-    """Walk one method body tracking which class locks are held and
-    recording every ``self.X`` access with its guard state."""
+def _node_held(node, topo: _ClassLocks, entry: set[str]) -> list[str]:
+    """Locks held at a CFG node: the method's inferred entry set plus the
+    enclosing ``with self.<lock>`` items the node sits under (the CFG
+    records those on ``Node.withs``)."""
+    held = sorted(entry)
+    for item in node.withs:
+        lock = _held_lock(item, topo)
+        if lock is not None:
+            held.append(lock)
+    return held
 
-    def __init__(self, topo: _ClassLocks, method: str):
+
+class _AccessCollector(ast.NodeVisitor):
+    """Classify one CFG node's own statement fragments under a known
+    held-lock set, recording every ``self.X`` access with its guard
+    state, blocking calls made under a lock, and intra-class
+    ``self.<method>(...)`` call sites (the edges the entry-set fixpoint
+    runs over).
+
+    The collector is driven per CFG node — ``held`` is *set* from the
+    node's ``withs`` (plus the method's inferred entry set) rather than
+    tracked by nesting, which is what lets held-lock sets flow through
+    helper calls instead of resetting at every ``def``."""
+
+    def __init__(self, topo: _ClassLocks, method: str,
+                 siblings: set[str] | None = None):
         self.topo = topo
         self.method = method
+        self.siblings = siblings or set()
         self.held: list[str] = []
         self.accesses: dict[str, list[_Access]] = {}
         #: blocking calls made while a lock is held: (node, lock, text)
         self.blocking: list[tuple[ast.Call, str, str]] = []
+        #: blocking calls made with *no* lock held: (node, text) — the
+        #: one-level summary the call-site check consumes
+        self.blocking_unlocked: list[tuple[ast.Call, str]] = []
+        #: intra-class call sites: (callee name, held set, call node)
+        self.calls: list[tuple[str, frozenset, ast.Call]] = []
 
     # ------------------------------------------------------------- helpers
     def _record(self, attr: str, line: int, kind: str) -> None:
@@ -179,19 +214,6 @@ class _AccessCollector(ast.NodeVisitor):
         )
 
     # -------------------------------------------------------------- visits
-    def visit_With(self, node: ast.With) -> None:
-        acquired = []
-        for item in node.items:
-            lock = _held_lock(item, self.topo)
-            if lock is not None:
-                acquired.append(lock)
-            self.visit(item.context_expr)
-        self.held.extend(acquired)
-        for stmt in node.body:
-            self.visit(stmt)
-        for _ in acquired:
-            self.held.pop()
-
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         # nested defs execute later, under whatever locks *their* caller
         # holds — analyzing them with the current guard state would lie
@@ -251,8 +273,16 @@ class _AccessCollector(ast.NodeVisitor):
             root = _self_attr(func.value)
             if root is not None and root not in self.topo.all_names:
                 self._record(root, node.lineno, "write")
-        # blocking call while a lock is held?
-        if self.held and isinstance(func, (ast.Attribute, ast.Name)):
+        # intra-class helper call — an edge for the entry-set fixpoint
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+            and func.attr in self.siblings
+        ):
+            self.calls.append((func.attr, frozenset(self.held), node))
+        # blocking call?
+        if isinstance(func, (ast.Attribute, ast.Name)):
             name = _call_name(func)
             receiver = (
                 _receiver_text(func.value)
@@ -276,7 +306,7 @@ class _AccessCollector(ast.NodeVisitor):
                 blocked = True
             elif name in _BLOCKING_PROCESS_METHODS and "proc" in receiver:
                 blocked = True
-            elif name == "wait":
+            elif name == "wait" and self.held:
                 # condition.wait is fine on the condition tied to the held
                 # lock (it releases while waiting); waiting on anything
                 # else — an Event, a barrier, a foreign condition — stalls
@@ -290,9 +320,11 @@ class _AccessCollector(ast.NodeVisitor):
                 if lock is None or lock not in self.held:
                     blocked = True
             if blocked:
-                self.blocking.append(
-                    (node, self.held[-1], f"{receiver}.{name}" if receiver else name)
-                )
+                text = f"{receiver}.{name}" if receiver else name
+                if self.held:
+                    self.blocking.append((node, self.held[-1], text))
+                else:
+                    self.blocking_unlocked.append((node, text))
         # reads: self.X appearing anywhere in the call
         self.generic_visit(node)
 
@@ -325,6 +357,99 @@ def _classes(tree: ast.AST) -> Iterator[ast.ClassDef]:
             yield node
 
 
+def _is_private(name: str) -> bool:
+    return name.startswith("_") and not name.startswith("__")
+
+
+def _collect_method(
+    module: SourceModule,
+    topo: _ClassLocks,
+    method: ast.FunctionDef,
+    siblings: set[str],
+    entry: set[str],
+) -> _AccessCollector:
+    """Run the collector over the method's CFG: each node's held set is
+    the entry set plus the ``with self.<lock>`` items it sits under."""
+    collector = _AccessCollector(topo, method.name, siblings)
+    cfg = module.cfg(method)
+    for node in cfg.stmt_nodes():
+        collector.held = _node_held(node, topo, entry)
+        for frag in node.own_nodes():
+            collector.visit(frag)
+    return collector
+
+
+def _entry_sets(
+    module: SourceModule,
+    topo: _ClassLocks,
+    methods: list[ast.FunctionDef],
+    call_sites: dict[str, list[tuple[str, frozenset]]],
+) -> dict[str, set[str]]:
+    """Locks provably held on entry to each method — the one-level call
+    summary that replaced the ``caller-holds-lock`` annotations.
+
+    A *private* method called only from under ``with self.<lock>`` (at
+    every intra-class call site, entry-held sets of the callers
+    included) inherits that lock; the fixpoint starts called private
+    methods at the full lock set and intersects downward over call
+    sites, so mutual recursion converges. Public and dunder methods are
+    entry points — callers outside the class hold nothing — and an
+    explicit annotation still wins (for helpers whose only callers are
+    in another class)."""
+    annotated = {m.name for m in methods if _caller_holds_lock(module, m)}
+    lock_names = set(topo.locks) | {
+        lock
+        for cond in topo.conditions
+        if (lock := topo.lock_of(cond)) is not None
+    }
+    entry: dict[str, set[str]] = {}
+    for m in methods:
+        if m.name in annotated:
+            entry[m.name] = {"<caller>"}
+        elif _is_private(m.name) and m.name in call_sites:
+            entry[m.name] = set(lock_names)
+        else:
+            entry[m.name] = set()
+    changed = True
+    while changed:
+        changed = False
+        for name, sites in call_sites.items():
+            if name in annotated or not _is_private(name):
+                continue
+            new: set[str] | None = None
+            for caller, held in sites:
+                site = set(held) | entry.get(caller, set())
+                new = site if new is None else new & site
+            new = new if new is not None else set()
+            if new != entry.get(name, set()):
+                entry[name] = new
+                changed = True
+    return entry
+
+
+def _class_analysis(
+    module: SourceModule, cls: ast.ClassDef
+) -> tuple[_ClassLocks, dict[str, _AccessCollector], dict[str, set[str]]]:
+    """Two passes: collect intra-class call sites with lexical held sets,
+    fixpoint the entry sets, then re-collect with entries applied."""
+    topo = _class_locks(cls)
+    methods = list(_methods(cls))
+    siblings = {m.name for m in methods}
+    call_sites: dict[str, list[tuple[str, frozenset]]] = {}
+    for method in methods:
+        probe = _collect_method(module, topo, method, siblings, set())
+        for callee, held, _node in probe.calls:
+            call_sites.setdefault(callee, []).append((method.name, held))
+    entry = _entry_sets(module, topo, methods, call_sites)
+    collectors = {
+        method.name: _collect_method(
+            module, topo, method, siblings, entry[method.name]
+        )
+        for method in methods
+    }
+    return topo, collectors, entry
+
+
 @rule(
     "lock-discipline",
     "in lock-owning classes, mutable shared attributes must be accessed "
@@ -335,13 +460,9 @@ def check_lock_discipline(module: SourceModule) -> Iterator[Finding]:
         topo = _class_locks(cls)
         if not topo.locks and not topo.conditions:
             continue
+        _topo, collectors, _entry = _class_analysis(module, cls)
         accesses: dict[str, list[_Access]] = {}
-        for method in _methods(cls):
-            collector = _AccessCollector(topo, method.name)
-            if _caller_holds_lock(module, method):
-                collector.held.append("<caller>")
-            for stmt in method.body:
-                collector.visit(stmt)
+        for collector in collectors.values():
             for attr, found in collector.accesses.items():
                 accesses.setdefault(attr, []).extend(found)
         for attr in sorted(accesses):
@@ -388,17 +509,41 @@ def check_lock_blocking(module: SourceModule) -> Iterator[Finding]:
         topo = _class_locks(cls)
         if not topo.locks and not topo.conditions:
             continue
-        for method in _methods(cls):
-            collector = _AccessCollector(topo, method.name)
-            for stmt in method.body:
-                collector.visit(stmt)
+        _topo, collectors, entry = _class_analysis(module, cls)
+        for name in sorted(collectors):
+            collector = collectors[name]
             for node, lock, text in collector.blocking:
+                where = (
+                    f"self.{lock}"
+                    if lock != "<caller>"
+                    else "the caller-held lock"
+                )
                 yield module.finding(
                     "lock-blocking",
                     node,
-                    f"{cls.name}.{method.name}: blocking call "
-                    f"{text}(...) while holding self.{lock}",
+                    f"{cls.name}.{name}: blocking call "
+                    f"{text}(...) while holding {where}",
                 )
+            # one-level summary: calling a helper that blocks (with no
+            # lock of its own) while we hold one stalls the lock just
+            # the same — the blocking moved one frame down, not away
+            for callee, held, call in collector.calls:
+                locks = sorted(h for h in held if h != "<caller>")
+                if not locks:
+                    continue
+                target = collectors.get(callee)
+                if target is None or entry.get(callee):
+                    # entry-held helpers report inside their own body
+                    continue
+                for _bnode, text in target.blocking_unlocked:
+                    yield module.finding(
+                        "lock-blocking",
+                        call,
+                        f"{cls.name}.{name}: self.{callee}() blocks "
+                        f"({text}(...)) and is called here while "
+                        f"holding self.{locks[-1]}",
+                    )
+                    break
 
 
 @rule(

@@ -118,6 +118,12 @@ class _InstrumentedRLock(_InstrumentedLock):
     def _is_owned(self) -> bool:
         return self._inner._is_owned()
 
+    def _recursion_count(self) -> int:
+        # multiprocessing's resource_tracker probes this (3.11+) on the
+        # RLock it created while our patch was active
+        counter = getattr(self._inner, "_recursion_count", None)
+        return counter() if counter is not None else 0
+
     def _release_save(self):
         state = self._inner._release_save()
         self._san._on_release(self, all_levels=True)

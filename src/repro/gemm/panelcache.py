@@ -487,7 +487,6 @@ class PanelCache:
                 )
         return built
 
-    # analysis: caller-holds-lock
     def _update_gauges(self) -> None:
         self.metrics.set_gauge("panel_cache.bytes", float(self._bytes))
         self.metrics.set_gauge(

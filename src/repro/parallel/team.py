@@ -202,7 +202,6 @@ class _MonitoredBarrier:
             self._broken = True
             self._cond.notify_all()
 
-    # analysis: caller-holds-lock  (only ever called from wait(), under _cond)
     def _release(self) -> None:
         self._count = 0
         self._generation += 1

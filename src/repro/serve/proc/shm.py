@@ -171,19 +171,22 @@ class ShmTransport:
             except OSError:
                 self.metrics.inc("serve.proc.shm_fallbacks")
             else:
-                view = np.ndarray(
-                    arr.shape, dtype=arr.dtype, buffer=segment.buf
-                )
-                view[...] = arr
-                ref = {
-                    "kind": "shm",
-                    "name": segment.name,
-                    "shape": arr.shape,
-                    "dtype": str(arr.dtype),
-                }
-                # close the parent mapping immediately: the name (not the
-                # mapping) is the handle; unlink() works on names
-                segment.close()
+                try:
+                    view = np.ndarray(
+                        arr.shape, dtype=arr.dtype, buffer=segment.buf
+                    )
+                    view[...] = arr
+                    ref = {
+                        "kind": "shm",
+                        "name": segment.name,
+                        "shape": arr.shape,
+                        "dtype": str(arr.dtype),
+                    }
+                finally:
+                    # close the parent mapping as soon as the copy is
+                    # done (or dies): the name (not the mapping) is the
+                    # handle; unlink() works on names
+                    segment.close()
                 self.metrics.inc("serve.proc.shm_bytes", float(arr.nbytes))
                 return ref
         self.metrics.inc("serve.proc.inline_bytes", float(arr.nbytes))
@@ -205,13 +208,15 @@ class ShmTransport:
             except OSError:
                 self.metrics.inc("serve.proc.shm_fallbacks")
             else:
-                ref = {
-                    "kind": "shm",
-                    "name": segment.name,
-                    "shape": tuple(shape),
-                    "dtype": str(np.dtype(dtype)),
-                }
-                segment.close()
+                try:
+                    ref = {
+                        "kind": "shm",
+                        "name": segment.name,
+                        "shape": tuple(shape),
+                        "dtype": str(np.dtype(dtype)),
+                    }
+                finally:
+                    segment.close()
                 self.metrics.inc("serve.proc.shm_bytes", float(nbytes))
                 return ref
         return {

@@ -292,27 +292,29 @@ def _child_drivers(state: _ChildState, msg: dict):
 def _execute_coalesced(state: _ChildState, msg: dict, b) -> dict:
     driver, exec_driver = _child_drivers(state, msg)
     a_view, a_segment = attach(msg["a_stack"])
-    packed = state._panels_for(b, msg["b_resident"], msg.get("tuned"))
-    shape = (a_view.shape[0], b.shape[1], b.shape[0])
-    if msg["kill_phase"] == "pack":
-        _self_kill()
-
-    def run(drv, injector, on_tile):
-        # mirror the thread tier: injected attempts run on the static
-        # driver (fault plans derive their schedules from the static
-        # blocking), clean attempts on the tuned one
-        use = exec_driver if injector is None else drv
-        return use.gemm(
-            a_view,
-            b,
-            alpha=msg["alpha"],
-            injector=injector,
-            on_tile=on_tile,
-            request_id=msg["batch_id"],
-            packed_b=packed if injector is None else None,
-        )
-
+    # everything from here on runs under the finally: panel prep can
+    # raise too, and the segment must close on that path as well
     try:
+        packed = state._panels_for(b, msg["b_resident"], msg.get("tuned"))
+        shape = (a_view.shape[0], b.shape[1], b.shape[0])
+        if msg["kill_phase"] == "pack":
+            _self_kill()
+
+        def run(drv, injector, on_tile):
+            # mirror the thread tier: injected attempts run on the static
+            # driver (fault plans derive their schedules from the static
+            # blocking), clean attempts on the tuned one
+            use = exec_driver if injector is None else drv
+            return use.gemm(
+                a_view,
+                b,
+                alpha=msg["alpha"],
+                injector=injector,
+                on_tile=on_tile,
+                request_id=msg["batch_id"],
+                packed_b=packed if injector is None else None,
+            )
+
         result, attempts, error = _attempt_loop(
             state, driver, msg["fault"], shape, msg["batch_id"],
             run, msg["kill_phase"],
@@ -332,29 +334,31 @@ def _execute_single(state: _ChildState, item: dict, msg: dict, b) -> dict:
     driver, exec_driver = _child_drivers(state, msg)
     a_view, a_segment = attach(item["a"])
     c0_view = c0_segment = None
-    if item["c0"] is not None:
-        c0_view, c0_segment = attach(item["c0"])
-    packed = state._panels_for(b, msg["b_resident"], msg.get("tuned"))
-    shape = (a_view.shape[0], b.shape[1], b.shape[0])
-    if msg["kill_phase"] == "pack":
-        _self_kill()
-
-    def run(drv, injector, on_tile):
-        use = exec_driver if injector is None else drv
-        c = np.array(c0_view) if c0_view is not None else None
-        return use.gemm(
-            a_view,
-            b,
-            c,
-            alpha=msg["alpha"],
-            beta=item["beta"],
-            injector=injector,
-            on_tile=on_tile,
-            request_id=item["request_id"],
-            packed_b=packed if injector is None else None,
-        )
-
+    # the second attach and the panel prep can raise: both segments
+    # must close on those paths too, so the finally starts here
     try:
+        if item["c0"] is not None:
+            c0_view, c0_segment = attach(item["c0"])
+        packed = state._panels_for(b, msg["b_resident"], msg.get("tuned"))
+        shape = (a_view.shape[0], b.shape[1], b.shape[0])
+        if msg["kill_phase"] == "pack":
+            _self_kill()
+
+        def run(drv, injector, on_tile):
+            use = exec_driver if injector is None else drv
+            c = np.array(c0_view) if c0_view is not None else None
+            return use.gemm(
+                a_view,
+                b,
+                c,
+                alpha=msg["alpha"],
+                beta=item["beta"],
+                injector=injector,
+                on_tile=on_tile,
+                request_id=item["request_id"],
+                packed_b=packed if injector is None else None,
+            )
+
         result, attempts, error = _attempt_loop(
             state, driver, item["fault"], shape, item["request_id"],
             run, msg["kill_phase"],
@@ -400,26 +404,29 @@ def _execute_kernel_item(state: _ChildState, item: dict, msg: dict,
     kern = get_kernel(msg["kernel"])
     unit_view, unit_segment = attach(item["a"])
     aux_view = aux_segment = None
-    if item["c0"] is not None:
-        aux_view, aux_segment = attach(item["c0"])
-    request = request_from_wire(
-        msg["kernel"], unit_view, shared, aux_view, item["params"],
-        scheme=msg["scheme"], request_id=item["request_id"],
-    )
-    shape = request.shape
-    if msg["kill_phase"] == "pack":
-        _self_kill()
-
-    def run(_drv, injector, on_tile):
-        if on_tile is not None:
-            # the "compute" chaos phase: the registry kernels take no
-            # tile callback, so dying at dispatch is the closest analogue
-            # of dying at the first tile (attempt 0 only, like GEMM)
-            _self_kill()
-        return kern.run(request, injector=injector,
-                        degraded=msg["degraded"])
-
+    # the aux attach and the wire rebuild can raise: both segments must
+    # close on those paths too, so the finally starts here
     try:
+        if item["c0"] is not None:
+            aux_view, aux_segment = attach(item["c0"])
+        request = request_from_wire(
+            msg["kernel"], unit_view, shared, aux_view, item["params"],
+            scheme=msg["scheme"], request_id=item["request_id"],
+        )
+        shape = request.shape
+        if msg["kill_phase"] == "pack":
+            _self_kill()
+
+        def run(_drv, injector, on_tile):
+            if on_tile is not None:
+                # the "compute" chaos phase: the registry kernels take no
+                # tile callback, so dying at dispatch is the closest
+                # analogue of dying at the first tile (attempt 0 only,
+                # like GEMM)
+                _self_kill()
+            return kern.run(request, injector=injector,
+                            degraded=msg["degraded"])
+
         result, attempts, error = _attempt_loop(
             state, None, item["fault"], shape, item["request_id"],
             run, msg["kill_phase"],

@@ -145,7 +145,6 @@ class AdmissionQueue:
             self._admit(request)
             return Admission(True)
 
-    # analysis: caller-holds-lock
     def _admit(self, request: GemmRequest) -> None:
         now = self.clock()
         request.submitted_at = now
@@ -210,7 +209,6 @@ class AdmissionQueue:
                 self._after_removal()
             return dead
 
-    # analysis: caller-holds-lock
     def _lowest_priority(self) -> GemmRequest | None:
         if not self._items:
             return None
@@ -220,12 +218,10 @@ class AdmissionQueue:
             key=lambda r: (-r.priority, self._order[id(r)]),
         )
 
-    # analysis: caller-holds-lock
     def _remove(self, request: GemmRequest) -> None:
         self._items.remove(request)
         del self._order[id(request)]
 
-    # analysis: caller-holds-lock
     def _after_removal(self) -> None:
         self.metrics.set_gauge("serve.queue_depth", float(len(self._items)))
         self._not_full.notify()

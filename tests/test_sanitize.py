@@ -242,6 +242,47 @@ def test_fault_storm_soak_under_sanitizer(lock_sanitizer):
     # threads in the run above fail the test there
 
 
+def test_sigkill_chaos_proc_pool_under_sanitizer(rng):
+    """SIGKILL chaos on the process tier with the *parent* under the
+    monitor: a shard dies mid-compute, death recovery replays the flight
+    exactly once, and the parent's heartbeat/replay/registry locking
+    builds no lock-order cycle and leaves no unjoined thread behind."""
+    from repro.serve.request import GemmRequest
+
+    armed = []
+
+    def chaos(batch_id, deaths):
+        if deaths == 0 and not armed:
+            armed.append(batch_id)
+            return "compute"
+        return None
+
+    config = ServiceConfig(
+        processes=2,
+        workers=2,
+        proc_seed=11,
+        ft=FTGemmConfig(blocking=BlockingConfig.small()),
+    )
+    with monitor() as san:
+        service = GemmService(config, chaos=chaos).start()
+        pairs = []
+        for _ in range(6):
+            a = rng.standard_normal((10, 16))
+            b = rng.standard_normal((16, 12))
+            pairs.append((a, b, service.submit(GemmRequest(a, b))))
+        service.drain()
+        for a, b, ticket in pairs:
+            response = ticket.result(timeout=120)
+            assert response.status == "ok", (response.status, response.error)
+            np.testing.assert_allclose(response.result.c, a @ b, atol=1e-9)
+        counters = service.stats()["metrics"]["counters"]
+        assert counters.get("serve.proc.deaths", 0) >= 1
+        assert service.duplicates == 0
+        service.shutdown()
+    san.check()
+    assert san.cycles == [] and san.leaked_threads == []
+
+
 @pytest.mark.parametrize("barrier", [0, 3, 8])
 def test_failstop_recovery_under_sanitizer(lock_sanitizer, rng, barrier):
     """Fail-stop recovery on the OS-thread backend under the monitor: the
